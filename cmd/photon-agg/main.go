@@ -1,0 +1,49 @@
+// Command photon-agg runs a networked Photon aggregator: it listens for
+// LLM clients (photon-client processes) and coordinates federated rounds
+// over the Photon wire protocol.
+//
+// Usage:
+//
+//	photon-agg -addr :9000 -clients 2 -rounds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"photon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-agg: ")
+	var (
+		addr     = flag.String("addr", ":9000", "listen address")
+		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
+		clients  = flag.Int("clients", 2, "clients to wait for")
+		rounds   = flag.Int("rounds", 10, "federated rounds")
+		server   = flag.String("server", "fedavg", "server optimizer: fedavg|fedmom|diloco")
+		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
+		seed     = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	log.Printf("listening on %s for %d clients", *addr, *clients)
+	res, err := photon.ServeAggregator(photon.AggregatorOptions{
+		Addr:          *addr,
+		Size:          photon.ModelSize(*size),
+		Rounds:        *rounds,
+		ExpectClients: *clients,
+		Server:        photon.ServerOptimizer(*server),
+		Compress:      *compress,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Stats {
+		fmt.Printf("round %2d: clients=%d loss=%.4f ppl=%.2f\n", s.Round, s.Clients, s.TrainLoss, s.Perplexity)
+	}
+	fmt.Printf("final perplexity: %.2f\n", res.FinalPerplexity)
+}

@@ -1,0 +1,77 @@
+// Command photon-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	photon-bench -list
+//	photon-bench -exp table2
+//	photon-bench -all -full -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"photon/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-bench: ")
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "full-scale sweeps (slower; default quick)")
+		list = flag.Bool("list", false, "list experiments")
+		out  = flag.String("out", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		fmt.Fprintf(w, "==> %s: %s\n\n", e.ID, e.Title)
+		if err := e.Run(w, scale); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Fprintf(w, "\n(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch {
+	case *all:
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+	case *exp != "":
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(e)
+	default:
+		log.Fatal("specify -exp <id>, -all, or -list")
+	}
+}

@@ -1,0 +1,49 @@
+// Command photon-client runs a networked Photon LLM client (LLM-C): it
+// joins an aggregator, trains on its local data shard each round, and
+// uploads model updates until the aggregator ends the session.
+//
+// Usage:
+//
+//	photon-client -addr localhost:9000 -id silo-utah -shard 3
+package main
+
+import (
+	"flag"
+	"log"
+
+	"photon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-client: ")
+	var (
+		addr     = flag.String("addr", "localhost:9000", "aggregator address")
+		id       = flag.String("id", "client-0", "client identity")
+		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
+		shard    = flag.Int("shard", 0, "C4 shard index (0..63) held by this client")
+		steps    = flag.Int("steps", 16, "local steps per round (τ)")
+		batch    = flag.Int("batch", 4, "local batch size (Bl)")
+		lr       = flag.Float64("lr", 3e-3, "peak learning rate")
+		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
+		seed     = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	log.Printf("%s joining %s with shard %d", *id, *addr, *shard)
+	err := photon.JoinAsClient(photon.ClientOptions{
+		Addr:       *addr,
+		ID:         *id,
+		Size:       photon.ModelSize(*size),
+		Shard:      *shard,
+		LocalSteps: *steps,
+		BatchSize:  *batch,
+		MaxLR:      *lr,
+		Compress:   *compress,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: session complete", *id)
+}

@@ -1,0 +1,50 @@
+// Cross-silo heterogeneity: eight institutions each hold one distinct
+// Pile-like data source (the paper's Section 5.5 setting). The example
+// trains the same federation under full and 50% partial participation and
+// against an IID control, showing FedAvg's robustness to non-IID data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photon"
+)
+
+func run(name string, opts photon.Options) *photon.Result {
+	res, err := photon.Pretrain(opts)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("%-28s final ppl %.2f\n", name, res.FinalPerplexity)
+	return res
+}
+
+func main() {
+	fmt.Println("Photon cross-silo heterogeneity (Pile-like sources, 8 clients)")
+	base := photon.Options{
+		Clients:    8,
+		Rounds:     20,
+		LocalSteps: 8,
+		Seed:       3,
+	}
+
+	iid := base
+	full := base
+	full.Heterogeneous = true
+	partial := full
+	partial.ClientsPerRound = 4 // 50% participation
+
+	rIID := run("IID control", iid)
+	rFull := run("non-IID, full participation", full)
+	rPart := run("non-IID, 50% participation", partial)
+
+	fmt.Println("\nround-by-round validation perplexity:")
+	fmt.Println("round   IID    non-IID  non-IID-50%")
+	for i := range rIID.Stats {
+		fmt.Printf("%5d  %6.1f  %7.1f  %11.1f\n", i+1,
+			rIID.Stats[i].Perplexity, rFull.Stats[i].Perplexity, rPart.Stats[i].Perplexity)
+	}
+	fmt.Println("\nExpected shape (paper Fig. 7): non-IID tracks IID under full")
+	fmt.Println("participation; partial participation fluctuates more but converges.")
+}

@@ -1,0 +1,43 @@
+// Topology planner: evaluates the Appendix B.1 wall-time model over the
+// paper's five-region bandwidth map (Figure 2) and picks the cheapest
+// admissible aggregation topology for each model size under different
+// deployment constraints — the decision Photon's Link layer makes
+// automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photon"
+)
+
+func show(size photon.ModelSize, throughput float64, p2p, dropouts bool) {
+	plans, err := photon.PlanDeployment(size, nil, 500, throughput, p2p, dropouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s (τ=500, ν=%.3f, peer-to-peer=%v, dropouts=%v):\n", size, throughput, p2p, dropouts)
+	fmt.Printf("  %-4s %-10s %-10s %-10s %-8s %s\n", "topo", "bw[Gbps]", "comm[s]", "round[s]", "comm%", "verdict")
+	for _, p := range plans {
+		verdict := ""
+		if p.Selected {
+			verdict = "<== selected"
+		}
+		if p.RuledOutReason != "" {
+			verdict = "ruled out: " + p.RuledOutReason
+		}
+		fmt.Printf("  %-4s %-10.1f %-10.1f %-10.1f %-8s %s\n",
+			p.Topology, p.BandwidthGbps, p.CommSeconds, p.RoundSeconds,
+			fmt.Sprintf("%.1f%%", 100*p.CommShare), verdict)
+	}
+}
+
+func main() {
+	fmt.Println("Photon topology planner over the Figure 2 world bandwidth graph")
+	// Paper throughputs (Appendix B.1): ν in batches/second.
+	show(photon.Size125M, 2.0, true, false)
+	show(photon.Size7B, 0.032, true, false)
+	show(photon.Size7B, 0.032, false, false) // privacy-constrained: PS only
+	show(photon.Size7B, 0.032, true, true)   // dropouts: RAR excluded
+}

@@ -1,0 +1,185 @@
+package photon
+
+// End-to-end integration tests: a TLS-encrypted, compressed, networked
+// federation; mid-run client failure tolerance; and full crash recovery
+// through the public API surface.
+
+import (
+	"crypto/x509"
+	"testing"
+
+	"photon/internal/data"
+	"photon/internal/fed"
+	"photon/internal/link"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+func tinyNetCfg() nn.Config {
+	c := nn.ConfigTiny
+	c.SeqLen = 16
+	return c
+}
+
+func netSpec() fed.LocalSpec {
+	return fed.LocalSpec{Steps: 4, BatchSize: 4, SeqLen: 16,
+		Schedule: opt.Constant(3e-3), ClipNorm: 1}
+}
+
+func netClient(t *testing.T, id string, shard int) *fed.Client {
+	t.Helper()
+	cfg := tinyNetCfg()
+	stream := data.NewShard(data.C4Like(cfg.VocabSize), shard, 7)
+	return fed.NewClient(id, cfg, stream, opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+}
+
+// TestTLSFederationEndToEnd runs a real federation over TLS with payload
+// compression: certificate generation, pinned-root verification, joins,
+// three rounds, and convergence of the aggregated model.
+func TestTLSFederationEndToEnd(t *testing.T) {
+	cert, certPEM, err := link.SelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := link.ListenTLS("127.0.0.1:0", cert, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		t.Fatal("bad certificate PEM")
+	}
+	const clients = 3
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			conn, err := link.DialTLS(l.Addr(), pool, true)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = fed.ServeClient(conn, netClient(t, string(rune('a'+i)), i), netSpec())
+		}(i)
+	}
+
+	cfg := tinyNetCfg()
+	res, err := fed.Serve(l, fed.ServerConfig{
+		ModelConfig:   cfg,
+		Seed:          21,
+		Rounds:        3,
+		ExpectClients: clients,
+		Outer:         fed.FedAvg{},
+		Validation:    data.NewValidationSet(data.C4Like(cfg.VocabSize), 8, 16, 999),
+		EvalEvery:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() != 3 {
+		t.Fatalf("rounds: got %d", res.History.Len())
+	}
+	first := res.History.Rounds[0].ValPPL
+	last := res.History.FinalPPL()
+	if !(last < first) {
+		t.Fatalf("TLS federation did not improve: %v -> %v", first, last)
+	}
+}
+
+// TestServerToleratesMidRunClientLoss joins three clients, has one vanish
+// after the first round, and verifies the aggregator finishes the run with
+// partial updates from the survivors.
+func TestServerToleratesMidRunClientLoss(t *testing.T) {
+	l, err := link.Listen("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Two healthy clients.
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			conn, err := link.Dial(l.Addr(), false)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = fed.ServeClient(conn, netClient(t, string(rune('a'+i)), i), netSpec())
+		}(i)
+	}
+	// One client that answers round 1 and then disconnects.
+	go func() {
+		conn, err := link.Dial(l.Addr(), false)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "flaky"}); err != nil {
+			return
+		}
+		msg, err := conn.Recv()
+		if err != nil || msg.Type != link.MsgModel {
+			return
+		}
+		c := netClient(t, "flaky", 5)
+		res, err := c.RunRound(msg.Payload, 0, netSpec())
+		if err != nil {
+			return
+		}
+		_ = conn.Send(&link.Message{Type: link.MsgUpdate, Round: msg.Round,
+			ClientID: "flaky", Meta: res.Metrics, Payload: res.Update})
+		// Vanish before round 2.
+	}()
+
+	cfg := tinyNetCfg()
+	res, err := fed.Serve(l, fed.ServerConfig{
+		ModelConfig:   cfg,
+		Seed:          23,
+		Rounds:        3,
+		ExpectClients: 3,
+		Outer:         fed.FedAvg{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Rounds[0].Clients != 3 {
+		t.Fatalf("round 1 should have all 3 clients, got %d", res.History.Rounds[0].Clients)
+	}
+	lastRound := res.History.Rounds[2]
+	if lastRound.Clients != 2 {
+		t.Fatalf("round 3 should proceed with 2 survivors, got %d", lastRound.Clients)
+	}
+	if lastRound.UpdateNorm == 0 {
+		t.Fatal("surviving clients produced no aggregate update")
+	}
+}
+
+// TestCrashRecoveryThroughPublicAPI trains with checkpointing, "crashes",
+// and resumes from the checkpoint via Options.ResumeFrom, verifying round
+// numbering continues and progress carries over.
+func TestCrashRecoveryThroughPublicAPI(t *testing.T) {
+	path := t.TempDir() + "/global.ckpt"
+	res1, err := Pretrain(Options{Rounds: 5, CheckpointPath: path, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.FinalPerplexity >= 64 {
+		t.Fatalf("first run did not learn: %v", res1.FinalPerplexity)
+	}
+	res2, err := Pretrain(Options{Rounds: 3, ResumeFrom: path, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Stats[0].Round; got != 6 {
+		t.Fatalf("resume should continue at round 6, got %d", got)
+	}
+	coldStart := res1.Stats[0].Perplexity
+	warmStart := res2.Stats[0].Perplexity
+	if !(warmStart < coldStart*0.95) {
+		t.Fatalf("resume lost progress: cold %v warm %v", coldStart, warmStart)
+	}
+	// A missing checkpoint is a clean error.
+	if _, err := Pretrain(Options{Rounds: 1, ResumeFrom: path + ".missing"}); err == nil {
+		t.Fatal("missing resume checkpoint accepted")
+	}
+}

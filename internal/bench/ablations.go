@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"photon/internal/data"
+	"photon/internal/ddp"
+	"photon/internal/fed"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+// AblationOuterOpt compares the server optimizers DESIGN.md calls out:
+// FedAvg(1.0) (Photon's recipe), FedAvg with server momentum, and DiLoCo's
+// outer Nesterov at its stable learning rate.
+func AblationOuterOpt(w io.Writer, scale Scale) error {
+	rounds, tau, n := 30, 16, 4
+	if scale == Quick {
+		rounds = 10
+	}
+	fprintf(w, "Ablation: outer optimizer (N=%d, τ=%d)\n", n, tau)
+	headers := []string{"OuterOpt", "BestPPL", "Rounds→42", "Rounds→35"}
+	var rows [][]string
+	for _, c := range []struct {
+		name  string
+		outer fed.OuterOpt
+	}{
+		{"FedAvg(1.0)", fed.FedAvg{LR: 1.0}},
+		{"FedMom(1.0,0.9)", fed.NewFedMom(1.0, 0.9)},
+		{"FedMom(0.5,0.9)", fed.NewFedMom(0.5, 0.9)},
+		{"DiLoCo(0.1,0.9)", fed.NewDiLoCo(0.1, 0.9)},
+	} {
+		clients, err := federation(proxyCfg(), n, 41)
+		if err != nil {
+			return err
+		}
+		hist, err := runFed(proxyCfg(), clients, c.outer, proxySpec(tau, proxyLR), rounds, n, 10, 0)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.name, f1(hist.BestPPL()),
+			roundsOrDash(hist, 42), roundsOrDash(hist, 35)})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+func roundsOrDash(h *metrics.History, target float64) string {
+	if r, ok := h.RoundsToPPL(target); ok {
+		return fmt.Sprintf("%d", r)
+	}
+	return "-"
+}
+
+// AblationRecipe reproduces the Appendix C.1 observation behind Photon's
+// recipe: federated averaging tolerates the high learning rate with small
+// batches, while centralized small-batch training at the same rate is
+// unstable unless the rate is scaled down linearly with batch size.
+func AblationRecipe(w io.Writer, scale Scale) error {
+	steps, tau, n := 480, 16, 4
+	if scale == Quick {
+		steps, tau = 160, 8
+	}
+	rounds := steps / tau
+	highLR := 10 * proxyLR // deliberately past the centralized stability edge
+	fprintf(w, "Ablation: small-batch + high-LR recipe (Bl=%d, LR=%g)\n", proxyBatch, highLR)
+	headers := []string{"Recipe", "FinalPPL", "Stable"}
+	var rows [][]string
+
+	clients, err := federation(proxyCfg(), n, 43)
+	if err != nil {
+		return err
+	}
+	fedH, err := runFed(proxyCfg(), clients, photonOuter(),
+		fed.LocalSpec{Steps: tau, BatchSize: proxyBatch, SeqLen: 16,
+			Schedule: opt.PaperCosine(highLR, 4*steps), ClipNorm: 1.0},
+		rounds, n, 12, 0)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{"federated high-LR small-batch", pplOrDiverged(fedH.FinalPPL()),
+		stable(fedH.FinalPPL())})
+
+	cenHigh, err := runCentralized(proxyCfg(), steps, proxyBatch, highLR, 12)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{"centralized high-LR small-batch", pplOrDiverged(cenHigh.FinalPPL()),
+		stable(cenHigh.FinalPPL())})
+
+	scaled := opt.LinearLRScale(highLR, proxyBatch*8, proxyBatch)
+	cenScaled, err := runCentralized(proxyCfg(), steps, proxyBatch, scaled, 12)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{fmt.Sprintf("centralized lin-scaled LR=%.2g", scaled),
+		pplOrDiverged(cenScaled.FinalPPL()), stable(cenScaled.FinalPPL())})
+
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+func pplOrDiverged(p float64) string {
+	if p != p || p > 1e6 {
+		return "diverged"
+	}
+	return f1(p)
+}
+
+func stable(p float64) string {
+	if p == p && p < 100 {
+		return "yes"
+	}
+	return "no"
+}
+
+// AblationOptState compares stateless local AdamW (the paper's choice, which
+// avoids communicating or persisting optimizer state) against keeping
+// momenta across rounds.
+func AblationOptState(w io.Writer, scale Scale) error {
+	rounds, tau, n := 24, 16, 4
+	if scale == Quick {
+		rounds = 8
+	}
+	fprintf(w, "Ablation: stateless vs stateful local optimizer (N=%d, τ=%d)\n", n, tau)
+	headers := []string{"ClientOpt state", "BestPPL", "Rounds→42"}
+	var rows [][]string
+	for _, stateful := range []bool{false, true} {
+		clients, err := federation(proxyCfg(), n, 47)
+		if err != nil {
+			return err
+		}
+		spec := proxySpec(tau, proxyLR)
+		spec.Stateful = stateful
+		hist, err := runFed(proxyCfg(), clients, photonOuter(), spec, rounds, n, 14, 0)
+		if err != nil {
+			return err
+		}
+		label := "stateless (paper)"
+		if stateful {
+			label = "stateful"
+		}
+		rows = append(rows, []string{label, f1(hist.BestPPL()), roundsOrDash(hist, 42)})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// AblationCompression measures the Link codec with and without lossless
+// flate compression on realistic payloads: fresh model updates (near-
+// incompressible floats) and sparse/clipped updates (highly compressible).
+func AblationCompression(w io.Writer, _ Scale) error {
+	fprintf(w, "Ablation: Link payload compression\n")
+	cfg := proxyCfg()
+	clients, err := federation(cfg, 1, 53)
+	if err != nil {
+		return err
+	}
+	global := nn.NewModel(cfg, rand.New(rand.NewSource(53))).Params().Flatten(nil)
+	res, err := clients[0].RunRound(global, 0, proxySpec(8, proxyLR))
+	if err != nil {
+		return err
+	}
+	dense := res.Update
+	sparse := make([]float32, len(dense))
+	copy(sparse, dense)
+	for i := range sparse {
+		if i%10 != 0 {
+			sparse[i] = 0 // a 90%-sparsified update, as a pruning post-process would send
+		}
+	}
+
+	headers := []string{"Payload", "Plain[B]", "Flate[B]", "Ratio", "EncTime"}
+	var rows [][]string
+	for _, c := range []struct {
+		name    string
+		payload []float32
+	}{{"dense update", dense}, {"90%-sparse update", sparse}} {
+		m := &link.Message{Type: link.MsgUpdate, Payload: c.payload}
+		var plain, comp bytes.Buffer
+		if err := link.Encode(&plain, m, false); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := link.Encode(&comp, m, true); err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.name,
+			fmt.Sprintf("%d", plain.Len()), fmt.Sprintf("%d", comp.Len()),
+			f2(float64(comp.Len()) / float64(plain.Len())), time.Since(start).Round(time.Microsecond).String()})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// AblationSubFed compares flat clients against nested sub-federations
+// (Algorithm 1 lines 19–25): the same 4 GPUs organized as 4 flat clients
+// versus 2 clients of 2 sub-nodes each.
+func AblationSubFed(w io.Writer, scale Scale) error {
+	rounds, tau := 20, 16
+	if scale == Quick {
+		rounds = 8
+	}
+	cfg := proxyCfg()
+	fprintf(w, "Ablation: flat clients vs nested sub-federation (4 worker nodes, τ=%d)\n", tau)
+	headers := []string{"Topology", "BestPPL", "Rounds→42"}
+	var rows [][]string
+
+	flat, err := federation(cfg, 4, 59)
+	if err != nil {
+		return err
+	}
+	flatH, err := runFed(cfg, flat, photonOuter(), proxySpec(tau, proxyLR), rounds, 4, 16, 0)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{"4 flat clients", f1(flatH.BestPPL()), roundsOrDash(flatH, 42)})
+
+	nodes, err := federation(cfg, 4, 59)
+	if err != nil {
+		return err
+	}
+	nested := []*fed.Client{
+		{ID: "silo-a", SubNodes: nodes[:2]},
+		{ID: "silo-b", SubNodes: nodes[2:]},
+	}
+	nestedH, err := runFed(cfg, nested, photonOuter(), proxySpec(tau, proxyLR), rounds, 2, 16, 0)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, []string{"2 silos x 2 sub-nodes", f1(nestedH.BestPPL()), roundsOrDash(nestedH, 42)})
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// AblationDDPBaseline exercises the real multi-worker DDP substrate against
+// the single-worker large-batch equivalent, verifying the Algorithm 2
+// baseline behaves like its mathematical definition.
+func AblationDDPBaseline(w io.Writer, scale Scale) error {
+	steps := 120
+	if scale == Quick {
+		steps = 40
+	}
+	cfg := proxyCfg()
+	fprintf(w, "Ablation: DDP workers vs single-worker large batch (%d steps)\n", steps)
+	headers := []string{"Setup", "FinalPPL"}
+	var rows [][]string
+	for _, c := range []struct {
+		name    string
+		workers int
+		batch   int
+	}{
+		{"1 worker x batch 16", 1, 16},
+		{"4 workers x batch 4", 4, 4},
+	} {
+		streams := make([]data.Stream, c.workers)
+		for i := range streams {
+			streams[i] = data.NewShard(data.C4Like(cfg.VocabSize), i, 61)
+		}
+		res, err := ddp.Run(ddp.Config{
+			ModelConfig: cfg, Seed: 18, Steps: steps, Workers: c.workers,
+			BatchSize: c.batch, SeqLen: cfg.SeqLen,
+			Schedule: opt.PaperCosine(proxyLR, steps*40), ClipNorm: 1,
+			Streams: streams, Validation: validation(cfg), EvalEvery: steps,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{c.name, f1(res.History.FinalPPL())})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}

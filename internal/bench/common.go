@@ -1,0 +1,141 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section. Each experiment is a function writing the paper's
+// rows/series to an io.Writer; `photon-bench -exp <id>` runs one and
+// bench_test.go at the module root wraps each in a testing.B benchmark.
+//
+// Training experiments run laptop-scale proxy models (see DESIGN.md for the
+// substitution table); the analytic experiments (Table 2, Figures 2/6/9/10)
+// use the paper's own Appendix B.1 wall-time model with the paper's measured
+// throughputs, so their numbers are directly comparable to the published
+// ones. Wall-time units for proxy-backed figures keep the paper's scale by
+// charging each proxy round at the 125M-model round cost (τ=512 steps at
+// ν=2 batches/s), as documented per experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"photon/internal/data"
+	"photon/internal/fed"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+	"photon/internal/topo"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick trims sweeps for CI and testing.B benchmarks (seconds).
+	Quick Scale = iota
+	// Full runs the complete sweeps reported in EXPERIMENTS.md (minutes).
+	Full
+)
+
+// proxyCfg is the trained stand-in for the paper's 125M workhorse model.
+func proxyCfg() nn.Config {
+	c := nn.ConfigTiny
+	c.SeqLen = 16
+	return c
+}
+
+// proxySpec mirrors the paper's recipe structure at proxy scale: small
+// hardware batch, high learning rate, and a cosine decay stretched far past
+// the run length (the Appendix C.1 "extended decay period" — at proxy scale
+// a fixed long period with a short warmup, so the effective rate stays high
+// for the whole run exactly as the paper's recipe intends).
+func proxySpec(tau int, maxLR float64) fed.LocalSpec {
+	cfg := proxyCfg()
+	return fed.LocalSpec{
+		Steps:     tau,
+		BatchSize: proxyBatch,
+		SeqLen:    cfg.SeqLen,
+		Schedule:  opt.PaperCosine(maxLR, proxySchedulePeriod),
+		ClipNorm:  1.0,
+	}
+}
+
+// proxySchedulePeriod is the extended cosine period for proxy runs: long
+// enough that short runs sit on the high plateau (warmup is 1%, i.e. 20
+// steps), matching the small-batch high-LR recipe.
+const proxySchedulePeriod = 2000
+
+const (
+	proxyBatch = 4    // Bl at proxy scale (paper: 32)
+	proxyLR    = 3e-3 // high-LR recipe at proxy scale
+)
+
+// paperRoundSeconds charges one proxy round at the paper's 125M round cost:
+// τ local steps at ν = 2 batches/s (Appendix B.1).
+func paperRoundSeconds(tau int) float64 { return float64(tau) / 2.0 }
+
+// paper125MModel returns the Appendix B.1 wall-time model for the 125M
+// model over the paper's cross-silo bandwidth assumption.
+func paper125MModel(tau int, bandwidthGbps float64) topo.Model {
+	return topo.Model{
+		ModelSizeMB:   250, // 125M params in BF16
+		BandwidthMBps: topo.GbpsToMBps(bandwidthGbps),
+		Throughput:    2,
+		LocalSteps:    tau,
+	}
+}
+
+// federation builds an N-client IID federation over the C4-like corpus.
+func federation(cfg nn.Config, n int, seed int64) ([]*fed.Client, error) {
+	part, err := data.IIDPartition(data.C4Like(cfg.VocabSize), n, seed)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]*fed.Client, n)
+	for i := range clients {
+		clients[i] = fed.NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
+			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+	}
+	return clients, nil
+}
+
+// validation returns the shared C4-like held-out set for a config.
+func validation(cfg nn.Config) *data.ValidationSet {
+	return data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654)
+}
+
+// runFed executes one federated proxy run and returns its history.
+func runFed(cfg nn.Config, clients []*fed.Client, outer fed.OuterOpt, spec fed.LocalSpec,
+	rounds, k int, seed int64, stopAt float64) (*metrics.History, error) {
+	res, err := fed.Run(fed.RunConfig{
+		ModelConfig:     cfg,
+		Seed:            seed,
+		Rounds:          rounds,
+		ClientsPerRound: k,
+		Clients:         clients,
+		Outer:           outer,
+		Spec:            spec,
+		Validation:      validation(cfg),
+		EvalEvery:       1,
+		StopAtPPL:       stopAt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.History, nil
+}
+
+// fprintln writes a line, panicking on writer failure (experiment output
+// writers are in-memory buffers or stdout; failure is programmer error).
+func fprintf(w io.Writer, format string, args ...any) {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil {
+		panic(err)
+	}
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

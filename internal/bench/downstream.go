@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"io"
+
+	"photon/internal/data"
+	"photon/internal/eval"
+	"photon/internal/fed"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+)
+
+// Table78 reproduces the paper's Tables 7 and 8: downstream in-context
+// evaluation of the Photon model family. Three proxy sizes are pre-trained
+// federatedly on the same corpus and scored on the 13-task synthetic suite;
+// the headline statistic is the pairwise win count of the largest model.
+func Table78(w io.Writer, scale Scale) error {
+	rounds, tau, n := 20, 16, 4
+	instances := 0 // 0 keeps task defaults
+	if scale == Quick {
+		rounds, tau = 6, 8
+		instances = 30
+	}
+	sizes := []nn.Config{evalSized(nn.ConfigTinyS), evalSized(nn.ConfigTinyM), evalSized(nn.ConfigTinyL)}
+	src := data.C4Like(sizes[0].VocabSize)
+
+	reports := make([]eval.Report, 0, len(sizes))
+	for _, cfg := range sizes {
+		clients, err := federation(cfg, n, 29)
+		if err != nil {
+			return err
+		}
+		res, err := runFedResult(cfg, clients, rounds, tau)
+		if err != nil {
+			return err
+		}
+		r := eval.Report{Model: cfg.Name, Acc: map[string]float64{}}
+		for _, task := range eval.Suite() {
+			if instances > 0 {
+				task.Instances = instances
+			}
+			r.Acc[task.Name] = task.Evaluate(res, src, 31)
+		}
+		reports = append(reports, r)
+	}
+
+	fprintf(w, "Tables 7-8: downstream in-context evaluation (accuracy; chance varies by task)\n")
+	headers := []string{"Task", "Chance"}
+	for _, r := range reports {
+		headers = append(headers, r.Model)
+	}
+	var rows [][]string
+	for _, task := range eval.Suite() {
+		row := []string{task.Name, f2(task.Chance())}
+		for _, r := range reports {
+			row = append(row, f3(r.Acc[task.Name]))
+		}
+		rows = append(rows, row)
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+
+	big := reports[len(reports)-1]
+	for _, small := range reports[:len(reports)-1] {
+		wins, total := eval.Wins(big, small)
+		fprintf(w, "\n%s vs %s: wins %.1f of %d comparisons\n", big.Model, small.Model, wins, total)
+	}
+	return nil
+}
+
+func evalSized(c nn.Config) nn.Config {
+	c.SeqLen = 40 // long enough for the longest prompt+continuation
+	return c
+}
+
+// runFedResult trains one proxy federation and returns the final model.
+func runFedResult(cfg nn.Config, clients []*fed.Client, rounds, tau int) (*nn.Model, error) {
+	res, err := fed.Run(fed.RunConfig{
+		ModelConfig:     cfg,
+		Seed:            37,
+		Rounds:          rounds,
+		ClientsPerRound: len(clients),
+		Clients:         clients,
+		Outer:           photonOuter(),
+		Spec: fed.LocalSpec{
+			Steps:     tau,
+			BatchSize: proxyBatch,
+			SeqLen:    cfg.SeqLen, // train at evaluation length
+			Schedule:  proxySpec(tau, proxyLR).Schedule,
+			ClipNorm:  1.0,
+		},
+		EvalEvery: rounds, // no intermediate evaluation needed
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.FinalModel, nil
+}

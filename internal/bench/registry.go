@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, scale Scale) error
+}
+
+// Registry returns every experiment, keyed and ordered by ID.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"table1", "Table 1: regional compute resources", Table1},
+		{"table2", "Table 2: wall/compute/comm time breakdown", Table2},
+		{"table3", "Table 3: Photon vs DiLoCo time-to-perplexity", Table3},
+		{"table4", "Table 4: architecture details", Table4},
+		{"table5", "Table 5: hyperparameters", Table5},
+		{"table6", "Table 6: federated experiment configuration", Table6},
+		{"table78", "Tables 7-8: downstream in-context evaluation", Table78},
+		{"fig2", "Figure 2: federation bandwidth map", Figure2},
+		{"fig3", "Figure 3: fed vs centralized convergence", Figure3},
+		{"fig4", "Figure 4: fed vs centralized perplexity by size", Figure4},
+		{"fig5", "Figure 5: compute-time trade-off", Figure5},
+		{"fig6", "Figure 6: topology wall time (τ=512)", Figure6},
+		{"fig7", "Figure 7: data heterogeneity robustness", Figure7},
+		{"fig8", "Figure 8: DiLoCo server LR sweep", Figure8},
+		{"fig9", "Figure 9: topology wall time (τ=64)", Figure9},
+		{"fig10", "Figure 10: topology wall time (τ=128)", Figure10},
+		{"ablation-outeropt", "Ablation: outer optimizer", AblationOuterOpt},
+		{"ablation-recipe", "Ablation: small-batch high-LR recipe", AblationRecipe},
+		{"ablation-optstate", "Ablation: stateless vs stateful ClientOpt", AblationOptState},
+		{"ablation-compression", "Ablation: Link compression", AblationCompression},
+		{"ablation-subfed", "Ablation: sub-federation", AblationSubFed},
+		{"ablation-ddp", "Ablation: DDP vs large-batch equivalence", AblationDDPBaseline},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"photon/internal/hw"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/topo"
+)
+
+// Table1 reproduces the paper's Table 1: the regional compute resources per
+// model size, extended with the batch size and training strategy Photon's
+// heuristics select for each silo.
+func Table1(w io.Writer, _ Scale) error {
+	fprintf(w, "Table 1: computational resources of different regions\n")
+	graph := topo.WorldGraph()
+	cfgByName := map[string]nn.Config{"7B": nn.Config7B, "3B": nn.Config3B,
+		"1.3B": nn.Config1B, "125M": nn.Config125M}
+	headers := []string{"Size", "Agg", "Region", "Clients x GPUs", "WAN Gbps", "Batch/GPU", "Strategy"}
+	var rows [][]string
+	for _, d := range hw.Table1Deployments() {
+		cfg := cfgByName[d.ModelName]
+		for _, rs := range d.Silos {
+			wan := graph.Bandwidth(d.AggRegion, rs.Region)
+			silo := hw.SiloForRegion(rs, wan)
+			strat, err := hw.SelectStrategy(cfg, silo)
+			stratStr := "n/a"
+			if err == nil {
+				stratStr = strat.String()
+			}
+			batch := hw.CalcBatchSize(cfg, hw.H100, rs.GPUsPerClient)
+			rows = append(rows, []string{
+				d.ModelName, d.AggRegion, rs.Region,
+				fmt.Sprintf("%d x %d H100", rs.Clients, rs.GPUsPerClient),
+				f1(wan), fmt.Sprintf("%d", batch), stratStr,
+			})
+		}
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// table2Row holds the measured inputs for one Table 2 model size: the
+// effective optimization step counts are backed out of the paper's reported
+// compute hours and Appendix B.1 throughputs (steps = hours·3600·ν), and the
+// rest of the table is recomputed from the Eq. 1–6 wall-time model so the
+// ratios are model outputs, not copied numbers.
+type table2Row struct {
+	name               string
+	cfg                nn.Config
+	k                  int     // clients / data-parallel workers (Table 1)
+	gpusPerClient      int     // GPUs per client (Table 1)
+	stepsFed, stepsCen int     // effective optimization steps
+	nuFed, nuCen       float64 // batches/s (Appendix B.1)
+	batchFed, batchCen int     // per-step batch sizes (Table 5)
+	paperWallCen       float64 // paper-reported hours, for comparison
+	paperWallFed       float64
+}
+
+func table2Rows() []table2Row {
+	return []table2Row{
+		{name: "1.3B", cfg: nn.Config1B, k: 8, gpusPerClient: 2,
+			stepsFed: 9526, stepsCen: 19632, nuFed: 0.147, nuCen: 0.839,
+			batchFed: 512, batchCen: 512, paperWallCen: 26.7, paperWallFed: 18.02},
+		{name: "3B", cfg: nn.Config3B, k: 4, gpusPerClient: 4,
+			stepsFed: 13012, stepsCen: 22894, nuFed: 0.144, nuCen: 0.395,
+			batchFed: 512, batchCen: 512, paperWallCen: 56.6, paperWallFed: 25.2},
+		{name: "7B", cfg: nn.Config7B, k: 4, gpusPerClient: 8,
+			stepsFed: 11001, stepsCen: 21902, nuFed: 0.032, nuCen: 0.12,
+			batchFed: 1024, batchCen: 1024, paperWallCen: 147.9, paperWallFed: 95.6},
+	}
+}
+
+// table2Times computes the Appendix B.1 wall and communication times (in
+// seconds) for one Table 2 size: federated (RAR every τ steps) versus
+// centralized DDP (RAR every step) over the fixed slowest link.
+func table2Times(r table2Row, tau int, bandwidthGbps float64) (fedWall, fedComm, cenWall, cenComm float64) {
+	s := hw.ModelSizeMB(r.cfg)
+	b := topo.GbpsToMBps(bandwidthGbps)
+	cen := topo.Model{ModelSizeMB: s, BandwidthMBps: b, Throughput: r.nuCen, LocalSteps: 1}
+	cenComm = float64(r.stepsCen) * cen.CommTime(topo.RAR, r.k)
+	cenWall = float64(r.stepsCen)/r.nuCen + cenComm
+
+	fedM := topo.Model{ModelSizeMB: s, BandwidthMBps: b, Throughput: r.nuFed, LocalSteps: tau}
+	rounds := (r.stepsFed + tau - 1) / tau
+	fedComm = float64(rounds) * fedM.CommTime(topo.RAR, r.k)
+	fedWall = float64(r.stepsFed)/r.nuFed + fedComm
+	return fedWall, fedComm, cenWall, cenComm
+}
+
+// Table2 reproduces the paper's Table 2: wall/compute/communication time for
+// billion-scale models under federated (τ=500, RAR every round) versus
+// centralized DDP (RAR every step) over a fixed 10 Gbps slowest link, plus
+// GPU utilization and MFU from the hardware model.
+func Table2(w io.Writer, _ Scale) error {
+	const (
+		tau           = 500 // local steps per round (Table 6)
+		bandwidthGbps = 10  // fixed slowest link (Table 2 caption)
+	)
+	fprintf(w, "Table 2: system metrics, federated vs centralized (RAR @ %d Gbps, τ=%d)\n", bandwidthGbps, tau)
+	headers := []string{"Model", "Wall[h]", "(x)", "Compute[h]", "Comm[h]", "(x)", "Util[%]", "MFU", "PaperWall[h]"}
+	var rows [][]string
+	for _, r := range table2Rows() {
+		fedWall, fedComm, cenWall, cenComm := table2Times(r, tau, bandwidthGbps)
+		fedCompute := fedWall - fedComm
+		cenCompute := cenWall - cenComm
+
+		toH := func(sec float64) float64 { return sec / 3600 }
+		utilCen := 100 * hw.Utilization(r.batchCen/(r.k*r.gpusPerClient))
+		utilFed := 100 * hw.Utilization(r.batchFed/r.k/r.gpusPerClient)
+		mfuCen := hw.MFU(r.cfg, hw.H100, r.k*r.gpusPerClient, r.nuCen, r.batchCen)
+		mfuFed := hw.MFU(r.cfg, hw.H100, r.gpusPerClient, r.nuFed, r.batchFed/r.k)
+
+		rows = append(rows,
+			[]string{"Cen-" + r.name, f1(toH(cenWall)), "1x", f1(toH(cenCompute)),
+				f1(toH(cenComm)), "1x", f1(utilCen), f3(mfuCen), f1(r.paperWallCen)},
+			[]string{"Fed-" + r.name, f1(toH(fedWall)),
+				fmt.Sprintf("%.2fx", fedWall/cenWall), f1(toH(fedCompute)),
+				f3(toH(fedComm)), fmt.Sprintf("%.4fx", fedComm/cenComm),
+				f1(utilFed), f3(mfuFed), f1(r.paperWallFed)},
+		)
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	fprintf(w, "\nCommunication-step reduction: federated syncs every τ=%d steps → %dx fewer communications than DDP.\n", 500, 500)
+	return nil
+}
+
+// Table4 reproduces the paper's Table 4: architecture details per model
+// size, with exact parameter counts from the implemented architecture.
+func Table4(w io.Writer, _ Scale) error {
+	fprintf(w, "Table 4: architecture details\n")
+	headers := []string{"Size", "#Blocks", "d", "#Heads", "Exp", "(β1,β2)", "|Vocab|", "l", "Params", "Wire[MB]"}
+	var rows [][]string
+	for _, cfg := range nn.PaperConfigs() {
+		rows = append(rows, []string{
+			cfg.Name, fmt.Sprintf("%d", cfg.Blocks), fmt.Sprintf("%d", cfg.Dim),
+			fmt.Sprintf("%d", cfg.Heads), fmt.Sprintf("%d", cfg.ExpRatio),
+			fmt.Sprintf("(%.1f,%.2f)", cfg.Beta1, cfg.Beta2),
+			fmt.Sprintf("%d", cfg.VocabSize), fmt.Sprintf("%d", cfg.SeqLen),
+			fmt.Sprintf("%d", cfg.ParamCount()), f1(hw.ModelSizeMB(cfg)),
+		})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// hyper5 is one Table 5 row.
+type hyper5 struct {
+	size               string
+	etaS               string
+	muS                string
+	alpha              float64
+	etaMax             float64
+	tFed, tCen         int
+	batchFed, batchCen int
+}
+
+func table5Rows() []hyper5 {
+	return []hyper5{
+		{"125M", "{0,0.1,0.3,0.5,0.7,1.0}", "{0.9,0}", 0.1, 6.0e-4, 40960, 5120, 32, 256},
+		{"1.3B", "1.0", "0.0", 0.1, 2e-4, 24800, 24800, 512, 512},
+		{"3B", "1.0", "0.0", 0.1, 1.6e-4, 51500, 51500, 512, 512},
+		{"7B", "1.0", "0.0", 0.1, 1.2e-4, 63900, 63900, 1024, 1024},
+	}
+}
+
+// Table5 reproduces the paper's Table 5 hyperparameters and checks the
+// Appendix C.1 schedule-extension relationship: for the 125M model the
+// federated decay period T equals Tcent·(Bcent/Bl) = 5120·(256/32) = 40960.
+func Table5(w io.Writer, _ Scale) error {
+	fprintf(w, "Table 5: experiment hyperparameters\n")
+	headers := []string{"Model", "ηs", "µs", "α", "ηmax", "T", "Tcent", "Batch", "BatchCent"}
+	var rows [][]string
+	for _, r := range table5Rows() {
+		rows = append(rows, []string{r.size, r.etaS, r.muS,
+			fmt.Sprintf("%g", r.alpha), fmt.Sprintf("%g", r.etaMax),
+			fmt.Sprintf("%d", r.tFed), fmt.Sprintf("%d", r.tCen),
+			fmt.Sprintf("%d", r.batchFed), fmt.Sprintf("%d", r.batchCen)})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	r125 := table5Rows()[0]
+	extended := r125.tCen * r125.batchCen / r125.batchFed
+	fprintf(w, "\nSchedule extension check (Appendix C.1): T = Tcent·Bcent/Bl = %d·%d/%d = %d (paper: %d)\n",
+		r125.tCen, r125.batchCen, r125.batchFed, extended, r125.tFed)
+	return nil
+}
+
+// Table6 reproduces the paper's Table 6: federated experiment configuration
+// (population P, clients per round K, dataset, local steps τ).
+func Table6(w io.Writer, _ Scale) error {
+	fprintf(w, "Table 6: federated experiment hyperparameters\n")
+	headers := []string{"Model", "P", "K", "Dataset", "τ"}
+	rows := [][]string{
+		{"125M", "{1,2,4,8,16}", "{1,2,4,8,16}", "C4, The Pile", "{64,128,512}"},
+		{"1.3B", "8", "8", "C4", "500"},
+		{"3B", "4", "4", "C4", "500"},
+		{"7B", "4", "4", "C4", "500"},
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package ckpt implements Photon's checkpointing: the aggregator snapshots
+// the global model at every round boundary (Algorithm 1 line 11, "async
+// checkpointing"), and each LLM client keeps a local checkpoint for fast
+// recovery (line 26). Writes are atomic (temp file + rename) so a crash can
+// never leave a truncated checkpoint in place, and the async writer keeps
+// checkpointing off the training critical path with latest-wins semantics.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoint is one recoverable training state: the flat parameter vector
+// plus round/step counters and scalar metadata.
+type Checkpoint struct {
+	Round  int
+	Step   int
+	Meta   map[string]float64
+	Params []float32
+}
+
+const (
+	magic   = 0x50434B50 // "PCKP"
+	version = 1
+)
+
+// Save writes the checkpoint atomically: the bytes land in a temp file in
+// the same directory, are fsynced, and are renamed over path.
+func Save(path string, c *Checkpoint) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	writeU32 := func(v uint32) { binary.Write(mw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(mw, binary.LittleEndian, v) }
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err = w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	writeU64(uint64(c.Round))
+	writeU64(uint64(c.Step))
+	keys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeU32(uint32(len(keys)))
+	for _, k := range keys {
+		writeU32(uint32(len(k)))
+		mw.Write([]byte(k))
+		writeU64(math.Float64bits(c.Meta[k]))
+	}
+	writeU32(uint32(len(c.Params)))
+	buf := make([]byte, 4)
+	for _, v := range c.Params {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err = mw.Write(buf); err != nil {
+			return fmt.Errorf("ckpt: write params: %w", err)
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err = w.Write(sum[:]); err != nil {
+		return fmt.Errorf("ckpt: write checksum: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("ckpt: flush: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint written by Save.
+func Load(path string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read: %w", err)
+	}
+	if len(raw) < 8+16+4+4+4 {
+		return nil, fmt.Errorf("ckpt: file too short (%d bytes)", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[0:]) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d", v)
+	}
+	body := raw[8 : len(raw)-4]
+	wantCRC := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("ckpt: checksum mismatch")
+	}
+
+	off := 0
+	need := func(n int) error {
+		if off+n > len(body) {
+			return fmt.Errorf("ckpt: truncated body")
+		}
+		return nil
+	}
+	c := &Checkpoint{}
+	if err := need(16); err != nil {
+		return nil, err
+	}
+	c.Round = int(binary.LittleEndian.Uint64(body[off:]))
+	c.Step = int(binary.LittleEndian.Uint64(body[off+8:]))
+	off += 16
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nMeta := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if nMeta > 0 {
+		c.Meta = make(map[string]float64, nMeta)
+	}
+	for i := 0; i < nMeta; i++ {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		kLen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if err := need(kLen + 8); err != nil {
+			return nil, err
+		}
+		k := string(body[off : off+kLen])
+		off += kLen
+		c.Meta[k] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if err := need(4 * n); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		c.Params = make([]float32, n)
+		for i := range c.Params {
+			c.Params[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	return c, nil
+}
+
+// AsyncWriter checkpoints in a background goroutine with latest-wins
+// semantics: if training produces rounds faster than the disk can absorb,
+// intermediate snapshots are skipped rather than queued.
+type AsyncWriter struct {
+	path string
+
+	mu      sync.Mutex
+	pending *Checkpoint
+	lastErr error
+	kick    chan struct{}
+	done    chan struct{}
+	closed  bool
+}
+
+// NewAsyncWriter starts the background writer for path.
+func NewAsyncWriter(path string) *AsyncWriter {
+	w := &AsyncWriter{
+		path: path,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *AsyncWriter) loop() {
+	defer close(w.done)
+	for range w.kick {
+		for {
+			w.mu.Lock()
+			c := w.pending
+			w.pending = nil
+			w.mu.Unlock()
+			if c == nil {
+				break
+			}
+			if err := Save(w.path, c); err != nil {
+				w.mu.Lock()
+				w.lastErr = err
+				w.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Submit schedules a checkpoint; a previously queued, unwritten snapshot is
+// replaced. The checkpoint must not be mutated after submission.
+func (w *AsyncWriter) Submit(c *Checkpoint) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.pending = c
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close flushes the final pending checkpoint and returns the last write
+// error, if any.
+func (w *AsyncWriter) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.kick)
+	<-w.done
+	// The loop may have exited between draining and close; flush directly.
+	w.mu.Lock()
+	c, err := w.pending, w.lastErr
+	w.pending = nil
+	w.mu.Unlock()
+	if c != nil {
+		if serr := Save(w.path, c); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

@@ -1,0 +1,176 @@
+package ckpt
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Round:  12,
+		Step:   6144,
+		Meta:   map[string]float64{"ppl": 34.5, "lr": 6e-4},
+		Params: []float32{1, -2.5, 3.25, 0},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	want := sampleCheckpoint()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\n  want %+v\n  got  %+v", want, got)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := Save(path, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := sampleCheckpoint()
+	c2.Round = 99
+	if err := Save(path, c2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 99 {
+		t.Fatalf("overwrite lost: round %d", got.Round)
+	}
+	// No stray temp files.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	if len(entries) != 1 {
+		t.Fatalf("leftover temp files: %d entries", len(entries))
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := Save(path, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+
+	cases := map[string][]byte{
+		"bitflip":   append([]byte{}, raw...),
+		"truncated": raw[:len(raw)-5],
+		"badmagic":  append([]byte{}, raw...),
+		"short":     {1, 2, 3},
+	}
+	cases["bitflip"][len(raw)/2] ^= 0x01
+	cases["badmagic"][0] ^= 0xFF
+	for name, data := range cases {
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: corrupted checkpoint accepted", name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEmptyCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ckpt")
+	if err := Save(path, &Checkpoint{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 0 || got.Params != nil || got.Meta != nil {
+		t.Fatalf("empty checkpoint mangled: %+v", got)
+	}
+}
+
+func TestAsyncWriterFlushesOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "async.ckpt")
+	w := NewAsyncWriter(path)
+	for r := 1; r <= 20; r++ {
+		c := sampleCheckpoint()
+		c.Round = r
+		w.Submit(c)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latest-wins: the final state must be round 20 (intermediates may be
+	// skipped, but the last submission must survive Close).
+	if got.Round != 20 {
+		t.Fatalf("final round: got %d want 20", got.Round)
+	}
+	// Close is idempotent.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Submissions after Close are ignored without panicking.
+	w.Submit(sampleCheckpoint())
+}
+
+func TestAsyncWriterReportsErrors(t *testing.T) {
+	w := NewAsyncWriter(filepath.Join(t.TempDir(), "no-such-dir", "x.ckpt"))
+	w.Submit(sampleCheckpoint())
+	if err := w.Close(); err == nil {
+		t.Fatal("write into missing directory should error")
+	}
+}
+
+// Property: save/load is lossless for arbitrary parameter vectors.
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := &Checkpoint{
+			Round:  rng.Intn(1000),
+			Step:   rng.Intn(100000),
+			Params: make([]float32, rng.Intn(300)),
+		}
+		for i := range c.Params {
+			c.Params[i] = float32(rng.NormFloat64())
+		}
+		path := filepath.Join(dir, "p.ckpt")
+		if err := Save(path, c); err != nil {
+			return false
+		}
+		got, err := Load(path)
+		if err != nil {
+			return false
+		}
+		if got.Round != c.Round || got.Step != c.Step || len(got.Params) != len(c.Params) {
+			return false
+		}
+		for i := range c.Params {
+			if got.Params[i] != c.Params[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

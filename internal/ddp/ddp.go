@@ -1,0 +1,197 @@
+package ddp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"photon/internal/data"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+	"photon/internal/topo"
+)
+
+// Config describes a centralized training run (Algorithm 2). Workers = 1 is
+// plain single-worker training; Workers > 1 is synchronous DDP with a
+// Ring-AllReduce gradient average every step.
+type Config struct {
+	ModelConfig nn.Config
+	Seed        int64
+
+	Steps     int
+	Workers   int
+	BatchSize int // per-worker micro-batch; global batch = Workers·BatchSize
+	SeqLen    int
+	Schedule  opt.Schedule
+	ClipNorm  float64
+	// NewOptimizer builds one optimizer per worker (identical construction
+	// keeps replicas in lockstep). Nil defaults to AdamW with the model
+	// config's betas and 0.01 weight decay.
+	NewOptimizer func() opt.Optimizer
+
+	// Streams provides each worker's data; length must equal Workers.
+	Streams []data.Stream
+
+	Validation *data.ValidationSet
+	EvalEvery  int // evaluate every this many steps (0 → every 50)
+	StopAtPPL  float64
+
+	// TimeModel, when set, accrues simulated wall time with the DDP cost
+	// structure: local compute per step plus a per-step RAR gradient
+	// exchange among Workers.
+	TimeModel *topo.Model
+}
+
+func (c *Config) validate() error {
+	if err := c.ModelConfig.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Steps <= 0:
+		return fmt.Errorf("ddp: Steps must be positive, got %d", c.Steps)
+	case c.Workers <= 0:
+		return fmt.Errorf("ddp: Workers must be positive, got %d", c.Workers)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("ddp: BatchSize must be positive, got %d", c.BatchSize)
+	case c.SeqLen <= 0:
+		return fmt.Errorf("ddp: SeqLen must be positive, got %d", c.SeqLen)
+	case c.Schedule == nil:
+		return fmt.Errorf("ddp: Schedule must be set")
+	case len(c.Streams) != c.Workers:
+		return fmt.Errorf("ddp: %d streams for %d workers", len(c.Streams), c.Workers)
+	}
+	return nil
+}
+
+// Result is a finished centralized run.
+type Result struct {
+	History    *metrics.History
+	FinalModel *nn.Model
+}
+
+// Run executes Algorithm 2: all workers start from the same initialization,
+// and every step computes local gradients, averages them with a real
+// concurrent Ring-AllReduce, and applies identical optimizer updates, so the
+// replicas remain bit-identical throughout (verified in tests).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	initRng := rand.New(rand.NewSource(cfg.Seed))
+	master := nn.NewModel(cfg.ModelConfig, initRng)
+	init := master.Params().Flatten(nil)
+
+	workers := make([]*nn.Model, cfg.Workers)
+	opts := make([]opt.Optimizer, cfg.Workers)
+	newOpt := cfg.NewOptimizer
+	if newOpt == nil {
+		mc := cfg.ModelConfig
+		newOpt = func() opt.Optimizer { return opt.NewAdamW(mc.Beta1, mc.Beta2, 0.01) }
+	}
+	for w := range workers {
+		workers[w] = nn.NewModel(cfg.ModelConfig, rand.New(rand.NewSource(1)))
+		if err := workers[w].Params().LoadFlat(init); err != nil {
+			return nil, err
+		}
+		opts[w] = newOpt()
+	}
+
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 50
+	}
+	hist := &metrics.History{}
+	simTime := 0.0
+	losses := make([]float64, cfg.Workers)
+	grads := make([][]float32, cfg.Workers)
+
+	for step := 1; step <= cfg.Steps; step++ {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				batch := cfg.Streams[w].NextBatch(cfg.BatchSize, cfg.SeqLen)
+				workers[w].Params().ZeroGrads()
+				losses[w] = workers[w].ForwardBackward(batch)
+				grads[w] = flattenGrads(workers[w].Params(), grads[w])
+			}(w)
+		}
+		wg.Wait()
+
+		if err := RingAllReduce(grads); err != nil {
+			return nil, err
+		}
+		invN := 1 / float32(cfg.Workers)
+		lr := cfg.Schedule.LR(step - 1)
+		var meanLoss float64
+		for _, l := range losses {
+			meanLoss += l / float64(cfg.Workers)
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			loadGrads(workers[w].Params(), grads[w], invN)
+			if cfg.ClipNorm > 0 {
+				workers[w].Params().ClipGradNorm(cfg.ClipNorm)
+			}
+			opts[w].Step(workers[w].Params(), lr)
+		}
+
+		if cfg.TimeModel != nil {
+			tm := *cfg.TimeModel
+			tm.LocalSteps = 1
+			simTime += tm.LocalComputeTime() + tm.CommTime(topo.RAR, cfg.Workers)
+		}
+
+		if step%evalEvery == 0 || step == cfg.Steps {
+			rec := metrics.Round{Round: step, TrainLoss: meanLoss, SimSeconds: simTime, Clients: cfg.Workers}
+			if cfg.Validation != nil {
+				rec.ValPPL = cfg.Validation.Evaluate(workers[0])
+			}
+			hist.Append(rec)
+			if cfg.StopAtPPL > 0 && rec.ValPPL > 0 && rec.ValPPL <= cfg.StopAtPPL {
+				break
+			}
+		}
+	}
+	return &Result{History: hist, FinalModel: workers[0]}, nil
+}
+
+func flattenGrads(ps nn.ParamSet, dst []float32) []float32 {
+	n := ps.NumElements()
+	if len(dst) != n {
+		dst = make([]float32, n)
+	}
+	off := 0
+	for _, p := range ps {
+		copy(dst[off:], p.Grad)
+		off += len(p.Grad)
+	}
+	return dst
+}
+
+func loadGrads(ps nn.ParamSet, src []float32, scale float32) {
+	off := 0
+	for _, p := range ps {
+		for i := range p.Grad {
+			p.Grad[i] = src[off+i] * scale
+		}
+		off += len(p.Grad)
+	}
+}
+
+// ParamsEqual reports whether two models hold bit-identical parameters —
+// the DDP synchronization invariant.
+func ParamsEqual(a, b *nn.Model) bool {
+	fa := a.Params().Flatten(nil)
+	fb := b.Params().Flatten(nil)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,263 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"photon/internal/ckpt"
+	"photon/internal/data"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/topo"
+)
+
+// Sampler selects the client cohort for a round.
+type Sampler interface {
+	// Sample returns the indices of the clients participating in the round.
+	Sample(rng *rand.Rand, population, k int) []int
+}
+
+// UniformSampler draws K distinct clients uniformly (Algorithm 1 line 4).
+type UniformSampler struct{}
+
+// Sample implements Sampler via a partial Fisher-Yates shuffle.
+func (UniformSampler) Sample(rng *rand.Rand, population, k int) []int {
+	if k > population {
+		k = population
+	}
+	perm := rng.Perm(population)
+	return perm[:k]
+}
+
+// RunConfig configures a federated training run in the in-process simulator.
+type RunConfig struct {
+	ModelConfig nn.Config
+	Seed        int64
+
+	Rounds          int
+	ClientsPerRound int // K
+	Clients         []*Client
+	Outer           OuterOpt
+	Spec            LocalSpec
+	Sampler         Sampler // nil → UniformSampler
+
+	// Validation is evaluated on the global model every EvalEvery rounds
+	// (and always on the final round). Nil disables evaluation.
+	Validation *data.ValidationSet
+	EvalEvery  int
+
+	// Post is the update post-processing pipeline (Algorithm 1 line 27).
+	Post link.Pipeline
+
+	// DropoutProb injects client failure: each sampled client independently
+	// fails to return its update with this probability. The aggregator
+	// applies a partial update from survivors (the PS/AR behavior).
+	DropoutProb float64
+
+	// TimeModel, when set, accrues simulated wall-clock time per round under
+	// Topology, populating History.SimSeconds (Appendix B.1 model).
+	TimeModel *topo.Model
+	Topology  topo.Topology
+
+	// CheckpointPath, when non-empty, asynchronously checkpoints the global
+	// model each round (Algorithm 1 line 11).
+	CheckpointPath string
+
+	// InitParams, when non-nil, initializes the global model from a prior
+	// checkpoint instead of the seed (crash recovery / warm start). Its
+	// length must match the model's parameter count.
+	InitParams []float32
+
+	// StartRound offsets round numbering and the schedule step base when
+	// resuming from a checkpoint (the first executed round is StartRound+1).
+	StartRound int
+
+	// StopAtPPL ends training early once validation reaches the target
+	// (0 disables early stopping).
+	StopAtPPL float64
+}
+
+func (c *RunConfig) validate() error {
+	if err := c.ModelConfig.Validate(); err != nil {
+		return err
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("fed: Rounds must be positive, got %d", c.Rounds)
+	case len(c.Clients) == 0:
+		return fmt.Errorf("fed: no clients")
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("fed: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	case c.Outer == nil:
+		return fmt.Errorf("fed: Outer optimizer must be set")
+	}
+	return nil
+}
+
+// Result bundles a finished run.
+type Result struct {
+	History *metrics.History
+	// Global is the final global parameter vector.
+	Global []float32
+	// FinalModel holds the final parameters, ready for evaluation.
+	FinalModel *nn.Model
+}
+
+// Run executes Algorithm 1 in a single process: the global model is
+// initialized from the seed, and each round samples a cohort, trains all
+// cohort clients concurrently (each in its own goroutine with its own model
+// replica and data stream), aggregates surviving updates into a
+// pseudo-gradient, and applies the outer optimizer. It is deterministic for
+// a fixed config.
+func Run(cfg RunConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	globalModel := nn.NewModel(cfg.ModelConfig, rng)
+	if cfg.InitParams != nil {
+		if err := globalModel.Params().LoadFlat(cfg.InitParams); err != nil {
+			return nil, fmt.Errorf("fed: InitParams: %w", err)
+		}
+	}
+	global := globalModel.Params().Flatten(nil)
+
+	sampler := cfg.Sampler
+	if sampler == nil {
+		sampler = UniformSampler{}
+	}
+	var writer *ckpt.AsyncWriter
+	if cfg.CheckpointPath != "" {
+		writer = ckpt.NewAsyncWriter(cfg.CheckpointPath)
+		defer writer.Close()
+	}
+
+	hist := &metrics.History{}
+	simTime := 0.0
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	for round := cfg.StartRound + 1; round <= cfg.StartRound+cfg.Rounds; round++ {
+		cohortIdx := sampler.Sample(rng, len(cfg.Clients), cfg.ClientsPerRound)
+		// Draw dropout decisions up front so parallel execution stays
+		// deterministic.
+		dropped := make([]bool, len(cohortIdx))
+		for i := range dropped {
+			dropped[i] = cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb
+		}
+
+		type outcome struct {
+			res RoundResult
+			err error
+			ok  bool
+		}
+		outcomes := make([]outcome, len(cohortIdx))
+		stepBase := (round - 1) * cfg.Spec.Steps
+		var wg sync.WaitGroup
+		for i, ci := range cohortIdx {
+			if dropped[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				res, err := c.RunRound(global, stepBase, cfg.Spec)
+				outcomes[i] = outcome{res: res, err: err, ok: err == nil}
+			}(i, cfg.Clients[ci])
+		}
+		wg.Wait()
+
+		var updates [][]float32
+		var clientMetrics []map[string]float64
+		lossAware, _ := sampler.(LossAware)
+		for i := range outcomes {
+			o := outcomes[i]
+			if !o.ok {
+				if o.err != nil {
+					return nil, fmt.Errorf("fed: round %d client %s: %w", round, cfg.Clients[cohortIdx[i]].ID, o.err)
+				}
+				continue // dropped client
+			}
+			upd := o.res.Update
+			if len(cfg.Post) > 0 {
+				var err error
+				upd, err = cfg.Post.Apply(upd)
+				if err != nil {
+					// A rejected update (e.g. NaN guard) is treated as a
+					// dropout: the round proceeds with survivors.
+					continue
+				}
+			}
+			updates = append(updates, upd)
+			clientMetrics = append(clientMetrics, o.res.Metrics)
+			if lossAware != nil {
+				lossAware.ObserveLoss(cohortIdx[i], o.res.Metrics["loss"])
+			}
+		}
+
+		rec := metrics.Round{Round: round, Clients: len(updates)}
+		if len(updates) > 0 {
+			var delta []float32
+			var err error
+			if ca, ok := cfg.Outer.(CohortAggregator); ok {
+				delta, err = ca.Aggregate(updates)
+			} else {
+				delta, err = MeanDelta(updates)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cfg.Outer.Step(global, delta, round)
+			rec.UpdateNorm = norm2(delta)
+			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
+		}
+
+		if cfg.TimeModel != nil {
+			simTime += cfg.TimeModel.RoundTime(cfg.Topology, len(cohortIdx))
+		}
+		rec.SimSeconds = simTime
+
+		if cfg.Validation != nil && (round%evalEvery == 0 || round == cfg.StartRound+cfg.Rounds) {
+			if err := globalModel.Params().LoadFlat(global); err != nil {
+				return nil, err
+			}
+			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
+		}
+		hist.Append(rec)
+
+		if writer != nil {
+			snapshot := make([]float32, len(global))
+			copy(snapshot, global)
+			writer.Submit(&ckpt.Checkpoint{
+				Round:  round,
+				Step:   round * cfg.Spec.Steps,
+				Meta:   map[string]float64{"ppl": rec.ValPPL, "loss": rec.TrainLoss},
+				Params: snapshot,
+			})
+		}
+		if cfg.StopAtPPL > 0 && rec.ValPPL > 0 && rec.ValPPL <= cfg.StopAtPPL {
+			break
+		}
+	}
+
+	if err := globalModel.Params().LoadFlat(global); err != nil {
+		return nil, err
+	}
+	return &Result{History: hist, Global: global, FinalModel: globalModel}, nil
+}
+
+func norm2(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

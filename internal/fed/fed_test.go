@@ -1,0 +1,429 @@
+package fed
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"photon/internal/ckpt"
+	"photon/internal/data"
+	"photon/internal/link"
+	"photon/internal/nn"
+	"photon/internal/opt"
+	"photon/internal/topo"
+)
+
+func tinyCfg() nn.Config {
+	c := nn.ConfigTiny
+	c.SeqLen = 16
+	return c
+}
+
+func tinySpec() LocalSpec {
+	return LocalSpec{
+		Steps:     4,
+		BatchSize: 4,
+		SeqLen:    16,
+		Schedule:  opt.Constant(3e-3),
+		ClipNorm:  1.0,
+	}
+}
+
+func makeClients(t *testing.T, cfg nn.Config, n int) []*Client {
+	t.Helper()
+	part, err := data.IIDPartition(data.C4Like(cfg.VocabSize), n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
+			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+	}
+	return clients
+}
+
+func baseRun(t *testing.T, mutate func(*RunConfig)) RunConfig {
+	t.Helper()
+	cfg := RunConfig{
+		ModelConfig:     tinyCfg(),
+		Seed:            1,
+		Rounds:          6,
+		ClientsPerRound: 4,
+		Clients:         makeClients(t, tinyCfg(), 4),
+		Outer:           FedAvg{},
+		Spec:            tinySpec(),
+		Validation:      data.NewValidationSet(data.C4Like(tinyCfg().VocabSize), 8, 16, 999),
+		EvalEvery:       2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func TestFedAvgIsClientMean(t *testing.T) {
+	// With ηs = 1, one round of FedAvg must set the global model to the
+	// exact mean of the client models.
+	global := []float32{10, 10}
+	clientParams := [][]float32{{8, 12}, {6, 10}}
+	updates := make([][]float32, len(clientParams))
+	for i, cp := range clientParams {
+		updates[i] = []float32{global[0] - cp[0], global[1] - cp[1]}
+	}
+	delta, err := MeanDelta(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FedAvg{}.Step(global, delta, 1)
+	if global[0] != 7 || global[1] != 11 {
+		t.Fatalf("FedAvg(1.0) should average client models: got %v", global)
+	}
+}
+
+func TestMeanDeltaErrors(t *testing.T) {
+	if _, err := MeanDelta(nil); err == nil {
+		t.Fatal("empty updates accepted")
+	}
+	if _, err := MeanDelta([][]float32{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged updates accepted")
+	}
+}
+
+func TestFedMomAccumulates(t *testing.T) {
+	fm := NewFedMom(1.0, 0.9)
+	g1 := []float32{0}
+	fm.Step(g1, []float32{1}, 1)
+	first := g1[0]
+	fm.Step(g1, []float32{1}, 2)
+	second := g1[0] - first
+	// Second step moves further than the first (velocity build-up):
+	// |Δ2| = 1 + 0.9 > |Δ1| = 1.
+	if !(math.Abs(float64(second)) > math.Abs(float64(first))) {
+		t.Fatalf("momentum should accelerate: step1 %v step2 %v", first, second)
+	}
+}
+
+func TestDiLoCoNesterovForm(t *testing.T) {
+	d := NewDiLoCo(0.1, 0.9)
+	g := []float32{0}
+	d.Step(g, []float32{1}, 1)
+	// First Nesterov step: v=1, update = 0.1*(1 + 0.9*1) = 0.19.
+	if math.Abs(float64(g[0])+0.19) > 1e-6 {
+		t.Fatalf("first DiLoCo step: got %v want -0.19", g[0])
+	}
+	// DiLoCo(0.1) must take much smaller early steps than FedAvg.
+	g2 := []float32{0}
+	FedAvg{}.Step(g2, []float32{1}, 1)
+	if math.Abs(float64(g[0])) >= math.Abs(float64(g2[0])) {
+		t.Fatal("DiLoCo(0.1) early step should be smaller than FedAvg")
+	}
+}
+
+func TestLocalSpecValidate(t *testing.T) {
+	good := tinySpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, mutate := range []func(*LocalSpec){
+		func(s *LocalSpec) { s.Steps = 0 },
+		func(s *LocalSpec) { s.BatchSize = 0 },
+		func(s *LocalSpec) { s.SeqLen = 0 },
+		func(s *LocalSpec) { s.Schedule = nil },
+	} {
+		s := tinySpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestClientRunRoundProducesUpdate(t *testing.T) {
+	cfg := tinyCfg()
+	c := makeClients(t, cfg, 1)[0]
+	global := nn.NewModel(cfg, rand.New(rand.NewSource(3))).Params().Flatten(nil)
+	res, err := c.RunRound(global, 0, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Update) != len(global) {
+		t.Fatalf("update length %d != %d", len(res.Update), len(global))
+	}
+	var n float64
+	for _, v := range res.Update {
+		n += float64(v) * float64(v)
+	}
+	if n == 0 {
+		t.Fatal("training produced a zero update")
+	}
+	if res.Metrics["steps"] != 4 || res.Metrics["loss"] <= 0 {
+		t.Fatalf("bad metrics: %v", res.Metrics)
+	}
+}
+
+func TestClientWrongGlobalSize(t *testing.T) {
+	c := makeClients(t, tinyCfg(), 1)[0]
+	if _, err := c.RunRound([]float32{1, 2, 3}, 0, tinySpec()); err == nil {
+		t.Fatal("mismatched global vector accepted")
+	}
+}
+
+func TestSubFederationEqualsMeanOfNodes(t *testing.T) {
+	cfg := tinyCfg()
+	nodes := makeClients(t, cfg, 2)
+	parent := &Client{ID: "silo", SubNodes: nodes}
+	global := nn.NewModel(cfg, rand.New(rand.NewSource(5))).Params().Flatten(nil)
+	spec := tinySpec()
+
+	res, err := parent.RunRound(global, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: run the same nodes independently (fresh streams/state).
+	refNodes := makeClients(t, cfg, 2)
+	r0, err := refNodes[0].RunRound(global, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := refNodes[1].RunRound(global, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Update {
+		want := (r0.Update[i] + r1.Update[i]) / 2
+		if math.Abs(float64(res.Update[i]-want)) > 1e-5 {
+			t.Fatalf("sub-federation update[%d] = %v, want mean %v", i, res.Update[i], want)
+		}
+	}
+	if res.Metrics["subnodes"] != 2 {
+		t.Fatalf("subnodes metric: %v", res.Metrics)
+	}
+}
+
+func TestRunConvergesAndIsDeterministic(t *testing.T) {
+	res1, err := Run(baseRun(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(baseRun(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.History, res2.History) {
+		t.Fatal("same config+seed produced different histories")
+	}
+	// Perplexity must improve from near-uniform (vocab 64 → ~64).
+	first := res1.History.Rounds[1].ValPPL // round 2 is the first eval
+	last := res1.History.FinalPPL()
+	if !(last < first) {
+		t.Fatalf("no convergence: %v -> %v", first, last)
+	}
+	if last > 55 {
+		t.Fatalf("final perplexity too high: %v", last)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	for i, mutate := range []func(*RunConfig){
+		func(c *RunConfig) { c.Rounds = 0 },
+		func(c *RunConfig) { c.Clients = nil },
+		func(c *RunConfig) { c.ClientsPerRound = 0 },
+		func(c *RunConfig) { c.Outer = nil },
+		func(c *RunConfig) { c.Spec.Steps = 0 },
+	} {
+		cfg := baseRun(t, mutate)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunFullDropoutSkipsUpdates(t *testing.T) {
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.DropoutProb = 1.0
+		c.Rounds = 3
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.History.Rounds {
+		if r.Clients != 0 || r.UpdateNorm != 0 {
+			t.Fatalf("round %d should have no surviving clients: %+v", r.Round, r)
+		}
+	}
+}
+
+func TestRunPartialDropoutStillConverges(t *testing.T) {
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.DropoutProb = 0.25
+		c.Rounds = 8
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalPPL() > 58 {
+		t.Fatalf("dropout run did not converge: %v", res.History.FinalPPL())
+	}
+}
+
+func TestRunSimulatedTime(t *testing.T) {
+	tm := &topo.Model{ModelSizeMB: 1, BandwidthMBps: 100, Throughput: 2, LocalSteps: 4}
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.TimeModel = tm
+		c.Topology = topo.RAR
+		c.Rounds = 3
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tm.RoundTime(topo.RAR, 4)
+	for i, r := range res.History.Rounds {
+		if math.Abs(r.SimSeconds-want*float64(i+1)) > 1e-9 {
+			t.Fatalf("round %d sim time %v, want %v", r.Round, r.SimSeconds, want*float64(i+1))
+		}
+	}
+}
+
+func TestRunStopAtPPL(t *testing.T) {
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.Rounds = 50
+		c.StopAtPPL = 60 // easy target: reached quickly
+		c.EvalEvery = 1
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() >= 50 {
+		t.Fatal("early stopping did not trigger")
+	}
+}
+
+func TestRunCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "global.ckpt")
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.CheckpointPath = path
+		c.Rounds = 3
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Round != 3 || len(c.Params) != len(res.Global) {
+		t.Fatalf("checkpoint round %d, %d params", c.Round, len(c.Params))
+	}
+	// The checkpoint must hold the final global parameters exactly.
+	for i := range c.Params {
+		if c.Params[i] != res.Global[i] {
+			t.Fatal("checkpoint params differ from final global model")
+		}
+	}
+}
+
+func TestRunPostPipelineClips(t *testing.T) {
+	res, err := Run(baseRun(t, func(c *RunConfig) {
+		c.Post = link.Pipeline{link.ClipL2{MaxNorm: 0.001}, link.NaNGuard{}}
+		c.Rounds = 2
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.History.Rounds {
+		if r.UpdateNorm > 0.0011 {
+			t.Fatalf("post-process clip not applied: norm %v", r.UpdateNorm)
+		}
+	}
+}
+
+func TestUniformSamplerProperties(t *testing.T) {
+	f := func(seed int64, popRaw, kRaw uint8) bool {
+		pop := 1 + int(popRaw)%20
+		k := 1 + int(kRaw)%25 // may exceed pop: must clamp
+		rng := rand.New(rand.NewSource(seed))
+		idx := (UniformSampler{}).Sample(rng, pop, k)
+		if len(idx) != min(k, pop) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= pop || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkedFederation(t *testing.T) {
+	cfg := tinyCfg()
+	l, err := link.Listen("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	spec := tinySpec()
+	clients := makeClients(t, cfg, 3)
+	for _, c := range clients {
+		go func(c *Client) {
+			conn, err := link.Dial(l.Addr(), true)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = ServeClient(conn, c, spec)
+		}(c)
+	}
+
+	res, err := Serve(l, ServerConfig{
+		ModelConfig:   cfg,
+		Seed:          11,
+		Rounds:        4,
+		ExpectClients: 3,
+		Outer:         FedAvg{},
+		Validation:    data.NewValidationSet(data.C4Like(cfg.VocabSize), 8, 16, 999),
+		EvalEvery:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() != 4 {
+		t.Fatalf("want 4 rounds, got %d", res.History.Len())
+	}
+	for _, r := range res.History.Rounds {
+		if r.Clients != 3 {
+			t.Fatalf("round %d: %d clients, want 3", r.Round, r.Clients)
+		}
+	}
+	if !(res.History.FinalPPL() < 64) {
+		t.Fatalf("networked run did not learn: ppl %v", res.History.FinalPPL())
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	l, err := link.Listen("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := Serve(l, ServerConfig{}); err == nil {
+		t.Fatal("empty server config accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"photon/internal/tensor"
+)
+
+// CohortAggregator is an optional OuterOpt extension: outer optimizers that
+// need the individual client updates (not just their mean) implement it, and
+// the Run loop feeds them the full cohort.
+type CohortAggregator interface {
+	// Aggregate reduces the cohort's updates (each θt − θt_k) to the round
+	// pseudo-gradient.
+	Aggregate(updates [][]float32) ([]float32, error)
+}
+
+// TiesMerge is the interference-resolving aggregation of Yadav et al.
+// (TIES-merging), which Section 6 suggests for heterogeneous data: each
+// client update is trimmed to its top-magnitude fraction, a per-coordinate
+// majority sign is elected by total magnitude, and only the values agreeing
+// with the elected sign are averaged. It applies the merged pseudo-gradient
+// with server learning rate LR.
+type TiesMerge struct {
+	LR   float64 // ηs; 0 means 1.0
+	Keep float64 // fraction of top-magnitude coordinates kept per client (0 → 0.2)
+}
+
+// Name implements OuterOpt.
+func (t *TiesMerge) Name() string { return "ties" }
+
+// Step implements OuterOpt.
+func (t *TiesMerge) Step(global, delta []float32, _ int) {
+	lr := t.LR
+	if lr == 0 {
+		lr = 1
+	}
+	tensor.Axpy(float32(-lr), delta, global)
+}
+
+// Aggregate implements CohortAggregator with trim → elect → disjoint merge.
+func (t *TiesMerge) Aggregate(updates [][]float32) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fed: ties: no updates")
+	}
+	n := len(updates[0])
+	keep := t.Keep
+	if keep <= 0 || keep > 1 {
+		keep = 0.2
+	}
+
+	trimmed := make([][]float32, len(updates))
+	for i, u := range updates {
+		if len(u) != n {
+			return nil, fmt.Errorf("fed: ties: ragged updates")
+		}
+		trimmed[i] = trimTopK(u, keep)
+	}
+	out := make([]float32, n)
+	for j := 0; j < n; j++ {
+		// Elect the sign carrying the most total magnitude.
+		var pos, neg float64
+		for i := range trimmed {
+			v := float64(trimmed[i][j])
+			if v > 0 {
+				pos += v
+			} else {
+				neg -= v
+			}
+		}
+		sign := float32(1)
+		if neg > pos {
+			sign = -1
+		}
+		// Disjoint merge: average contributors agreeing with the sign.
+		var sum float64
+		count := 0
+		for i := range trimmed {
+			v := trimmed[i][j]
+			if v != 0 && (v > 0) == (sign > 0) {
+				sum += float64(v)
+				count++
+			}
+		}
+		if count > 0 {
+			out[j] = float32(sum / float64(count))
+		}
+	}
+	return out, nil
+}
+
+// trimTopK returns a copy of u keeping only the keep-fraction of
+// largest-magnitude coordinates.
+func trimTopK(u []float32, keep float64) []float32 {
+	k := int(math.Ceil(keep * float64(len(u))))
+	if k >= len(u) {
+		out := make([]float32, len(u))
+		copy(out, u)
+		return out
+	}
+	mags := make([]float32, len(u))
+	for i, v := range u {
+		if v < 0 {
+			mags[i] = -v
+		} else {
+			mags[i] = v
+		}
+	}
+	sorted := append([]float32(nil), mags...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	thresh := sorted[k-1]
+	out := make([]float32, len(u))
+	for i, v := range u {
+		if mags[i] >= thresh {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// LossAware is an optional Sampler extension: samplers that bias selection
+// by client training loss receive per-client observations after each round.
+type LossAware interface {
+	ObserveLoss(clientIdx int, loss float64)
+}
+
+// PowerOfChoice is the loss-biased client selection of Cho et al. (Section
+// 6): each round it draws D candidate clients uniformly and selects the K
+// with the highest last-observed training loss, prioritizing clients the
+// global model currently serves worst. Unobserved clients rank first so
+// every client is explored.
+type PowerOfChoice struct {
+	D int // candidate pool size per round (0 → 2K)
+
+	lastLoss map[int]float64
+}
+
+// Sample implements Sampler.
+func (p *PowerOfChoice) Sample(rng *rand.Rand, population, k int) []int {
+	if k > population {
+		k = population
+	}
+	d := p.D
+	if d <= 0 {
+		d = 2 * k
+	}
+	if d > population {
+		d = population
+	}
+	candidates := rng.Perm(population)[:d]
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return p.lossOf(candidates[a]) > p.lossOf(candidates[b])
+	})
+	return candidates[:k]
+}
+
+func (p *PowerOfChoice) lossOf(idx int) float64 {
+	if l, ok := p.lastLoss[idx]; ok {
+		return l
+	}
+	return math.Inf(1) // unexplored clients first
+}
+
+// ObserveLoss implements LossAware.
+func (p *PowerOfChoice) ObserveLoss(clientIdx int, loss float64) {
+	if p.lastLoss == nil {
+		p.lastLoss = map[int]float64{}
+	}
+	p.lastLoss[clientIdx] = loss
+}

@@ -1,0 +1,126 @@
+// Package fed implements Photon's federated optimization core — the paper's
+// primary contribution. It provides Algorithm 1 end to end: the Aggregator
+// round loop with uniform client sampling and partial participation, the
+// server-side outer optimizers (FedAvg, FedAvg with server momentum, and
+// DiLoCo's outer Nesterov SGD used as the state-of-the-art baseline), the
+// LLM client local training pipeline with stateless AdamW, hardware-driven
+// strategy selection including nested sub-federations (lines 19–25), update
+// post-processing, dropout handling, checkpointing, and both a deterministic
+// in-process simulation driver and a real networked aggregator/client over
+// the link transport.
+package fed
+
+import (
+	"fmt"
+
+	"photon/internal/tensor"
+)
+
+// OuterOpt is the server optimizer of Algorithm 1 line 9: it consumes the
+// round's pseudo-gradient Δt = θt − mean_k(θt_k) and updates the global
+// parameters in place.
+type OuterOpt interface {
+	// Step applies θ_{t+1} = ServerOpt(θ_t, −Δ_t, t).
+	Step(global, delta []float32, round int)
+	// Name identifies the optimizer in logs and checkpoints.
+	Name() string
+}
+
+// FedAvg is federated averaging with server learning rate ηs: the paper's
+// default is ηs = 1, which makes the new global model exactly the mean of
+// the client models. Photon's headline recipe is FedAvg(1.0) combined with
+// small local batches and high client learning rates.
+type FedAvg struct {
+	LR float64 // ηs; 0 means 1.0
+}
+
+// Name implements OuterOpt.
+func (f FedAvg) Name() string { return "fedavg" }
+
+// Step implements OuterOpt: θ ← θ − ηs·Δ.
+func (f FedAvg) Step(global, delta []float32, _ int) {
+	lr := f.LR
+	if lr == 0 {
+		lr = 1
+	}
+	tensor.Axpy(float32(-lr), delta, global)
+}
+
+// FedMom is FedAvg with server momentum (FedAvgM / federated momentum): the
+// pseudo-gradient accumulates into a velocity buffer before being applied.
+// The paper's Table 5 sweeps µs ∈ {0, 0.9}.
+type FedMom struct {
+	LR float64 // ηs
+	Mu float64 // µs
+
+	v []float32
+}
+
+// NewFedMom constructs the server-momentum optimizer.
+func NewFedMom(lr, mu float64) *FedMom { return &FedMom{LR: lr, Mu: mu} }
+
+// Name implements OuterOpt.
+func (f *FedMom) Name() string { return "fedmom" }
+
+// Step implements OuterOpt: v ← µv + Δ ; θ ← θ − ηs·v.
+func (f *FedMom) Step(global, delta []float32, _ int) {
+	if f.v == nil {
+		f.v = make([]float32, len(global))
+	}
+	mu := float32(f.Mu)
+	lr := float32(f.LR)
+	for i, d := range delta {
+		f.v[i] = mu*f.v[i] + d
+		global[i] -= lr * f.v[i]
+	}
+}
+
+// DiLoCo is the outer optimizer of Douillard et al.: SGD with Nesterov
+// momentum over pseudo-gradients, the baseline Photon is compared against in
+// Table 3 and Figure 8 (recommended µ = 0.9; the only stable server learning
+// rate in the paper's sweep was ηs = 0.1).
+type DiLoCo struct {
+	LR float64 // ηs
+	Mu float64 // Nesterov momentum coefficient
+
+	v []float32
+}
+
+// NewDiLoCo constructs the DiLoCo outer optimizer.
+func NewDiLoCo(lr, mu float64) *DiLoCo { return &DiLoCo{LR: lr, Mu: mu} }
+
+// Name implements OuterOpt.
+func (d *DiLoCo) Name() string { return "diloco" }
+
+// Step implements OuterOpt with the Nesterov form:
+// v ← µv + Δ ; θ ← θ − ηs·(Δ + µv).
+func (d *DiLoCo) Step(global, delta []float32, _ int) {
+	if d.v == nil {
+		d.v = make([]float32, len(global))
+	}
+	mu := float32(d.Mu)
+	lr := float32(d.LR)
+	for i, g := range delta {
+		d.v[i] = mu*d.v[i] + g
+		global[i] -= lr * (g + mu*d.v[i])
+	}
+}
+
+// MeanDelta computes the round pseudo-gradient Δt = mean_k(θt − θt_k) from
+// the surviving clients' updates (each update is already θt − θt_k). It
+// errors on an empty or ragged set.
+func MeanDelta(updates [][]float32) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fed: no client updates to aggregate")
+	}
+	n := len(updates[0])
+	out := make([]float32, n)
+	for i, u := range updates {
+		if len(u) != n {
+			return nil, fmt.Errorf("fed: update %d has %d params, want %d", i, len(u), n)
+		}
+		tensor.Add(out, u)
+	}
+	tensor.Scale(1/float32(len(updates)), out)
+	return out, nil
+}

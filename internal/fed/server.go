@@ -1,0 +1,196 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"photon/internal/data"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+)
+
+// ServerConfig configures a networked aggregator (the Agg component) that
+// coordinates real LLM-C processes over the link protocol.
+type ServerConfig struct {
+	ModelConfig nn.Config
+	Seed        int64
+
+	Rounds          int
+	ExpectClients   int // block until this many clients join
+	ClientsPerRound int // K; 0 means full participation
+
+	Outer      OuterOpt
+	Validation *data.ValidationSet
+	EvalEvery  int
+}
+
+// Serve runs the aggregator protocol on the listener: wait for
+// ExpectClients joins, then for each round send the global model to the
+// sampled cohort, collect updates, aggregate, and advance the outer
+// optimizer. Clients that error or disconnect mid-round are treated as
+// dropouts (the PS partial-update behavior); a client failure is permanent
+// for the rest of the run. All clients receive MsgShutdown at the end.
+func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
+	if cfg.Outer == nil || cfg.Rounds <= 0 || cfg.ExpectClients <= 0 {
+		return nil, fmt.Errorf("fed: invalid server config %+v", cfg)
+	}
+	if err := cfg.ModelConfig.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.ClientsPerRound
+	if k <= 0 || k > cfg.ExpectClients {
+		k = cfg.ExpectClients
+	}
+
+	type member struct {
+		id    string
+		conn  *link.Conn
+		alive bool
+	}
+	members := make([]*member, 0, cfg.ExpectClients)
+	for len(members) < cfg.ExpectClients {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("fed: accept: %w", err)
+		}
+		join, err := conn.Recv()
+		if err != nil || join.Type != link.MsgJoin {
+			conn.Close()
+			continue
+		}
+		members = append(members, &member{id: join.ClientID, conn: conn, alive: true})
+	}
+	defer func() {
+		for _, m := range members {
+			if m.alive {
+				m.conn.Send(&link.Message{Type: link.MsgShutdown})
+			}
+			m.conn.Close()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	globalModel := nn.NewModel(cfg.ModelConfig, rng)
+	global := globalModel.Params().Flatten(nil)
+	hist := &metrics.History{}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		alive := make([]*member, 0, len(members))
+		for _, m := range members {
+			if m.alive {
+				alive = append(alive, m)
+			}
+		}
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("fed: round %d: all clients lost", round)
+		}
+		kr := k
+		if kr > len(alive) {
+			kr = len(alive)
+		}
+		cohort := make([]*member, 0, kr)
+		for _, idx := range rng.Perm(len(alive))[:kr] {
+			cohort = append(cohort, alive[idx])
+		}
+
+		var mu sync.Mutex
+		var updates [][]float32
+		var clientMetrics []map[string]float64
+		var wg sync.WaitGroup
+		for _, m := range cohort {
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				err := m.conn.Send(&link.Message{
+					Type:    link.MsgModel,
+					Round:   int32(round),
+					Payload: global,
+				})
+				if err != nil {
+					m.alive = false
+					return
+				}
+				reply, err := m.conn.Recv()
+				if err != nil || reply.Type != link.MsgUpdate || reply.Round != int32(round) {
+					m.alive = false
+					return
+				}
+				mu.Lock()
+				updates = append(updates, reply.Payload)
+				clientMetrics = append(clientMetrics, reply.Meta)
+				mu.Unlock()
+			}(m)
+		}
+		wg.Wait()
+
+		rec := metrics.Round{Round: round, Clients: len(updates)}
+		if len(updates) > 0 {
+			delta, err := MeanDelta(updates)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Outer.Step(global, delta, round)
+			rec.UpdateNorm = norm2(delta)
+			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
+		}
+		if cfg.Validation != nil && (round%evalEvery == 0 || round == cfg.Rounds) {
+			if err := globalModel.Params().LoadFlat(global); err != nil {
+				return nil, err
+			}
+			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
+		}
+		hist.Append(rec)
+	}
+
+	if err := globalModel.Params().LoadFlat(global); err != nil {
+		return nil, err
+	}
+	return &Result{History: hist, Global: global, FinalModel: globalModel}, nil
+}
+
+// ServeClient runs an LLM-C against a connected aggregator: it joins with
+// the client's ID and then answers MsgModel rounds with MsgUpdate replies
+// until MsgShutdown (or connection loss). stepBase for the shared schedule
+// is derived from the round number.
+func ServeClient(conn *link.Conn, client *Client, spec LocalSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: client.ID}); err != nil {
+		return fmt.Errorf("fed: join: %w", err)
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("fed: client %s recv: %w", client.ID, err)
+		}
+		switch msg.Type {
+		case link.MsgShutdown:
+			return nil
+		case link.MsgModel:
+			stepBase := (int(msg.Round) - 1) * spec.Steps
+			res, err := client.RunRound(msg.Payload, stepBase, spec)
+			if err != nil {
+				return fmt.Errorf("fed: client %s round %d: %w", client.ID, msg.Round, err)
+			}
+			err = conn.Send(&link.Message{
+				Type:     link.MsgUpdate,
+				Round:    msg.Round,
+				ClientID: client.ID,
+				Meta:     res.Metrics,
+				Payload:  res.Update,
+			})
+			if err != nil {
+				return fmt.Errorf("fed: client %s send: %w", client.ID, err)
+			}
+		default:
+			return fmt.Errorf("fed: client %s: unexpected message type %d", client.ID, msg.Type)
+		}
+	}
+}

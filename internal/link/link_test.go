@@ -1,0 +1,429 @@
+package link
+
+import (
+	"bytes"
+	"crypto/x509"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Type:     MsgUpdate,
+		Round:    42,
+		ClientID: "client-07",
+		Meta:     map[string]float64{"loss": 3.14, "steps": 512, "lr": 6e-4},
+		Payload:  []float32{1.5, -2.25, 0, 3.375, float32(math.Pi)},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		m := sampleMessage()
+		if err := Encode(&buf, m, compress); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("compress=%v: round trip mismatch:\n  sent %+v\n  got  %+v", compress, m, got)
+		}
+	}
+}
+
+func TestEncodeDecodeEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Type: MsgShutdown}
+	if err := Encode(&buf, m, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgShutdown || got.ClientID != "" || got.Payload != nil || got.Meta != nil {
+		t.Fatalf("empty message mangled: %+v", got)
+	}
+}
+
+func TestCompressionShrinksRedundantPayload(t *testing.T) {
+	payload := make([]float32, 50000) // all zeros: maximally compressible
+	m := &Message{Type: MsgModel, Payload: payload}
+	var plain, comp bytes.Buffer
+	if err := Encode(&plain, m, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&comp, m, true); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= plain.Len()/10 {
+		t.Fatalf("compression ineffective: %d vs %d bytes", comp.Len(), plain.Len())
+	}
+	got, err := Decode(&comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != len(payload) {
+		t.Fatal("compressed payload length mismatch after decode")
+	}
+}
+
+func TestIncompressiblePayloadSkipsFlate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]float32, 10000)
+	for i := range payload {
+		payload[i] = float32(rng.NormFloat64())
+	}
+	m := &Message{Type: MsgModel, Payload: payload}
+	var plain, comp bytes.Buffer
+	if err := Encode(&plain, m, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&comp, m, true); err != nil {
+		t.Fatal(err)
+	}
+	// Random float payloads barely compress; the encoder must keep the raw
+	// form rather than growing the message.
+	if comp.Len() > plain.Len() {
+		t.Fatalf("compressed form larger than plain: %d vs %d", comp.Len(), plain.Len())
+	}
+	got, err := Decode(&comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got.Payload[i] != payload[i] {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleMessage(), false); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a body byte: CRC must catch it.
+	bad := append([]byte{}, raw...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted body accepted")
+	}
+	// Bad magic.
+	bad2 := append([]byte{}, raw...)
+	bad2[0] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	long := make([]byte, maxIDLen+1)
+	m := &Message{Type: MsgJoin, ClientID: string(long)}
+	if err := Encode(&bytes.Buffer{}, m, false); err == nil {
+		t.Fatal("oversized client id accepted")
+	}
+}
+
+func TestPipeTransport(t *testing.T) {
+	a, b := Pipe(true)
+	defer a.Close()
+	defer b.Close()
+	want := sampleMessage()
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(want) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("pipe transport mangled message")
+	}
+	sent, _, elems := a.Stats()
+	if sent != 1 || elems != int64(len(want.Payload)) {
+		t.Fatalf("stats: sent=%d elems=%d", sent, elems)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *Message, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer c.Close()
+		m, _ := c.Recv()
+		done <- m
+	}()
+	c, err := Dial(l.Addr(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := sampleMessage()
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil || !reflect.DeepEqual(want, got) {
+		t.Fatal("TCP transport failed")
+	}
+}
+
+func TestTLSTransport(t *testing.T) {
+	cert, certPEM, err := SelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ListenTLS("127.0.0.1:0", cert, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *Message, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer c.Close()
+		m, _ := c.Recv()
+		done <- m
+	}()
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		t.Fatal("bad PEM")
+	}
+	c, err := DialTLS(l.Addr(), pool, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := sampleMessage()
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got == nil || !reflect.DeepEqual(want, got) {
+		t.Fatal("TLS transport failed")
+	}
+}
+
+func TestClipL2(t *testing.T) {
+	u := []float32{3, 4}
+	out, err := ClipL2{MaxNorm: 1}.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for _, v := range out {
+		norm += float64(v) * float64(v)
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-5 {
+		t.Fatalf("post-clip norm %v", math.Sqrt(norm))
+	}
+	// Below the cap: untouched.
+	u2 := []float32{0.1, 0.1}
+	out2, _ := ClipL2{MaxNorm: 1}.Apply(u2)
+	if out2[0] != 0.1 {
+		t.Fatal("clip modified an in-budget update")
+	}
+	// Disabled.
+	u3 := []float32{30, 40}
+	out3, _ := ClipL2{}.Apply(u3)
+	if out3[0] != 30 {
+		t.Fatal("MaxNorm=0 must disable clipping")
+	}
+}
+
+func TestDPNoise(t *testing.T) {
+	u := make([]float32, 10000)
+	out, err := DPNoise{Sigma: 0.5, Rng: rand.New(rand.NewSource(1))}.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, varr float64
+	for _, v := range out {
+		mean += float64(v)
+	}
+	mean /= float64(len(out))
+	for _, v := range out {
+		d := float64(v) - mean
+		varr += d * d
+	}
+	varr /= float64(len(out))
+	if math.Abs(mean) > 0.05 || math.Abs(math.Sqrt(varr)-0.5) > 0.05 {
+		t.Fatalf("noise moments off: mean=%v std=%v", mean, math.Sqrt(varr))
+	}
+	if _, err := (DPNoise{Sigma: -1}).Apply(u); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := (DPNoise{Sigma: 1}).Apply(u); err == nil {
+		t.Fatal("missing rng accepted")
+	}
+	// Sigma 0 is a no-op without an RNG.
+	if _, err := (DPNoise{}).Apply(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNGuard(t *testing.T) {
+	if _, err := (NaNGuard{}).Apply([]float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (NaNGuard{}).Apply([]float32{1, float32(math.NaN())}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := (NaNGuard{}).Apply([]float32{float32(math.Inf(1))}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestPipelineOrderAndErrors(t *testing.T) {
+	p := Pipeline{ClipL2{MaxNorm: 1}, NaNGuard{}}
+	out, err := p.Apply([]float32{30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] > 1 {
+		t.Fatal("pipeline did not clip")
+	}
+	p2 := Pipeline{NaNGuard{}}
+	if _, err := p2.Apply([]float32{float32(math.NaN())}); err == nil {
+		t.Fatal("pipeline swallowed error")
+	}
+}
+
+// Property: secure-aggregation masks cancel — the sum of masked updates
+// equals the sum of the plain updates within float tolerance, for any client
+// count and session seed.
+func TestSecureAggregationCancellation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%6
+		dim := 32
+		rng := rand.New(rand.NewSource(seed))
+		sa := SecureAggregator{SessionSeed: seed, NumClients: n}
+
+		plain := make([][]float32, n)
+		masked := make([][]float32, n)
+		for i := range plain {
+			plain[i] = make([]float32, dim)
+			masked[i] = make([]float32, dim)
+			for k := range plain[i] {
+				plain[i][k] = float32(rng.NormFloat64())
+				masked[i][k] = plain[i][k]
+			}
+			if err := sa.Mask(i, masked[i]); err != nil {
+				return false
+			}
+		}
+		wantSum, err := SumMasked(plain)
+		if err != nil {
+			return false
+		}
+		gotSum, err := SumMasked(masked)
+		if err != nil {
+			return false
+		}
+		for k := range wantSum {
+			if math.Abs(float64(wantSum[k]-gotSum[k])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureAggregationHidesIndividual(t *testing.T) {
+	sa := SecureAggregator{SessionSeed: 7, NumClients: 4}
+	u := make([]float32, 16) // all zeros
+	masked := make([]float32, 16)
+	if err := sa.Mask(0, masked); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range u {
+		if masked[i] != u[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mask left the update unchanged — no privacy")
+	}
+	if err := sa.Mask(9, masked); err == nil {
+		t.Fatal("out-of-range client accepted")
+	}
+}
+
+func TestSumMaskedErrors(t *testing.T) {
+	if _, err := SumMasked(nil); err == nil {
+		t.Fatal("empty aggregation accepted")
+	}
+	if _, err := SumMasked([][]float32{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged aggregation accepted")
+	}
+}
+
+// Property: codec round trip is exact for arbitrary payloads.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, compress bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		m := &Message{
+			Type:     MsgType(1 + rng.Intn(6)),
+			Round:    int32(rng.Intn(10000)),
+			ClientID: "c",
+			Payload:  make([]float32, n),
+		}
+		for i := range m.Payload {
+			m.Payload[i] = float32(rng.NormFloat64())
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m, compress); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Type != m.Type || got.Round != m.Round || len(got.Payload) != n {
+			return false
+		}
+		for i := range m.Payload {
+			if got.Payload[i] != m.Payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

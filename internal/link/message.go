@@ -1,0 +1,287 @@
+// Package link is Photon's communication module: the gateway between the
+// aggregator (Agg) and LLM clients (LLM-C).
+//
+// It provides a compact binary wire codec with CRC-32 integrity checking and
+// optional lossless flate compression of parameter payloads (the paper's
+// default post-processing), stream transports over any net.Conn (in-process
+// pipes, TCP, and TLS with self-signed certificate generation for the
+// cross-silo setting), and the extensible post-processing pipeline of
+// Section 4 — gradient clipping, compression, differential-privacy noise,
+// and additive-mask secure aggregation.
+package link
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// MsgType identifies the purpose of a message.
+type MsgType uint8
+
+// Message types exchanged between Agg and LLM-C.
+const (
+	// MsgJoin announces a client to the aggregator.
+	MsgJoin MsgType = iota + 1
+	// MsgRoundStart carries round information and training instructions.
+	MsgRoundStart
+	// MsgModel carries global model parameters to a client.
+	MsgModel
+	// MsgUpdate carries a client's model update back to the aggregator.
+	MsgUpdate
+	// MsgMetrics carries training metadata without parameters.
+	MsgMetrics
+	// MsgShutdown ends a session.
+	MsgShutdown
+)
+
+// Message is the unit of communication. Payload carries model parameters or
+// pseudo-gradients; Meta carries scalar metadata (losses, step counts,
+// instructions) keyed by name.
+type Message struct {
+	Type     MsgType
+	Round    int32
+	ClientID string
+	Meta     map[string]float64
+	Payload  []float32
+}
+
+const (
+	magic       = 0x50484F54 // "PHOT"
+	flagFlate   = 1 << 0
+	maxIDLen    = 1 << 10
+	maxMetaKeys = 1 << 12
+	// MaxPayloadElems bounds a single message's parameter payload (1B
+	// float32s ≈ 4 GB), protecting against corrupted length prefixes.
+	MaxPayloadElems = 1 << 30
+)
+
+// Encode serializes the message to the wire format. When compress is true
+// the payload bytes are flate-compressed; the smaller encoding wins, so
+// incompressible payloads carry no overhead beyond the flag byte.
+func Encode(w io.Writer, m *Message, compress bool) error {
+	if len(m.ClientID) > maxIDLen {
+		return fmt.Errorf("link: client id too long (%d bytes)", len(m.ClientID))
+	}
+	if len(m.Meta) > maxMetaKeys {
+		return fmt.Errorf("link: too many meta keys (%d)", len(m.Meta))
+	}
+	if len(m.Payload) > MaxPayloadElems {
+		return fmt.Errorf("link: payload too large (%d elems)", len(m.Payload))
+	}
+
+	payload := payloadBytes(m.Payload)
+	flags := byte(0)
+	if compress && len(payload) > 0 {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("link: flate init: %w", err)
+		}
+		if _, err := fw.Write(payload); err != nil {
+			return fmt.Errorf("link: flate write: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("link: flate close: %w", err)
+		}
+		if buf.Len() < len(payload) {
+			payload = buf.Bytes()
+			flags |= flagFlate
+		}
+	}
+
+	var body bytes.Buffer
+	body.WriteByte(byte(m.Type))
+	body.WriteByte(flags)
+	writeU32(&body, uint32(m.Round))
+	writeU32(&body, uint32(len(m.ClientID)))
+	body.WriteString(m.ClientID)
+	writeU32(&body, uint32(len(m.Meta)))
+	for _, k := range sortedKeys(m.Meta) {
+		writeU32(&body, uint32(len(k)))
+		body.WriteString(k)
+		writeU64(&body, math.Float64bits(m.Meta[k]))
+	}
+	writeU32(&body, uint32(len(m.Payload))) // element count (pre-compression)
+	writeU32(&body, uint32(len(payload)))   // byte count (post-compression)
+	body.Write(payload)
+
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(body.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("link: write header: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("link: write body: %w", err)
+	}
+	return nil
+}
+
+// ErrBadFrame reports a corrupted or foreign frame on the wire.
+var ErrBadFrame = errors.New("link: bad frame")
+
+// Decode reads one message from the wire.
+func Decode(r io.Reader) (*Message, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[4:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[8:])
+	const maxBody = uint64(16 + maxIDLen + 24*maxMetaKeys + 4*MaxPayloadElems)
+	if uint64(bodyLen) > maxBody {
+		return nil, fmt.Errorf("%w: body length %d", ErrBadFrame, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+
+	b := bytes.NewReader(body)
+	m := &Message{}
+	t, err := b.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrBadFrame)
+	}
+	m.Type = MsgType(t)
+	flags, err := b.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrBadFrame)
+	}
+	round, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Round = int32(round)
+	idLen, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if idLen > maxIDLen {
+		return nil, fmt.Errorf("%w: id length %d", ErrBadFrame, idLen)
+	}
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(b, id); err != nil {
+		return nil, fmt.Errorf("%w: truncated id", ErrBadFrame)
+	}
+	m.ClientID = string(id)
+	nMeta, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if nMeta > maxMetaKeys {
+		return nil, fmt.Errorf("%w: meta count %d", ErrBadFrame, nMeta)
+	}
+	if nMeta > 0 {
+		m.Meta = make(map[string]float64, nMeta)
+	}
+	for i := uint32(0); i < nMeta; i++ {
+		kLen, err := readU32(b)
+		if err != nil {
+			return nil, err
+		}
+		if kLen > maxIDLen {
+			return nil, fmt.Errorf("%w: meta key length %d", ErrBadFrame, kLen)
+		}
+		k := make([]byte, kLen)
+		if _, err := io.ReadFull(b, k); err != nil {
+			return nil, fmt.Errorf("%w: truncated meta", ErrBadFrame)
+		}
+		v, err := readU64(b)
+		if err != nil {
+			return nil, err
+		}
+		m.Meta[string(k)] = math.Float64frombits(v)
+	}
+	nElems, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	if nElems > MaxPayloadElems {
+		return nil, fmt.Errorf("%w: payload elems %d", ErrBadFrame, nElems)
+	}
+	nBytes, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, nBytes)
+	if _, err := io.ReadFull(b, raw); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload", ErrBadFrame)
+	}
+	if flags&flagFlate != 0 {
+		fr := flate.NewReader(bytes.NewReader(raw))
+		raw, err = io.ReadAll(io.LimitReader(fr, int64(nElems)*4+1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrBadFrame, err)
+		}
+	}
+	if uint32(len(raw)) != nElems*4 {
+		return nil, fmt.Errorf("%w: payload size %d for %d elems", ErrBadFrame, len(raw), nElems)
+	}
+	if nElems > 0 {
+		m.Payload = make([]float32, nElems)
+		for i := range m.Payload {
+			m.Payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	}
+	return m, nil
+}
+
+func payloadBytes(p []float32) []byte {
+	out := make([]byte, len(p)*4)
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.Write(buf[:])
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated u32", ErrBadFrame)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated u64", ErrBadFrame)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}

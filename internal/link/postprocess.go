@@ -1,0 +1,164 @@
+package link
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PostProcessor transforms a client's update vector before transmission —
+// the extensible pipeline of Algorithm 1 line 27 (PostProcess).
+type PostProcessor interface {
+	// Apply transforms the update in place (it may also return a replacement
+	// slice) and returns an error if the update is unusable.
+	Apply(update []float32) ([]float32, error)
+	// Name identifies the stage for logging.
+	Name() string
+}
+
+// Pipeline chains post-processors in order.
+type Pipeline []PostProcessor
+
+// Apply runs all stages.
+func (p Pipeline) Apply(update []float32) ([]float32, error) {
+	var err error
+	for _, stage := range p {
+		update, err = stage.Apply(update)
+		if err != nil {
+			return nil, fmt.Errorf("link: post-process stage %s: %w", stage.Name(), err)
+		}
+	}
+	return update, nil
+}
+
+// ClipL2 rescales the update to a maximum L2 norm (gradient clipping at the
+// update level).
+type ClipL2 struct{ MaxNorm float64 }
+
+// Name implements PostProcessor.
+func (ClipL2) Name() string { return "clip-l2" }
+
+// Apply implements PostProcessor.
+func (c ClipL2) Apply(update []float32) ([]float32, error) {
+	if c.MaxNorm <= 0 {
+		return update, nil
+	}
+	var s float64
+	for _, v := range update {
+		s += float64(v) * float64(v)
+	}
+	norm := math.Sqrt(s)
+	if norm <= c.MaxNorm || norm == 0 {
+		return update, nil
+	}
+	scale := float32(c.MaxNorm / norm)
+	for i := range update {
+		update[i] *= scale
+	}
+	return update, nil
+}
+
+// DPNoise adds Gaussian noise of the given standard deviation to every
+// coordinate (local differential-privacy mechanism; calibrating σ to an
+// (ε,δ) budget is the caller's responsibility).
+type DPNoise struct {
+	Sigma float64
+	Rng   *rand.Rand
+}
+
+// Name implements PostProcessor.
+func (DPNoise) Name() string { return "dp-noise" }
+
+// Apply implements PostProcessor.
+func (d DPNoise) Apply(update []float32) ([]float32, error) {
+	if d.Sigma < 0 {
+		return nil, fmt.Errorf("negative sigma %v", d.Sigma)
+	}
+	if d.Sigma == 0 {
+		return update, nil
+	}
+	rng := d.Rng
+	if rng == nil {
+		return nil, fmt.Errorf("DPNoise requires an explicit Rng")
+	}
+	for i := range update {
+		update[i] += float32(rng.NormFloat64() * d.Sigma)
+	}
+	return update, nil
+}
+
+// NaNGuard rejects updates containing NaN or Inf values, protecting the
+// aggregator from divergent clients.
+type NaNGuard struct{}
+
+// Name implements PostProcessor.
+func (NaNGuard) Name() string { return "nan-guard" }
+
+// Apply implements PostProcessor.
+func (NaNGuard) Apply(update []float32) ([]float32, error) {
+	for i, v := range update {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("non-finite value at index %d", i)
+		}
+	}
+	return update, nil
+}
+
+// SecureAggregator implements pairwise additive-mask secure aggregation
+// (Bonawitz et al.): each client pair (i, j) shares a seed; client i adds
+// PRG(seed) when i < j and subtracts it when i > j, so individual updates
+// are hidden but the sum over all clients is exact. Seeds are derived from a
+// session secret here; a production deployment would agree on them with a
+// key exchange, which does not change the masking arithmetic.
+type SecureAggregator struct {
+	SessionSeed int64
+	NumClients  int
+}
+
+// Mask applies client clientIdx's masks in place.
+func (s SecureAggregator) Mask(clientIdx int, update []float32) error {
+	if clientIdx < 0 || clientIdx >= s.NumClients {
+		return fmt.Errorf("link: client index %d out of range [0,%d)", clientIdx, s.NumClients)
+	}
+	for j := 0; j < s.NumClients; j++ {
+		if j == clientIdx {
+			continue
+		}
+		sign := float32(1)
+		lo, hi := clientIdx, j
+		if lo > hi {
+			lo, hi = hi, lo
+			sign = -1
+		}
+		rng := rand.New(rand.NewSource(s.pairSeed(lo, hi)))
+		for k := range update {
+			update[k] += sign * float32(rng.NormFloat64())
+		}
+	}
+	return nil
+}
+
+func (s SecureAggregator) pairSeed(lo, hi int) int64 {
+	return s.SessionSeed ^ (int64(lo)*1_000_003 + int64(hi)*7919 + 13)
+}
+
+// SumMasked aggregates masked updates; with all clients present the masks
+// cancel exactly (up to float32 rounding) and the result equals the sum of
+// the unmasked updates.
+func SumMasked(updates [][]float32) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("link: no updates to aggregate")
+	}
+	n := len(updates[0])
+	out := make([]float32, n)
+	for i, u := range updates {
+		if len(u) != n {
+			return nil, fmt.Errorf("link: update %d has %d elems, want %d", i, len(u), n)
+		}
+		for k, v := range u {
+			out[k] += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package link
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+)
+
+// SecAggParty is one participant in ECDH-based secure aggregation (the
+// Bonawitz et al. construction the paper cites): each pair of parties
+// derives a shared seed via an X25519 key agreement and uses it to generate
+// cancelling additive masks, so the server learns only the sum of updates.
+type SecAggParty struct {
+	Index int
+	priv  *ecdh.PrivateKey
+
+	// seeds[j] is the PRG seed shared with party j (absent for self).
+	seeds map[int]int64
+}
+
+// NewSecAggParty generates a fresh X25519 keypair for party index.
+func NewSecAggParty(index int) (*SecAggParty, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("link: secagg keygen: %w", err)
+	}
+	return &SecAggParty{Index: index, priv: priv, seeds: map[int]int64{}}, nil
+}
+
+// PublicKey returns the party's public key bytes for distribution.
+func (p *SecAggParty) PublicKey() []byte { return p.priv.PublicKey().Bytes() }
+
+// AgreeWith derives the pairwise mask seed from the peer's public key. Both
+// parties of a pair derive the same seed (ECDH shared secret hashed with
+// SHA-256).
+func (p *SecAggParty) AgreeWith(peerIndex int, peerPublic []byte) error {
+	if peerIndex == p.Index {
+		return fmt.Errorf("link: secagg: cannot agree with self")
+	}
+	pub, err := ecdh.X25519().NewPublicKey(peerPublic)
+	if err != nil {
+		return fmt.Errorf("link: secagg: bad peer key: %w", err)
+	}
+	secret, err := p.priv.ECDH(pub)
+	if err != nil {
+		return fmt.Errorf("link: secagg: ECDH: %w", err)
+	}
+	sum := sha256.Sum256(secret)
+	p.seeds[peerIndex] = int64(binary.LittleEndian.Uint64(sum[:8]))
+	return nil
+}
+
+// Mask applies the party's pairwise masks to the update in place: +PRG(seed)
+// toward higher-indexed peers and −PRG(seed) toward lower-indexed ones, so
+// the masks cancel in the sum across all parties.
+func (p *SecAggParty) Mask(update []float32) error {
+	if len(p.seeds) == 0 {
+		return fmt.Errorf("link: secagg: no agreed peers")
+	}
+	for peer, seed := range p.seeds {
+		sign := float32(1)
+		if peer < p.Index {
+			sign = -1
+		}
+		prg := mrand.New(mrand.NewSource(seed))
+		for i := range update {
+			update[i] += sign * float32(prg.NormFloat64())
+		}
+	}
+	return nil
+}
+
+// RunSecAggSession wires up a full n-party session in process (each party
+// generates a key, exchanges public keys, and agrees pairwise), returning
+// the parties ready to Mask. Production deployments exchange the public
+// keys through the aggregator; only transport differs.
+func RunSecAggSession(n int) ([]*SecAggParty, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("link: secagg needs at least 2 parties, got %d", n)
+	}
+	parties := make([]*SecAggParty, n)
+	for i := range parties {
+		p, err := NewSecAggParty(i)
+		if err != nil {
+			return nil, err
+		}
+		parties[i] = p
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := parties[i].AgreeWith(j, parties[j].PublicKey()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return parties, nil
+}

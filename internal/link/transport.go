@@ -1,0 +1,200 @@
+package link
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a message-oriented connection between Agg and LLM-C. It is safe
+// for one concurrent sender and one concurrent receiver.
+type Conn struct {
+	raw      net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	compress bool
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	statMu    sync.Mutex
+	sentMsgs  int
+	recvMsgs  int
+	sentElems int64
+}
+
+// NewConn wraps a net.Conn in the Photon wire protocol. When compress is
+// true, parameter payloads are flate-compressed on send.
+func NewConn(raw net.Conn, compress bool) *Conn {
+	return &Conn{
+		raw:      raw,
+		r:        bufio.NewReaderSize(raw, 1<<16),
+		w:        bufio.NewWriterSize(raw, 1<<16),
+		compress: compress,
+	}
+}
+
+// Send encodes and flushes one message.
+func (c *Conn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := Encode(c.w, m, c.compress); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("link: flush: %w", err)
+	}
+	c.statMu.Lock()
+	c.sentMsgs++
+	c.sentElems += int64(len(m.Payload))
+	c.statMu.Unlock()
+	return nil
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	m, err := Decode(c.r)
+	if err != nil {
+		return nil, err
+	}
+	c.statMu.Lock()
+	c.recvMsgs++
+	c.statMu.Unlock()
+	return m, nil
+}
+
+// Close shuts the underlying connection down.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline bounds pending and future I/O.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Stats returns (messages sent, messages received, payload elements sent).
+func (c *Conn) Stats() (sent, recvd int, elems int64) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.sentMsgs, c.recvMsgs, c.sentElems
+}
+
+// Pipe returns a connected in-process Conn pair running the full wire
+// protocol over net.Pipe, used by the single-process simulator and tests.
+func Pipe(compress bool) (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a, compress), NewConn(b, compress)
+}
+
+// Listener accepts Photon connections over TCP or TLS.
+type Listener struct {
+	l        net.Listener
+	compress bool
+}
+
+// Listen starts a plain-TCP listener on addr ("host:port", empty host OK).
+func Listen(addr string, compress bool) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("link: listen: %w", err)
+	}
+	return &Listener{l: l, compress: compress}, nil
+}
+
+// ListenTLS starts a TLS listener with the given certificate.
+func ListenTLS(addr string, cert tls.Certificate, compress bool) (*Listener, error) {
+	l, err := tls.Listen("tcp", addr, &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err != nil {
+		return nil, fmt.Errorf("link: tls listen: %w", err)
+	}
+	return &Listener{l: l, compress: compress}, nil
+}
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (*Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c, l.compress), nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Dial connects to a plain-TCP aggregator.
+func Dial(addr string, compress bool) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("link: dial: %w", err)
+	}
+	return NewConn(c, compress), nil
+}
+
+// DialTLS connects over TLS. rootCAs nil skips verification (self-signed
+// development certificates); production deployments pass a pinned pool.
+func DialTLS(addr string, rootCAs *x509.CertPool, compress bool) (*Conn, error) {
+	cfg := &tls.Config{RootCAs: rootCAs}
+	if rootCAs == nil {
+		cfg.InsecureSkipVerify = true
+	}
+	c, err := tls.DialWithDialer(&net.Dialer{Timeout: 10 * time.Second}, "tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("link: tls dial: %w", err)
+	}
+	return NewConn(c, compress), nil
+}
+
+// SelfSignedCert generates an ephemeral ECDSA P-256 certificate for the
+// given hosts, valid for 24 hours — enough for a federated training run in
+// the cross-silo setting where silos exchange certificates out of band.
+// It returns the tls.Certificate and the PEM-encoded certificate for pinning.
+func SelfSignedCert(hosts ...string) (tls.Certificate, []byte, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("link: keygen: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{Organization: []string{"photon"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IsCA:         true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("link: create cert: %w", err)
+	}
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("link: marshal key: %w", err)
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("link: keypair: %w", err)
+	}
+	return cert, certPEM, nil
+}

@@ -1,0 +1,173 @@
+// Package metrics collects and renders training measurements: per-round
+// histories with perplexity/loss series, the AggMetrics reduction from
+// Algorithm 1, time-to-target queries used by the wall-time experiments, and
+// plain-text table/series renderers for the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Round is one federated round's (or centralized eval interval's) record.
+type Round struct {
+	Round      int
+	TrainLoss  float64 // mean client training loss (nats/token)
+	ValPPL     float64 // global model validation perplexity (0 = not evaluated)
+	UpdateNorm float64 // L2 norm of the aggregated pseudo-gradient
+	SimSeconds float64 // simulated wall-clock time consumed up to this round
+	Clients    int     // participating clients
+}
+
+// History is an append-only sequence of round records.
+type History struct {
+	Rounds []Round
+}
+
+// Append adds a record.
+func (h *History) Append(r Round) { h.Rounds = append(h.Rounds, r) }
+
+// Len returns the number of records.
+func (h *History) Len() int { return len(h.Rounds) }
+
+// FinalPPL returns the last evaluated validation perplexity, or +Inf when
+// nothing was evaluated.
+func (h *History) FinalPPL() float64 {
+	for i := len(h.Rounds) - 1; i >= 0; i-- {
+		if h.Rounds[i].ValPPL > 0 {
+			return h.Rounds[i].ValPPL
+		}
+	}
+	return math.Inf(1)
+}
+
+// BestPPL returns the minimum evaluated perplexity, or +Inf.
+func (h *History) BestPPL() float64 {
+	best := math.Inf(1)
+	for _, r := range h.Rounds {
+		if r.ValPPL > 0 && r.ValPPL < best {
+			best = r.ValPPL
+		}
+	}
+	return best
+}
+
+// TimeToPPL returns the simulated seconds at which validation perplexity
+// first reached target (linearly interpolated between evaluations), and
+// false when the run never reached it.
+func (h *History) TimeToPPL(target float64) (float64, bool) {
+	prevT, prevP := 0.0, math.Inf(1)
+	for _, r := range h.Rounds {
+		if r.ValPPL <= 0 {
+			continue
+		}
+		if r.ValPPL <= target {
+			if math.IsInf(prevP, 1) || prevP <= target {
+				return r.SimSeconds, true
+			}
+			// Interpolate crossing between (prevT, prevP) and (r.SimSeconds, r.ValPPL).
+			frac := (prevP - target) / (prevP - r.ValPPL)
+			return prevT + frac*(r.SimSeconds-prevT), true
+		}
+		prevT, prevP = r.SimSeconds, r.ValPPL
+	}
+	return 0, false
+}
+
+// RoundsToPPL returns the first round index whose evaluation hit the target.
+func (h *History) RoundsToPPL(target float64) (int, bool) {
+	for _, r := range h.Rounds {
+		if r.ValPPL > 0 && r.ValPPL <= target {
+			return r.Round, true
+		}
+	}
+	return 0, false
+}
+
+// PPLSeries returns (round, perplexity) pairs for evaluated rounds.
+func (h *History) PPLSeries() (rounds []int, ppls []float64) {
+	for _, r := range h.Rounds {
+		if r.ValPPL > 0 {
+			rounds = append(rounds, r.Round)
+			ppls = append(ppls, r.ValPPL)
+		}
+	}
+	return rounds, ppls
+}
+
+// AggMetrics averages scalar client metrics key-by-key (Algorithm 1 line 10).
+// Keys missing from some clients are averaged over the clients that report
+// them.
+func AggMetrics(clients []map[string]float64) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, m := range clients {
+		for k, v := range m {
+			sums[k] += v
+			counts[k]++
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// Table renders an aligned plain-text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series renders (x, y) pairs as "x<TAB>y" lines with a header, the format
+// the figure benches print so curves can be plotted or diffed directly.
+func Series(name, xLabel, yLabel string, xs []int, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n%s\t%s\n", name, xLabel, yLabel)
+	for i := range xs {
+		fmt.Fprintf(&b, "%d\t%.4f\n", xs[i], ys[i])
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order for deterministic rendering.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func historyWithPPLs(ppls []float64) *History {
+	h := &History{}
+	for i, p := range ppls {
+		h.Append(Round{Round: i + 1, ValPPL: p, SimSeconds: float64(i+1) * 100})
+	}
+	return h
+}
+
+func TestFinalAndBestPPL(t *testing.T) {
+	h := historyWithPPLs([]float64{50, 40, 35, 38})
+	if got := h.FinalPPL(); got != 38 {
+		t.Fatalf("FinalPPL: got %v", got)
+	}
+	if got := h.BestPPL(); got != 35 {
+		t.Fatalf("BestPPL: got %v", got)
+	}
+	empty := &History{}
+	if !math.IsInf(empty.FinalPPL(), 1) || !math.IsInf(empty.BestPPL(), 1) {
+		t.Fatal("empty history should report +Inf")
+	}
+}
+
+func TestFinalPPLSkipsUnevaluatedRounds(t *testing.T) {
+	h := &History{}
+	h.Append(Round{Round: 1, ValPPL: 42})
+	h.Append(Round{Round: 2}) // not evaluated
+	if got := h.FinalPPL(); got != 42 {
+		t.Fatalf("FinalPPL should skip ValPPL=0 rounds: got %v", got)
+	}
+}
+
+func TestTimeToPPL(t *testing.T) {
+	h := historyWithPPLs([]float64{50, 40, 30})
+	// Exact hit at the third eval (t=300).
+	if got, ok := h.TimeToPPL(30); !ok || got != 300 {
+		t.Fatalf("TimeToPPL(30): got %v, %v", got, ok)
+	}
+	// Interpolated: target 35 is halfway between 40 (t=200) and 30 (t=300).
+	got, ok := h.TimeToPPL(35)
+	if !ok || math.Abs(got-250) > 1e-9 {
+		t.Fatalf("TimeToPPL(35): got %v, %v", got, ok)
+	}
+	// Unreachable target.
+	if _, ok := h.TimeToPPL(10); ok {
+		t.Fatal("unreached target reported as hit")
+	}
+	// First evaluation already below target.
+	if got, ok := h.TimeToPPL(60); !ok || got != 100 {
+		t.Fatalf("first-eval hit: got %v, %v", got, ok)
+	}
+}
+
+func TestRoundsToPPL(t *testing.T) {
+	h := historyWithPPLs([]float64{50, 40, 30})
+	if r, ok := h.RoundsToPPL(40); !ok || r != 2 {
+		t.Fatalf("RoundsToPPL: got %d, %v", r, ok)
+	}
+	if _, ok := h.RoundsToPPL(1); ok {
+		t.Fatal("unreached round target reported")
+	}
+}
+
+func TestPPLSeries(t *testing.T) {
+	h := &History{}
+	h.Append(Round{Round: 1, ValPPL: 50})
+	h.Append(Round{Round: 2})
+	h.Append(Round{Round: 3, ValPPL: 40})
+	rounds, ppls := h.PPLSeries()
+	if len(rounds) != 2 || rounds[1] != 3 || ppls[1] != 40 {
+		t.Fatalf("series: %v %v", rounds, ppls)
+	}
+}
+
+func TestAggMetrics(t *testing.T) {
+	got := AggMetrics([]map[string]float64{
+		{"loss": 2, "steps": 10},
+		{"loss": 4, "steps": 10, "extra": 7},
+	})
+	if got["loss"] != 3 {
+		t.Fatalf("loss: got %v", got["loss"])
+	}
+	if got["steps"] != 10 {
+		t.Fatalf("steps: got %v", got["steps"])
+	}
+	// Keys present in only one client average over reporters.
+	if got["extra"] != 7 {
+		t.Fatalf("extra: got %v", got["extra"])
+	}
+	if len(AggMetrics(nil)) != 0 {
+		t.Fatal("empty aggregation should be empty")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator misaligned: %q vs %q", lines[0], lines[1])
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	out := Series("fig", "round", "ppl", []int{1, 2}, []float64{50, 40.5})
+	if !strings.Contains(out, "# fig") || !strings.Contains(out, "2\t40.5000") {
+		t.Fatalf("bad series output:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if strings.Join(keys, "") != "abc" {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+}

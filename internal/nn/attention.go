@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"photon/internal/tensor"
+)
+
+// Attention implements multi-head causal self-attention with ALiBi
+// positional biases (the MPT positional scheme): score(i,j) gets an additive
+// bias slope_h·(j−i) for j ≤ i, and −∞ for j > i.
+type Attention struct {
+	Dim, Heads, HeadDim int
+
+	QKV    *Linear // fused projection Dim -> 3·Dim
+	Out    *Linear // output projection Dim -> Dim
+	sl     []float32
+	negInf float32
+
+	// caches for backward
+	qkv        *tensor.Matrix // [N, 3D]
+	probs      []float32      // [B, H, T, T] attention probabilities
+	batch, seq int
+}
+
+// NewAttention creates the attention sublayer.
+func NewAttention(name string, dim, heads int, std float64, rng *rand.Rand) *Attention {
+	return &Attention{
+		Dim: dim, Heads: heads, HeadDim: dim / heads,
+		QKV:    NewLinear(name+".qkv", dim, 3*dim, false, std, rng),
+		Out:    NewLinear(name+".out", dim, dim, false, std, rng),
+		sl:     AlibiSlopes(heads),
+		negInf: float32(math.Inf(-1)),
+	}
+}
+
+// Params returns all attention parameters.
+func (a *Attention) Params() ParamSet {
+	return append(a.QKV.Params(), a.Out.Params()...)
+}
+
+// qOff/kOff/vOff index into a fused QKV row for head h, channel j.
+func (a *Attention) qOff(h, j int) int { return h*a.HeadDim + j }
+func (a *Attention) kOff(h, j int) int { return a.Dim + h*a.HeadDim + j }
+func (a *Attention) vOff(h, j int) int { return 2*a.Dim + h*a.HeadDim + j }
+
+// Forward runs attention over x laid out as [B·T, D] with the given batch
+// and sequence dimensions.
+func (a *Attention) Forward(x *tensor.Matrix, batch, seq int) *tensor.Matrix {
+	a.batch, a.seq = batch, seq
+	a.qkv = a.QKV.Forward(x)
+	n := batch * seq
+	need := batch * a.Heads * seq * seq
+	if cap(a.probs) < need {
+		a.probs = make([]float32, need)
+	}
+	a.probs = a.probs[:need]
+
+	ctx := tensor.NewMatrix(n, a.Dim) // concatenated head outputs
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+	hd := a.HeadDim
+	row := func(b, t int) []float32 { return a.qkv.Row(b*seq + t) }
+
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			slope := a.sl[h]
+			base := ((b * a.Heads) + h) * seq * seq
+			for i := 0; i < seq; i++ {
+				qi := row(b, i)
+				p := a.probs[base+i*seq : base+(i+1)*seq]
+				for j := 0; j <= i; j++ {
+					kj := row(b, j)
+					var s float32
+					for c := 0; c < hd; c++ {
+						s += qi[a.qOff(h, c)] * kj[a.kOff(h, c)]
+					}
+					p[j] = s*scale + slope*float32(j-i)
+				}
+				for j := i + 1; j < seq; j++ {
+					p[j] = a.negInf
+				}
+				tensor.SoftmaxRow(p[:i+1])
+				for j := i + 1; j < seq; j++ {
+					p[j] = 0
+				}
+				// Context: ctx_i[h] = Σ_j p_j · V_j[h].
+				out := ctx.Row(b*seq + i)[h*hd : (h+1)*hd]
+				for j := 0; j <= i; j++ {
+					pj := p[j]
+					if pj == 0 {
+						continue
+					}
+					vj := row(b, j)
+					for c := 0; c < hd; c++ {
+						out[c] += pj * vj[a.vOff(h, c)]
+					}
+				}
+			}
+		}
+	}
+	return a.Out.Forward(ctx)
+}
+
+// Backward propagates gradients through the attention sublayer and returns
+// dX. Parameter gradients accumulate into the projection layers.
+func (a *Attention) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	batch, seq, hd := a.batch, a.seq, a.HeadDim
+	dctx := a.Out.Backward(dy) // [N, D]
+	dqkv := tensor.NewMatrix(batch*seq, 3*a.Dim)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	row := func(b, t int) []float32 { return a.qkv.Row(b*seq + t) }
+	drow := func(b, t int) []float32 { return dqkv.Row(b*seq + t) }
+
+	// Scratch for per-row score gradients.
+	ds := make([]float32, seq)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			base := ((b * a.Heads) + h) * seq * seq
+			for i := 0; i < seq; i++ {
+				p := a.probs[base+i*seq : base+(i+1)*seq]
+				dOut := dctx.Row(b*seq + i)[h*hd : (h+1)*hd]
+				// dP_ij = dOut·V_j ; dV_j += P_ij·dOut.
+				var dot float32 // Σ_j P_ij·dP_ij for the softmax Jacobian
+				for j := 0; j <= i; j++ {
+					vj := row(b, j)
+					dvj := drow(b, j)
+					var dp float32
+					for c := 0; c < hd; c++ {
+						dp += dOut[c] * vj[a.vOff(h, c)]
+					}
+					pj := p[j]
+					for c := 0; c < hd; c++ {
+						dvj[a.vOff(h, c)] += pj * dOut[c]
+					}
+					ds[j] = dp
+					dot += pj * dp
+				}
+				// Softmax backward: dS_ij = P_ij·(dP_ij − Σ_k P_ik·dP_ik).
+				for j := 0; j <= i; j++ {
+					ds[j] = p[j] * (ds[j] - dot)
+				}
+				// dQ_i += Σ_j dS_ij·K_j·scale ; dK_j += dS_ij·Q_i·scale.
+				qi := row(b, i)
+				dqi := drow(b, i)
+				for j := 0; j <= i; j++ {
+					g := ds[j] * scale
+					if g == 0 {
+						continue
+					}
+					kj := row(b, j)
+					dkj := drow(b, j)
+					for c := 0; c < hd; c++ {
+						dqi[a.qOff(h, c)] += g * kj[a.kOff(h, c)]
+						dkj[a.kOff(h, c)] += g * qi[a.qOff(h, c)]
+					}
+				}
+			}
+		}
+	}
+	return a.QKV.Backward(dqkv)
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math/rand"
+
+	"photon/internal/tensor"
+)
+
+// Generate autoregressively samples n tokens continuing prompt. Temperature
+// 0 is greedy decoding; higher temperatures flatten the distribution. The
+// context is truncated to the model's configured sequence length.
+func (m *Model) Generate(rng *rand.Rand, prompt []int, n int, temperature float64) []int {
+	seq := append([]int(nil), prompt...)
+	start := len(prompt)
+	if len(seq) == 0 {
+		// Seed an empty prompt with token 0; it is not part of the output.
+		seq = []int{0}
+		start = 1
+	}
+	for i := 0; i < n; i++ {
+		ctx := seq
+		if len(ctx) > m.Cfg.SeqLen {
+			ctx = ctx[len(ctx)-m.Cfg.SeqLen:]
+		}
+		logits := m.Logits([][]int{ctx})
+		row := logits.Row(len(ctx) - 1)
+		var next int
+		if temperature <= 0 {
+			next = tensor.ArgMax(row)
+		} else {
+			probs := make([]float32, len(row))
+			for j, v := range row {
+				probs[j] = float32(float64(v) / temperature)
+			}
+			tensor.SoftmaxRow(probs)
+			r := rng.Float64()
+			acc := 0.0
+			next = len(probs) - 1
+			for j, p := range probs {
+				acc += float64(p)
+				if r <= acc {
+					next = j
+					break
+				}
+			}
+		}
+		seq = append(seq, next)
+	}
+	return seq[start:]
+}
+
+// SequenceLogProb returns the model's total log-probability (nats) of seq
+// under teacher forcing, conditioned position by position.
+func (m *Model) SequenceLogProb(seq []int) float64 {
+	if len(seq) < 2 {
+		return 0
+	}
+	logits := m.Logits([][]int{seq[:len(seq)-1]})
+	var lp float64
+	for t := 0; t < len(seq)-1; t++ {
+		row := logits.Row(t)
+		lp += float64(row[seq[t+1]]) - tensor.LogSumExpRow(row)
+	}
+	return lp
+}

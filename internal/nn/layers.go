@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"photon/internal/tensor"
+)
+
+// Linear is a dense projection Y = X·W (optionally + b). W has shape
+// [In, Out] so rows of X are multiplied from the right, matching the
+// row-major activation layout used throughout the model.
+type Linear struct {
+	In, Out int
+	W       *Param
+	B       *Param // nil when the layer has no bias (MPT style)
+
+	x *tensor.Matrix // cached input for backward
+}
+
+// NewLinear creates a Linear layer with N(0, std²) weight init.
+func NewLinear(name string, in, out int, bias bool, std float64, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: newParam(name+".w", in*out)}
+	tensor.RandNormal(rng, l.W.Data, 0, std)
+	if bias {
+		l.B = newParam(name+".b", out)
+	}
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() ParamSet {
+	if l.B != nil {
+		return ParamSet{l.W, l.B}
+	}
+	return ParamSet{l.W}
+}
+
+// Forward computes Y = X·W (+ b), caching X for backward.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	y := tensor.NewMatrix(x.Rows, l.Out)
+	tensor.MatMul(y, x, tensor.FromSlice(l.In, l.Out, l.W.Data))
+	if l.B != nil {
+		for i := 0; i < y.Rows; i++ {
+			tensor.Add(y.Row(i), l.B.Data)
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW (and db) and returns dX.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
+	dw := tensor.FromSlice(l.In, l.Out, l.W.Grad)
+	tensor.MatMulTransAAccum(dw, l.x, dy) // dW += Xᵀ·dY
+	if l.B != nil {
+		for i := 0; i < dy.Rows; i++ {
+			tensor.Add(l.B.Grad, dy.Row(i))
+		}
+	}
+	dx := tensor.NewMatrix(l.x.Rows, l.In)
+	tensor.MatMulTransB(dx, dy, w) // dX = dY·Wᵀ
+	return dx
+}
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned affine transform.
+type LayerNorm struct {
+	Dim  int
+	G, B *Param
+
+	xhat *tensor.Matrix // cached normalized input
+	rstd []float32      // cached reciprocal std per row
+}
+
+// NewLayerNorm creates a LayerNorm with gain 1 and bias 0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{Dim: dim, G: newParam(name+".g", dim), B: newParam(name+".b", dim)}
+	tensor.Fill(ln.G.Data, 1)
+	return ln
+}
+
+// Params returns the layer's trainable parameters.
+func (ln *LayerNorm) Params() ParamSet { return ParamSet{ln.G, ln.B} }
+
+const lnEps = 1e-5
+
+// Forward normalizes each row of x.
+func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.NewMatrix(x.Rows, x.Cols)
+	ln.xhat = tensor.NewMatrix(x.Rows, x.Cols)
+	if cap(ln.rstd) < x.Rows {
+		ln.rstd = make([]float32, x.Rows)
+	}
+	ln.rstd = ln.rstd[:x.Rows]
+	d := float64(x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= d
+		var varr float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			varr += dv * dv
+		}
+		varr /= d
+		rstd := float32(1 / math.Sqrt(varr+lnEps))
+		ln.rstd[i] = rstd
+		xh := ln.xhat.Row(i)
+		yr := y.Row(i)
+		for j, v := range row {
+			h := (v - float32(mean)) * rstd
+			xh[j] = h
+			yr[j] = ln.G.Data[j]*h + ln.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dG, dB and returns dX.
+func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.NewMatrix(dy.Rows, dy.Cols)
+	d := float32(dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xh := ln.xhat.Row(i)
+		// Parameter gradients.
+		for j, g := range dyr {
+			ln.G.Grad[j] += g * xh[j]
+			ln.B.Grad[j] += g
+		}
+		// Input gradient: dx = rstd*(dxhat - mean(dxhat) - xhat*mean(dxhat⊙xhat)).
+		var sum1, sum2 float32
+		for j, g := range dyr {
+			dxh := g * ln.G.Data[j]
+			sum1 += dxh
+			sum2 += dxh * xh[j]
+		}
+		m1, m2 := sum1/d, sum2/d
+		dxr := dx.Row(i)
+		rstd := ln.rstd[i]
+		for j, g := range dyr {
+			dxh := g * ln.G.Data[j]
+			dxr[j] = rstd * (dxh - m1 - xh[j]*m2)
+		}
+	}
+	return dx
+}
+
+// geluCoef is √(2/π) for the tanh GELU approximation.
+const geluCoef = 0.7978845608028654
+
+// GELU applies the tanh-approximated Gaussian error linear unit in a fresh
+// matrix and caches the input for backward.
+type GELU struct {
+	x *tensor.Matrix
+}
+
+// Forward applies GELU element-wise.
+func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	g.x = x
+	y := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = geluScalar(v)
+	}
+	return y
+}
+
+// Backward returns dX given dY.
+func (g *GELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range g.x.Data {
+		dx.Data[i] = dy.Data[i] * geluGradScalar(v)
+	}
+	return dx
+}
+
+func geluScalar(x float32) float32 {
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(geluCoef*(xf+0.044715*xf*xf*xf))))
+}
+
+func geluGradScalar(x float32) float32 {
+	xf := float64(x)
+	inner := geluCoef * (xf + 0.044715*xf*xf*xf)
+	t := math.Tanh(inner)
+	dInner := geluCoef * (1 + 3*0.044715*xf*xf)
+	return float32(0.5*(1+t) + 0.5*xf*(1-t*t)*dInner)
+}
+
+// Embedding maps token ids to dense vectors. The same table is used as the
+// (tied) output projection by the model.
+type Embedding struct {
+	Vocab, Dim int
+	W          *Param
+
+	tokens []int // cached ids for backward scatter
+}
+
+// NewEmbedding creates an embedding table with N(0, std²) init.
+func NewEmbedding(name string, vocab, dim int, std float64, rng *rand.Rand) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, W: newParam(name, vocab*dim)}
+	tensor.RandNormal(rng, e.W.Data, 0, std)
+	return e
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() ParamSet { return ParamSet{e.W} }
+
+// Forward gathers rows for the given token ids. Panics on out-of-range ids —
+// that is a data-pipeline bug, not a recoverable condition.
+func (e *Embedding) Forward(tokens []int) *tensor.Matrix {
+	e.tokens = tokens
+	y := tensor.NewMatrix(len(tokens), e.Dim)
+	for i, id := range tokens {
+		if id < 0 || id >= e.Vocab {
+			panic("nn: token id out of vocabulary range")
+		}
+		copy(y.Row(i), e.W.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return y
+}
+
+// Backward scatter-adds dY rows into the embedding gradient.
+func (e *Embedding) Backward(dy *tensor.Matrix) {
+	for i, id := range e.tokens {
+		tensor.Add(e.W.Grad[id*e.Dim:(id+1)*e.Dim], dy.Row(i))
+	}
+}
+
+// AlibiSlopes returns the per-head ALiBi slopes using the geometric sequence
+// from the ALiBi paper: for h heads, slope_i = 2^(-8(i+1)/h).
+func AlibiSlopes(heads int) []float32 {
+	slopes := make([]float32, heads)
+	for i := range slopes {
+		slopes[i] = float32(math.Pow(2, -8*float64(i+1)/float64(heads)))
+	}
+	return slopes
+}

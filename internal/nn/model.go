@@ -1,0 +1,244 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"photon/internal/tensor"
+)
+
+// Block is one pre-LayerNorm transformer block:
+//
+//	x = x + Attn(LN1(x)) ; x = x + MLP(LN2(x))
+type Block struct {
+	LN1  *LayerNorm
+	Attn *Attention
+	LN2  *LayerNorm
+	FC1  *Linear
+	Act  *GELU
+	FC2  *Linear
+}
+
+// NewBlock constructs one transformer block.
+func NewBlock(name string, cfg Config, rng *rand.Rand) *Block {
+	std := cfg.InitStd
+	if std == 0 {
+		std = 0.02
+	}
+	// Residual-branch output projections get the GPT-2 style depth-scaled
+	// init to keep the residual stream variance bounded.
+	resStd := std / math.Sqrt(float64(2*cfg.Blocks))
+	b := &Block{
+		LN1:  NewLayerNorm(name+".ln1", cfg.Dim),
+		Attn: NewAttention(name+".attn", cfg.Dim, cfg.Heads, std, rng),
+		LN2:  NewLayerNorm(name+".ln2", cfg.Dim),
+		FC1:  NewLinear(name+".mlp.fc1", cfg.Dim, cfg.ExpRatio*cfg.Dim, false, std, rng),
+		Act:  &GELU{},
+		FC2:  NewLinear(name+".mlp.fc2", cfg.ExpRatio*cfg.Dim, cfg.Dim, false, resStd, rng),
+	}
+	tensor.RandNormal(rng, b.Attn.Out.W.Data, 0, resStd)
+	return b
+}
+
+// Params returns the block's parameters in a stable order.
+func (b *Block) Params() ParamSet {
+	ps := b.LN1.Params()
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.FC1.Params()...)
+	ps = append(ps, b.FC2.Params()...)
+	return ps
+}
+
+// Forward runs the block over x ([B·T, D]).
+func (b *Block) Forward(x *tensor.Matrix, batch, seq int) *tensor.Matrix {
+	h := b.Attn.Forward(b.LN1.Forward(x), batch, seq)
+	tensor.Add(h.Data, x.Data) // residual 1; h = x + attn
+	m := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(h))))
+	tensor.Add(m.Data, h.Data) // residual 2
+	return m
+}
+
+// Backward propagates dY through the block and returns dX.
+func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	// Residual 2: gradient flows both into the MLP branch and straight through.
+	dh := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(dy))))
+	tensor.Add(dh.Data, dy.Data)
+	// Residual 1.
+	dx := b.LN1.Backward(b.Attn.Backward(dh))
+	tensor.Add(dx.Data, dh.Data)
+	return dx
+}
+
+// Model is the MPT-style decoder-only language model: tied token embedding,
+// N pre-LN blocks with ALiBi attention, final LayerNorm, and a tied output
+// projection producing next-token logits.
+type Model struct {
+	Cfg    Config
+	Embed  *Embedding
+	Blocks []*Block
+	LNF    *LayerNorm
+
+	params ParamSet
+}
+
+// NewModel builds and initializes a model from cfg using rng. It panics on
+// an invalid configuration (programmer error, validated in tests).
+func NewModel(cfg Config, rng *rand.Rand) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	std := cfg.InitStd
+	if std == 0 {
+		std = 0.02
+	}
+	m := &Model{
+		Cfg:   cfg,
+		Embed: NewEmbedding("embed", cfg.VocabSize, cfg.Dim, std, rng),
+		LNF:   NewLayerNorm("lnf", cfg.Dim),
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		m.Blocks = append(m.Blocks, NewBlock(blockName(i), cfg, rng))
+	}
+	m.params = m.Embed.Params()
+	for _, b := range m.Blocks {
+		m.params = append(m.params, b.Params()...)
+	}
+	m.params = append(m.params, m.LNF.Params()...)
+	return m
+}
+
+func blockName(i int) string {
+	return "block" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// Params returns all trainable parameters in deterministic order.
+func (m *Model) Params() ParamSet { return m.params }
+
+// NumParams returns the total trainable parameter count.
+func (m *Model) NumParams() int { return m.params.NumElements() }
+
+// Batch is one training micro-batch of token sequences. Targets[i][t] is the
+// next-token label for Inputs[i][t]; a negative target is ignored (padding).
+type Batch struct {
+	Inputs  [][]int
+	Targets [][]int
+}
+
+// Size returns the number of sequences in the batch.
+func (b Batch) Size() int { return len(b.Inputs) }
+
+// Tokens returns the number of (non-ignored) target tokens.
+func (b Batch) Tokens() int {
+	n := 0
+	for _, row := range b.Targets {
+		for _, t := range row {
+			if t >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// forward runs the model to final hidden states [B·T, D].
+func (m *Model) forward(inputs [][]int) (*tensor.Matrix, int, int) {
+	batch := len(inputs)
+	seq := len(inputs[0])
+	flat := make([]int, 0, batch*seq)
+	for _, row := range inputs {
+		if len(row) != seq {
+			panic("nn: ragged batch")
+		}
+		flat = append(flat, row...)
+	}
+	x := m.Embed.Forward(flat)
+	for _, b := range m.Blocks {
+		x = b.Forward(x, batch, seq)
+	}
+	return m.LNF.Forward(x), batch, seq
+}
+
+// Logits computes next-token logits [B·T, V] for the batch inputs.
+func (m *Model) Logits(inputs [][]int) *tensor.Matrix {
+	h, _, _ := m.forward(inputs)
+	logits := tensor.NewMatrix(h.Rows, m.Cfg.VocabSize)
+	emb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Data)
+	tensor.MatMulTransB(logits, h, emb) // logits = H·Embᵀ (tied head)
+	return logits
+}
+
+// Loss computes the mean cross-entropy (nats/token) of the batch without
+// touching gradients.
+func (m *Model) Loss(b Batch) float64 {
+	logits := m.Logits(b.Inputs)
+	return crossEntropy(logits, b.Targets, nil)
+}
+
+// ForwardBackward computes the batch loss and accumulates parameter
+// gradients (it does not zero them first, enabling gradient accumulation).
+func (m *Model) ForwardBackward(b Batch) float64 {
+	h, batch, seq := m.forward(b.Inputs)
+	logits := tensor.NewMatrix(h.Rows, m.Cfg.VocabSize)
+	emb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Data)
+	tensor.MatMulTransB(logits, h, emb)
+
+	dlogits := tensor.NewMatrix(logits.Rows, logits.Cols)
+	loss := crossEntropy(logits, b.Targets, dlogits)
+
+	// Tied head backward: dH = dLogits·Emb ; dEmb += dLogitsᵀ·H.
+	dh := tensor.NewMatrix(h.Rows, m.Cfg.Dim)
+	tensor.MatMul(dh, dlogits, emb)
+	dEmb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Grad)
+	tensor.MatMulTransAAccum(dEmb, dlogits, h)
+
+	dx := m.LNF.Backward(dh)
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		dx = m.Blocks[i].Backward(dx)
+	}
+	_ = batch
+	_ = seq
+	m.Embed.Backward(dx)
+	return loss
+}
+
+// crossEntropy returns mean NLL over non-negative targets; if dlogits is
+// non-nil it is filled with the gradient (softmax − onehot)/count.
+func crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *tensor.Matrix) float64 {
+	count := 0
+	for _, row := range targets {
+		for _, t := range row {
+			if t >= 0 {
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	var loss float64
+	seq := len(targets[0])
+	inv := float32(1 / float64(count))
+	for bi, row := range targets {
+		for t, tgt := range row {
+			r := bi*seq + t
+			lrow := logits.Row(r)
+			if tgt < 0 {
+				continue // padding: zero gradient row
+			}
+			lse := tensor.LogSumExpRow(lrow)
+			loss += lse - float64(lrow[tgt])
+			if dlogits != nil {
+				drow := dlogits.Row(r)
+				for j, v := range lrow {
+					drow[j] = float32(math.Exp(float64(v)-lse)) * inv
+				}
+				drow[tgt] -= inv
+			}
+		}
+	}
+	return loss / float64(count)
+}
+
+// Perplexity converts a mean NLL (nats/token) to perplexity.
+func Perplexity(meanNLL float64) float64 { return math.Exp(meanNLL) }

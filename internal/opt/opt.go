@@ -1,0 +1,147 @@
+// Package opt implements the local (client-side) optimizers and learning-rate
+// schedules used by Photon: AdamW with decoupled weight decay (the paper's
+// ClientOpt), plain and Nesterov-momentum SGD, and the cosine-with-warmup
+// schedule whose decay period follows the Appendix C.1 rule (Eq. 8): the
+// period is set for the *hardware* batch size Bc rather than the effective
+// federated batch, which is what lets Photon pair small client batches with
+// high learning rates.
+package opt
+
+import (
+	"math"
+
+	"photon/internal/nn"
+)
+
+// Optimizer updates model parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update with the given learning rate and then leaves
+	// gradients untouched (callers zero them).
+	Step(params nn.ParamSet, lr float64)
+	// Reset clears all internal state (momenta, step counters). Photon
+	// clients call this at every round boundary: the paper uses stateless
+	// local optimization so optimizer state never needs to be communicated
+	// or persisted across intermittent client availability.
+	Reset()
+	// Name identifies the optimizer in metrics and checkpoints.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct{}
+
+// Name implements Optimizer.
+func (SGD) Name() string { return "sgd" }
+
+// Reset implements Optimizer (SGD is stateless).
+func (SGD) Reset() {}
+
+// Step applies p -= lr·g.
+func (SGD) Step(params nn.ParamSet, lr float64) {
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.Data[i] -= float32(lr) * g
+		}
+	}
+}
+
+// Momentum is SGD with (optionally Nesterov) momentum, the optimizer DiLoCo
+// recommends for its outer loop; provided here for local-optimizer ablations.
+type Momentum struct {
+	Mu       float64 // momentum coefficient
+	Nesterov bool
+	buf      [][]float32
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string {
+	if m.Nesterov {
+		return "nesterov"
+	}
+	return "momentum"
+}
+
+// Reset implements Optimizer.
+func (m *Momentum) Reset() { m.buf = nil }
+
+// Step applies the momentum update v = μv + g; p -= lr·(g + μv) (Nesterov)
+// or p -= lr·v (classic).
+func (m *Momentum) Step(params nn.ParamSet, lr float64) {
+	if m.buf == nil {
+		m.buf = make([][]float32, len(params))
+		for i, p := range params {
+			m.buf[i] = make([]float32, len(p.Data))
+		}
+	}
+	mu := float32(m.Mu)
+	for i, p := range params {
+		v := m.buf[i]
+		for j, g := range p.Grad {
+			v[j] = mu*v[j] + g
+			if m.Nesterov {
+				p.Data[j] -= float32(lr) * (g + mu*v[j])
+			} else {
+				p.Data[j] -= float32(lr) * v[j]
+			}
+		}
+	}
+}
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter), the
+// paper's local optimizer with (β1, β2) from Table 4.
+type AdamW struct {
+	Beta1, Beta2 float64
+	Eps          float64 // 0 → 1e-8
+	WeightDecay  float64
+
+	step int
+	m, v [][]float32
+}
+
+// NewAdamW constructs AdamW with the given betas and weight decay.
+func NewAdamW(beta1, beta2, weightDecay float64) *AdamW {
+	return &AdamW{Beta1: beta1, Beta2: beta2, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Name implements Optimizer.
+func (a *AdamW) Name() string { return "adamw" }
+
+// Reset implements Optimizer, clearing momenta and the bias-correction step
+// counter. Photon resets this each federated round (stateless ClientOpt).
+func (a *AdamW) Reset() {
+	a.step = 0
+	a.m, a.v = nil, nil
+}
+
+// Step applies one AdamW update.
+func (a *AdamW) Step(params nn.ParamSet, lr float64) {
+	if a.m == nil {
+		a.m = make([][]float32, len(params))
+		a.v = make([][]float32, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float32, len(p.Data))
+			a.v[i] = make([]float32, len(p.Data))
+		}
+	}
+	a.step++
+	eps := a.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	b1, b2 := a.Beta1, a.Beta2
+	c1 := 1 - math.Pow(b1, float64(a.step))
+	c2 := 1 - math.Pow(b2, float64(a.step))
+	wd := float32(lr * a.WeightDecay)
+	for i, p := range params {
+		mi, vi := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			gf := float64(g)
+			mj := b1*float64(mi[j]) + (1-b1)*gf
+			vj := b2*float64(vi[j]) + (1-b2)*gf*gf
+			mi[j], vi[j] = float32(mj), float32(vj)
+			mhat := mj / c1
+			vhat := vj / c2
+			p.Data[j] -= float32(lr*mhat/(math.Sqrt(vhat)+eps)) + wd*p.Data[j]
+		}
+	}
+}

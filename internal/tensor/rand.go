@@ -1,0 +1,20 @@
+package tensor
+
+import "math/rand"
+
+// RandNormal fills x with samples from N(mean, std²) drawn from rng.
+// Using an explicit rng keeps model initialization deterministic per seed,
+// which the experiment harness relies on for reproducibility.
+func RandNormal(rng *rand.Rand, x []float32, mean, std float64) {
+	for i := range x {
+		x[i] = float32(mean + std*rng.NormFloat64())
+	}
+}
+
+// RandUniform fills x with samples from U[lo, hi).
+func RandUniform(rng *rand.Rand, x []float32, lo, hi float64) {
+	span := hi - lo
+	for i := range x {
+		x[i] = float32(lo + span*rng.Float64())
+	}
+}

@@ -1,0 +1,347 @@
+// Package tensor provides the dense float32 linear-algebra kernels used by
+// the Photon training substrate: matrix multiplication (with transposed
+// variants for backpropagation), row-wise softmax, and the element-wise
+// vector operations needed by a transformer language model.
+//
+// The package is deliberately small and allocation-conscious. All kernels
+// operate on flat []float32 buffers with explicit dimensions so callers can
+// reuse scratch memory across training steps. Matrix multiplication is
+// cache-blocked and, above a size threshold, parallelized across row bands
+// with goroutines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps an existing buffer as a matrix. The buffer must hold
+// exactly rows*cols elements.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: buffer length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns the i-th row as a sub-slice (no copy).
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// parallelThreshold is the number of multiply-adds above which MatMul fans
+// out across goroutines. Tuned for small-model training where many matmuls
+// are tiny and goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// MatMul computes C = A·B where A is m×k, B is k×n, and C is m×n.
+// C must not alias A or B.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	mulRows := func(lo, hi int) {
+		n, k := b.Cols, a.Cols
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for x := range ci {
+				ci[x] = 0
+			}
+			ai := a.Data[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				axpy(av, bp, ci)
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Cols*b.Cols, mulRows)
+}
+
+// MatMulAccum computes C += A·B (same shapes as MatMul).
+func MatMulAccum(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: MatMulAccum shape mismatch")
+	}
+	mulRows := func(lo, hi int) {
+		n, k := b.Cols, a.Cols
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			ai := a.Data[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b.Data[p*n:(p+1)*n], ci)
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Cols*b.Cols, mulRows)
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
+// This is the kernel used for weight gradients (dW = Xᵀ·dY).
+func MatMulTransA(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("tensor: MatMulTransA shape mismatch")
+	}
+	c.Zero()
+	MatMulTransAAccum(c, a, b)
+}
+
+// MatMulTransAAccum computes C += Aᵀ·B (same shapes as MatMulTransA).
+func MatMulTransAAccum(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("tensor: MatMulTransAAccum shape mismatch")
+	}
+	m, n, k := a.Cols, b.Cols, a.Rows
+	// Parallelize over output rows (columns of A). Each worker owns a band
+	// of C rows so no synchronization is needed.
+	work := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a.Data[p*m : (p+1)*m]
+			bp := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, bp, c.Data[i*n:(i+1)*n])
+			}
+		}
+	}
+	parallelRows(m, n*k, work)
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
+// This is the kernel used for input gradients (dX = dY·Wᵀ) and attention
+// scores (Q·Kᵀ).
+func MatMulTransB(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	work := func(lo, hi int) {
+		n, k := b.Rows, a.Cols
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] = Dot(ai, b.Data[j*k:(j+1)*k])
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Cols*b.Rows, work)
+}
+
+// parallelRows splits [0, rows) into bands and runs work on each band,
+// using goroutines only when the total flop volume justifies it.
+func parallelRows(rows, volumePerRowHint int, work func(lo, hi int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if rows == 0 {
+		return
+	}
+	if procs <= 1 || rows*volumePerRowHint < parallelThreshold || rows < 2 {
+		work(0, rows)
+		return
+	}
+	bands := procs
+	if bands > rows {
+		bands = rows
+	}
+	var wg sync.WaitGroup
+	step := (rows + bands - 1) / bands
+	for lo := 0; lo < rows; lo += step {
+		hi := lo + step
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// axpy computes y += a*x for equal-length slices.
+func axpy(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Axpy computes y += a*x for equal-length slices (exported form).
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	axpy(a, x, y)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(x, y []float32) float32 {
+	var s float32
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add computes dst[i] += src[i].
+func Add(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Add length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Sub computes dst[i] -= src[i].
+func Sub(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// Hadamard computes dst[i] *= src[i].
+func Hadamard(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Hadamard length mismatch")
+	}
+	for i, v := range src {
+		dst[i] *= v
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, accumulated in float64 for
+// stability.
+func Norm2(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// SoftmaxRow converts x to a probability distribution in place using the
+// numerically stable max-subtraction form.
+func SoftmaxRow(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := float32(math.Exp(float64(v - maxV)))
+		x[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// LogSumExpRow returns log(Σ exp(x_i)) computed stably.
+func LogSumExpRow(x []float32) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(float64(v - maxV))
+	}
+	return float64(maxV) + math.Log(sum)
+}
+
+// ArgMax returns the index of the largest element of x (first on ties), or
+// -1 for an empty slice.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

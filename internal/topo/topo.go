@@ -1,0 +1,168 @@
+// Package topo implements Photon's aggregation topologies and the analytic
+// wall-time model of Appendix B.1.
+//
+// The three aggregation variants of Section 4 — parameter server (PS),
+// AllReduce (AR), and Ring-AllReduce (RAR) — have the communication costs of
+// Eqs. 2–4; local compute time follows Eq. 1; round and total wall time
+// follow Eqs. 5–6; server aggregation time follows Eq. 7. The package also
+// carries the Figure 2 inter-region bandwidth graph and the topology
+// auto-selection rule Photon applies per scenario (privacy constraints rule
+// out peer-to-peer; dropout risk rules out RAR; otherwise the cheapest
+// topology wins).
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology identifies an aggregation implementation.
+type Topology int
+
+// Aggregation topologies from Section 4.
+const (
+	// PS routes all updates through a parameter server: O(N·M) at the
+	// server, tolerant of dropouts, the only option under strict privacy.
+	PS Topology = iota
+	// AR is direct all-to-all AllReduce: O(N²·M) total traffic.
+	AR
+	// RAR is bandwidth-optimal Ring-AllReduce, bottlenecked by the slowest
+	// ring link and intolerant of dropouts.
+	RAR
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case PS:
+		return "PS"
+	case AR:
+		return "AR"
+	default:
+		return "RAR"
+	}
+}
+
+// GbpsToMBps converts link bandwidth from gigabits/s to megabytes/s.
+func GbpsToMBps(gbps float64) float64 { return gbps * 1000 / 8 }
+
+// Model is the Appendix B.1 wall-time model. All times are seconds.
+type Model struct {
+	ModelSizeMB   float64 // S: model size on the wire (MB)
+	BandwidthMBps float64 // B: effective bandwidth of the binding link (MB/s)
+	Throughput    float64 // ν: local training throughput (batches/s), Eq. 1
+	LocalSteps    int     // τ: local steps per round
+	ServerTFLOPS  float64 // ζ: server aggregation capacity (default 5 TFLOPS)
+	CongestionThr int     // θ: channels before bandwidth scaling (default 100)
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.ModelSizeMB <= 0:
+		return fmt.Errorf("topo: ModelSizeMB must be positive, got %v", m.ModelSizeMB)
+	case m.BandwidthMBps <= 0:
+		return fmt.Errorf("topo: BandwidthMBps must be positive, got %v", m.BandwidthMBps)
+	case m.Throughput <= 0:
+		return fmt.Errorf("topo: Throughput must be positive, got %v", m.Throughput)
+	case m.LocalSteps <= 0:
+		return fmt.Errorf("topo: LocalSteps must be positive, got %v", m.LocalSteps)
+	}
+	return nil
+}
+
+// LocalComputeTime is Eq. 1: T_L = τ/ν. It does not scale with the client
+// count because all clients train in parallel on equipollent hardware.
+func (m Model) LocalComputeTime() float64 {
+	return float64(m.LocalSteps) / m.Throughput
+}
+
+// CommTime returns the per-round communication time of Eqs. 2–4 for K
+// clients under the given topology. K ≤ 1 means no communication.
+func (m Model) CommTime(t Topology, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	kf := float64(k)
+	s, b := m.ModelSizeMB, m.BandwidthMBps
+	switch t {
+	case PS:
+		// Eq. 2: the server serializes K model transfers over its link.
+		return kf * s / b
+	case AR:
+		// Eq. 3: each worker exchanges with K−1 peers.
+		return (kf - 1) * s / b
+	default:
+		// Eq. 4: bandwidth-optimal ring, 2S(K−1)/(K·B).
+		return 2 * s * (kf - 1) / (kf * b)
+	}
+}
+
+// AggregationTime is Eq. 7: T_agg = K·S/ζ with ζ in TFLOPS (default 5),
+// counting one reduce FLOP per aggregated byte. As the paper notes, this is
+// negligible next to communication.
+func (m Model) AggregationTime(k int) float64 {
+	z := m.ServerTFLOPS
+	if z <= 0 {
+		z = 5
+	}
+	return float64(k) * m.ModelSizeMB * 1e6 / (z * 1e12)
+}
+
+// RoundTime is Eq. 5: one round of local compute plus aggregation traffic.
+func (m Model) RoundTime(t Topology, k int) float64 {
+	return m.LocalComputeTime() + m.CommTime(t, k)
+}
+
+// TotalTime is Eq. 6: R rounds of RoundTime.
+func (m Model) TotalTime(t Topology, k, rounds int) float64 {
+	return float64(rounds) * m.RoundTime(t, k)
+}
+
+// CommShare returns the fraction of round wall time spent communicating,
+// the percentage annotated on top of the Figure 6/9/10 bars.
+func (m Model) CommShare(t Topology, k int) float64 {
+	rt := m.RoundTime(t, k)
+	if rt == 0 {
+		return 0
+	}
+	return m.CommTime(t, k) / rt
+}
+
+// DDPStepCommTime returns the per-step gradient synchronization cost of
+// centralized distributed data parallelism over the same links, which pays
+// the Eq. 4 ring cost at *every* optimizer step instead of every τ steps.
+func (m Model) DDPStepCommTime(k int) float64 {
+	return m.CommTime(RAR, k)
+}
+
+// CommReductionFactor returns how many times less often federated training
+// communicates versus DDP: exactly τ (the 64×–512× headline).
+func (m Model) CommReductionFactor() float64 { return float64(m.LocalSteps) }
+
+// Constraints describe deployment restrictions for topology selection.
+type Constraints struct {
+	// PeerToPeerAllowed is false under privacy restrictions that force all
+	// traffic through a trusted server.
+	PeerToPeerAllowed bool
+	// DropoutExpected is true when clients may vanish mid-round, which RAR
+	// cannot tolerate.
+	DropoutExpected bool
+}
+
+// SelectTopology picks the cheapest admissible topology for K clients.
+func (m Model) SelectTopology(c Constraints, k int) Topology {
+	if !c.PeerToPeerAllowed {
+		return PS
+	}
+	best, bestT := math.Inf(1), PS
+	for _, t := range []Topology{PS, AR, RAR} {
+		if t == RAR && c.DropoutExpected {
+			continue
+		}
+		if ct := m.CommTime(t, k); ct < best {
+			best, bestT = ct, t
+		}
+	}
+	return bestT
+}

@@ -1,0 +1,353 @@
+// Package photon is the public API of the Photon federated LLM pre-training
+// system — a from-scratch Go reproduction of "Photon: Federated LLM
+// Pre-Training" (MLSys 2025).
+//
+// The package wraps the internal subsystems (federated core, transformer
+// training stack, data sources, communication layer, and wall-time models)
+// behind three entry points:
+//
+//   - Pretrain runs a complete federated pre-training job in-process:
+//     Algorithm 1 with FedAvg/FedMom/DiLoCo server optimizers, IID or
+//     heterogeneous data, partial participation, dropout injection, and
+//     checkpointing.
+//   - PretrainCentralized runs the matched centralized/DDP baseline
+//     (Algorithm 2).
+//   - PlanDeployment evaluates the Appendix B.1 wall-time model over a
+//     bandwidth topology, choosing the cheapest admissible aggregation
+//     topology for a deployment.
+//
+// For networked (multi-process) federations, ServeAggregator and JoinAsClient
+// speak the same wire protocol as the photon-agg and photon-client commands.
+package photon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"photon/internal/ckpt"
+	"photon/internal/data"
+	"photon/internal/fed"
+	"photon/internal/link"
+	"photon/internal/nn"
+	"photon/internal/opt"
+	"photon/internal/topo"
+)
+
+// ModelSize selects a model architecture preset.
+type ModelSize string
+
+// Available model sizes: the paper's Table 4 presets (for analytics and
+// full-scale deployment) and the laptop-trainable proxies used by the
+// experiment harness.
+const (
+	Size75M   ModelSize = "75M"
+	Size125M  ModelSize = "125M"
+	Size350M  ModelSize = "350M"
+	Size1B    ModelSize = "1.3B"
+	Size3B    ModelSize = "3B"
+	Size7B    ModelSize = "7B"
+	SizeTiny  ModelSize = "tiny"
+	SizeTinyS ModelSize = "tiny-1B-proxy"
+	SizeTinyM ModelSize = "tiny-3B-proxy"
+	SizeTinyL ModelSize = "tiny-7B-proxy"
+)
+
+// ModelConfig resolves a size preset to its architecture configuration.
+func ModelConfig(size ModelSize) (nn.Config, error) {
+	all := append(nn.PaperConfigs(),
+		nn.ConfigTiny, nn.ConfigTinyS, nn.ConfigTinyM, nn.ConfigTinyL)
+	for _, c := range all {
+		if c.Name == string(size) {
+			return c, nil
+		}
+	}
+	return nn.Config{}, fmt.Errorf("photon: unknown model size %q", size)
+}
+
+// ServerOptimizer selects the aggregator-side optimizer.
+type ServerOptimizer string
+
+// Server optimizer choices.
+const (
+	// FedAvg with ηs=1 is Photon's recipe.
+	FedAvg ServerOptimizer = "fedavg"
+	// FedMom adds server momentum (ηs=1, µ=0.9).
+	FedMom ServerOptimizer = "fedmom"
+	// DiLoCo is the outer-Nesterov baseline (ηs=0.1, µ=0.9).
+	DiLoCo ServerOptimizer = "diloco"
+)
+
+// Options configures Pretrain. Zero values select the paper-faithful
+// defaults documented per field.
+type Options struct {
+	Size ModelSize // default SizeTiny
+
+	Clients         int // federation population (default 4)
+	ClientsPerRound int // K; default = Clients (full participation)
+	Rounds          int // federated rounds (default 20)
+	LocalSteps      int // τ local steps per round (default 16)
+	BatchSize       int // Bl hardware batch size (default 4)
+	SeqLen          int // training sequence length (default 16)
+
+	MaxLR  float64         // peak learning rate (default 3e-3, the high-LR recipe)
+	Server ServerOptimizer // default FedAvg
+
+	// Heterogeneous assigns each client one distinct Pile-like source
+	// instead of IID shards of the C4-like corpus.
+	Heterogeneous bool
+
+	// DropoutProb injects per-round client failures.
+	DropoutProb float64
+
+	// CheckpointPath enables per-round async checkpointing of the global
+	// model.
+	CheckpointPath string
+
+	// ResumeFrom loads a checkpoint written via CheckpointPath and
+	// continues training from it: the global model is restored and round
+	// numbering (and the learning-rate schedule) picks up where the
+	// checkpoint left off.
+	ResumeFrom string
+
+	// StopAtPPL halts once validation perplexity reaches the target.
+	StopAtPPL float64
+
+	// SecureAggregation applies NaN-guarding and L2-clipping post-processing
+	// to client updates before aggregation.
+	ClipUpdateNorm float64
+
+	Seed int64 // default 1
+}
+
+func (o *Options) fill() {
+	if o.Size == "" {
+		o.Size = SizeTiny
+	}
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	if o.ClientsPerRound == 0 {
+		o.ClientsPerRound = o.Clients
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 20
+	}
+	if o.LocalSteps == 0 {
+		o.LocalSteps = 16
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 4
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 16
+	}
+	if o.MaxLR == 0 {
+		o.MaxLR = 3e-3
+	}
+	if o.Server == "" {
+		o.Server = FedAvg
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o Options) outer() (fed.OuterOpt, error) {
+	switch o.Server {
+	case FedAvg:
+		return fed.FedAvg{LR: 1.0}, nil
+	case FedMom:
+		return fed.NewFedMom(1.0, 0.9), nil
+	case DiLoCo:
+		return fed.NewDiLoCo(0.1, 0.9), nil
+	default:
+		return nil, fmt.Errorf("photon: unknown server optimizer %q", o.Server)
+	}
+}
+
+// RoundStat is one round of training progress.
+type RoundStat struct {
+	Round      int
+	TrainLoss  float64
+	Perplexity float64 // 0 when the round was not evaluated
+	Clients    int
+}
+
+// Result is a finished pre-training run.
+type Result struct {
+	Stats           []RoundStat
+	FinalPerplexity float64
+
+	model *nn.Model
+}
+
+// Generate samples tokens from the trained model (temperature 0 = greedy).
+func (r *Result) Generate(seed int64, prompt []int, n int, temperature float64) []int {
+	return r.model.Generate(rand.New(rand.NewSource(seed)), prompt, n, temperature)
+}
+
+// Perplexity evaluates the trained model on fresh held-out data.
+func (r *Result) Perplexity() float64 { return r.FinalPerplexity }
+
+// NumParams returns the trained model's parameter count.
+func (r *Result) NumParams() int { return r.model.NumParams() }
+
+// Pretrain runs federated pre-training end to end in a single process and
+// returns the trained global model with its training history.
+func Pretrain(o Options) (*Result, error) {
+	o.fill()
+	cfg, err := ModelConfig(o.Size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = o.SeqLen
+
+	var part *data.Partition
+	var valSrc data.Source
+	if o.Heterogeneous {
+		pile := data.PileLike(cfg.VocabSize)
+		part, err = data.BySourcePartition(pile, o.Clients, o.Seed+1000)
+		valSrc = data.NewMixtureSource("pile", pile, nil)
+	} else {
+		valSrc = data.C4Like(cfg.VocabSize)
+		part, err = data.IIDPartition(valSrc, o.Clients, o.Seed+1000)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	clients := make([]*fed.Client, part.NumClients())
+	for i := range clients {
+		clients[i] = fed.NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
+			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+	}
+	outer, err := o.outer()
+	if err != nil {
+		return nil, err
+	}
+	var post link.Pipeline
+	if o.ClipUpdateNorm > 0 {
+		post = link.Pipeline{link.NaNGuard{}, link.ClipL2{MaxNorm: o.ClipUpdateNorm}}
+	}
+	// Extended decay period (Appendix C.1): decay over 4x the planned run so
+	// the high learning rate persists, with the PaperCosine 1% warmup.
+	period := 4 * o.Rounds * o.LocalSteps
+	if period < 200 {
+		period = 200
+	}
+	var initParams []float32
+	startRound := 0
+	if o.ResumeFrom != "" {
+		snap, err := ckpt.Load(o.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("photon: resume: %w", err)
+		}
+		initParams = snap.Params
+		startRound = snap.Round
+	}
+
+	res, err := fed.Run(fed.RunConfig{
+		ModelConfig:     cfg,
+		Seed:            o.Seed,
+		Rounds:          o.Rounds,
+		ClientsPerRound: o.ClientsPerRound,
+		Clients:         clients,
+		Outer:           outer,
+		Spec: fed.LocalSpec{
+			Steps:     o.LocalSteps,
+			BatchSize: o.BatchSize,
+			SeqLen:    cfg.SeqLen,
+			Schedule:  opt.PaperCosine(o.MaxLR, period),
+			ClipNorm:  1.0,
+		},
+		Validation:     data.NewValidationSet(valSrc, 16, cfg.SeqLen, 987654),
+		EvalEvery:      1,
+		Post:           post,
+		DropoutProb:    o.DropoutProb,
+		CheckpointPath: o.CheckpointPath,
+		InitParams:     initParams,
+		StartRound:     startRound,
+		StopAtPPL:      o.StopAtPPL,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{model: res.FinalModel, FinalPerplexity: res.History.FinalPPL()}
+	for _, r := range res.History.Rounds {
+		out.Stats = append(out.Stats, RoundStat{
+			Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL, Clients: r.Clients,
+		})
+	}
+	return out, nil
+}
+
+// TopologyPlan is one aggregation option evaluated by PlanDeployment.
+type TopologyPlan struct {
+	Topology       string
+	BandwidthGbps  float64 // effective (bottleneck) bandwidth
+	CommSeconds    float64 // per-round communication time
+	RoundSeconds   float64 // per-round total (compute + comm)
+	CommShare      float64 // fraction of the round spent communicating
+	Selected       bool    // cheapest admissible choice
+	RuledOutReason string  // non-empty when constraints exclude it
+}
+
+// PlanDeployment evaluates the Appendix B.1 wall-time model for a model size
+// over the paper's Figure 2 world bandwidth graph (regions nil selects all
+// five paper regions) and returns the per-topology plan with the cheapest
+// admissible topology marked. localSteps is τ; throughput is the client's
+// ν in batches/second; peerToPeer and dropouts mirror the deployment
+// constraints of Section 4.
+func PlanDeployment(size ModelSize, regions []string, localSteps int, throughput float64,
+	peerToPeer, dropouts bool) ([]TopologyPlan, error) {
+	cfg, err := ModelConfig(size)
+	if err != nil {
+		return nil, err
+	}
+	if len(regions) == 0 {
+		regions = topo.WorldRing()
+	}
+	if localSteps <= 0 || throughput <= 0 {
+		return nil, fmt.Errorf("photon: localSteps and throughput must be positive")
+	}
+	g := topo.WorldGraph()
+	sizeMB := float64(cfg.ParamCount()) * 2 / 1e6
+
+	var plans []TopologyPlan
+	bestIdx, bestTime := -1, 0.0
+	for _, t := range []topo.Topology{topo.PS, topo.AR, topo.RAR} {
+		bw, err := g.EffectiveBandwidthGbps(t, topo.England, regions)
+		if err != nil {
+			return nil, err
+		}
+		m := topo.Model{
+			ModelSizeMB:   sizeMB,
+			BandwidthMBps: topo.GbpsToMBps(bw),
+			Throughput:    throughput,
+			LocalSteps:    localSteps,
+		}
+		k := len(regions)
+		p := TopologyPlan{
+			Topology:      t.String(),
+			BandwidthGbps: bw,
+			CommSeconds:   m.CommTime(t, k),
+			RoundSeconds:  m.RoundTime(t, k),
+			CommShare:     m.CommShare(t, k),
+		}
+		switch {
+		case t != topo.PS && !peerToPeer:
+			p.RuledOutReason = "privacy constraints forbid peer-to-peer"
+		case t == topo.RAR && dropouts:
+			p.RuledOutReason = "Ring-AllReduce cannot tolerate dropouts"
+		}
+		plans = append(plans, p)
+		if p.RuledOutReason == "" && (bestIdx == -1 || p.RoundSeconds < bestTime) {
+			bestIdx, bestTime = len(plans)-1, p.RoundSeconds
+		}
+	}
+	if bestIdx >= 0 {
+		plans[bestIdx].Selected = true
+	}
+	return plans, nil
+}
