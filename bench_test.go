@@ -10,6 +10,7 @@ package photon
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -32,7 +33,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, bench.Quick); err != nil {
+		if err := e.Run(context.Background(), io.Discard, bench.Quick); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,7 +157,7 @@ func BenchmarkFederatedRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		updates := make([][]float32, 0, len(clients))
 		for _, c := range clients {
-			res, err := c.RunRound(global, 0, spec)
+			res, err := c.RunRound(context.Background(), global, 0, spec)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,16 +1,12 @@
 package photon
 
-import (
-	"fmt"
-
-	"photon/internal/data"
-	"photon/internal/ddp"
-	"photon/internal/nn"
-	"photon/internal/opt"
-)
+import "context"
 
 // CentralizedOptions configures PretrainCentralized, the Algorithm 2
 // baseline. Zero values select defaults matching Options.
+//
+// Deprecated: build a Job with NewJob and WithBackend(BackendCentralized)
+// instead; CentralizedOptions remains for the legacy entry point.
 type CentralizedOptions struct {
 	Size      ModelSize // default SizeTiny
 	Steps     int       // optimizer steps (default 320)
@@ -22,73 +18,26 @@ type CentralizedOptions struct {
 	Seed      int64 // default 1
 }
 
-func (o *CentralizedOptions) fill() {
-	if o.Size == "" {
-		o.Size = SizeTiny
-	}
-	if o.Steps == 0 {
-		o.Steps = 320
-	}
-	if o.Workers == 0 {
-		o.Workers = 1
-	}
-	if o.BatchSize == 0 {
-		o.BatchSize = 16
-	}
-	if o.SeqLen == 0 {
-		o.SeqLen = 16
-	}
-	if o.MaxLR == 0 {
-		o.MaxLR = 3e-3
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-}
-
 // PretrainCentralized trains the centralized/DDP baseline on the same
 // C4-like corpus and validation set used by Pretrain, making results
 // directly comparable.
+//
+// Deprecated: use NewJob(WithBackend(BackendCentralized), ...).Run(ctx),
+// which adds cancellation and live Events telemetry.
 func PretrainCentralized(o CentralizedOptions) (*Result, error) {
-	o.fill()
-	cfg, err := ModelConfig(o.Size)
+	res, err := NewJob(
+		WithBackend(BackendCentralized),
+		WithModel(o.Size),
+		WithSteps(o.Steps),
+		WithWorkers(o.Workers),
+		WithBatchSize(o.BatchSize),
+		WithSeqLen(o.SeqLen),
+		WithMaxLR(o.MaxLR),
+		WithStopAtPPL(o.StopAtPPL),
+		WithSeed(o.Seed),
+	).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	cfg.SeqLen = o.SeqLen
-	if o.Workers < 1 || o.Workers > data.NumShards {
-		return nil, fmt.Errorf("photon: workers must be in 1..%d", data.NumShards)
-	}
-	src := data.C4Like(cfg.VocabSize)
-	streams := make([]data.Stream, o.Workers)
-	for i := range streams {
-		streams[i] = data.NewShard(src, i, o.Seed+1000)
-	}
-	res, err := ddp.Run(ddp.Config{
-		ModelConfig: cfg,
-		Seed:        o.Seed,
-		Steps:       o.Steps,
-		Workers:     o.Workers,
-		BatchSize:   o.BatchSize,
-		SeqLen:      cfg.SeqLen,
-		Schedule:    opt.PaperCosine(o.MaxLR, o.Steps),
-		ClipNorm:    1.0,
-		Streams:     streams,
-		Validation:  data.NewValidationSet(src, 16, cfg.SeqLen, 987654),
-		EvalEvery:   10,
-		StopAtPPL:   o.StopAtPPL,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{model: res.FinalModel, FinalPerplexity: res.History.FinalPPL()}
-	for _, r := range res.History.Rounds {
-		out.Stats = append(out.Stats, RoundStat{
-			Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL, Clients: r.Clients,
-		})
-	}
-	return out, nil
+	return res, nil
 }
-
-// compile-time guard that the proxy presets stay trainable.
-var _ = nn.ConfigTiny

@@ -1,6 +1,7 @@
 // Command photon-agg runs a networked Photon aggregator: it listens for
 // LLM clients (photon-client processes) and coordinates federated rounds
-// over the Photon wire protocol.
+// over the Photon wire protocol, streaming per-round progress as it runs.
+// Ctrl-C shuts the federation down gracefully.
 //
 // Usage:
 //
@@ -8,9 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"photon"
 )
@@ -23,27 +30,50 @@ func main() {
 		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
 		clients  = flag.Int("clients", 2, "clients to wait for")
 		rounds   = flag.Int("rounds", 10, "federated rounds")
-		server   = flag.String("server", "fedavg", "server optimizer: fedavg|fedmom|diloco")
+		server   = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
 		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
 		seed     = flag.Int64("seed", 1, "run seed")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job := photon.NewJob(
+		photon.WithBackend(photon.BackendAggregator),
+		photon.WithAddr(*addr),
+		photon.WithModel(photon.ModelSize(*size)),
+		photon.WithExpectClients(*clients),
+		photon.WithRounds(*rounds),
+		photon.WithServerOptimizer(*server),
+		photon.WithCompression(*compress),
+		photon.WithSeed(*seed),
+	)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range job.Events() {
+			fmt.Printf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB\n",
+				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
+		}
+	}()
+
 	log.Printf("listening on %s for %d clients", *addr, *clients)
-	res, err := photon.ServeAggregator(photon.AggregatorOptions{
-		Addr:          *addr,
-		Size:          photon.ModelSize(*size),
-		Rounds:        *rounds,
-		ExpectClients: *clients,
-		Server:        photon.ServerOptimizer(*server),
-		Compress:      *compress,
-		Seed:          *seed,
-	})
-	if err != nil {
+	res, err := job.Run(ctx)
+	wg.Wait()
+	switch {
+	case errors.Is(err, context.Canceled):
+		if res == nil {
+			log.Fatal("interrupted while waiting for clients to join")
+		}
+		log.Printf("interrupted after %d rounds", len(res.Stats))
+	case err != nil:
 		log.Fatal(err)
 	}
-	for _, s := range res.Stats {
-		fmt.Printf("round %2d: clients=%d loss=%.4f ppl=%.2f\n", s.Round, s.Clients, s.TrainLoss, s.Perplexity)
+	if len(res.Stats) == 0 {
+		return // stopped before any round completed; nothing to report
 	}
 	fmt.Printf("final perplexity: %.2f\n", res.FinalPerplexity)
 }

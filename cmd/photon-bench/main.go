@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"photon/internal/bench"
@@ -21,6 +25,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("photon-bench: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		exp  = flag.String("exp", "", "experiment id to run (see -list)")
 		all  = flag.Bool("all", false, "run every experiment")
@@ -54,7 +60,10 @@ func main() {
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		fmt.Fprintf(w, "==> %s: %s\n\n", e.ID, e.Title)
-		if err := e.Run(w, scale); err != nil {
+		if err := e.Run(ctx, w, scale); err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("%s: interrupted", e.ID)
+			}
 			log.Fatalf("%s: %v", e.ID, err)
 		}
 		fmt.Fprintf(w, "\n(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
@@ -63,6 +72,9 @@ func main() {
 	switch {
 	case *all:
 		for _, e := range bench.Registry() {
+			if ctx.Err() != nil {
+				log.Fatal("interrupted")
+			}
 			run(e)
 		}
 	case *exp != "":

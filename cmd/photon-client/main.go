@@ -1,6 +1,7 @@
 // Command photon-client runs a networked Photon LLM client (LLM-C): it
 // joins an aggregator, trains on its local data shard each round, and
-// uploads model updates until the aggregator ends the session.
+// uploads model updates until the aggregator ends the session. Ctrl-C
+// leaves the federation gracefully.
 //
 // Usage:
 //
@@ -8,8 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"photon"
 )
@@ -30,20 +38,41 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job := photon.NewJob(
+		photon.WithBackend(photon.BackendClient),
+		photon.WithAddr(*addr),
+		photon.WithClientID(*id),
+		photon.WithModel(photon.ModelSize(*size)),
+		photon.WithShard(*shard),
+		photon.WithLocalSteps(*steps),
+		photon.WithBatchSize(*batch),
+		photon.WithMaxLR(*lr),
+		photon.WithCompression(*compress),
+		photon.WithSeed(*seed),
+	)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range job.Events() {
+			fmt.Printf("round %2d: local loss=%.4f comm=%.2fMB\n",
+				ev.Round, ev.TrainLoss, float64(ev.CommBytes)/1e6)
+		}
+	}()
+
 	log.Printf("%s joining %s with shard %d", *id, *addr, *shard)
-	err := photon.JoinAsClient(photon.ClientOptions{
-		Addr:       *addr,
-		ID:         *id,
-		Size:       photon.ModelSize(*size),
-		Shard:      *shard,
-		LocalSteps: *steps,
-		BatchSize:  *batch,
-		MaxLR:      *lr,
-		Compress:   *compress,
-		Seed:       *seed,
-	})
-	if err != nil {
+	_, err := job.Run(ctx)
+	wg.Wait()
+	switch {
+	case errors.Is(err, context.Canceled):
+		log.Printf("%s: interrupted, left federation", *id)
+	case err != nil:
 		log.Fatal(err)
+	default:
+		log.Printf("%s: session complete", *id)
 	}
-	log.Printf("%s: session complete", *id)
 }

@@ -1,5 +1,6 @@
 // Command photon-sim runs a single-process federated pre-training
-// simulation with the Photon recipe and prints the round-by-round progress.
+// simulation with the Photon recipe, streaming round-by-round progress as
+// it trains. Ctrl-C stops the run gracefully and prints the partial result.
 //
 // Usage:
 //
@@ -7,9 +8,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"photon"
 )
@@ -25,34 +32,56 @@ func main() {
 		steps   = flag.Int("steps", 16, "local steps per round (τ)")
 		batch   = flag.Int("batch", 4, "local batch size (Bl)")
 		lr      = flag.Float64("lr", 3e-3, "peak learning rate")
-		server  = flag.String("server", "fedavg", "server optimizer: fedavg|fedmom|diloco")
-		hetero  = flag.Bool("hetero", false, "heterogeneous Pile-like client data")
+		server  = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
+		source  = flag.String("data", "c4", "data source (see photon.DataSources)")
 		dropout = flag.Float64("dropout", 0, "per-round client dropout probability")
 		ckpt    = flag.String("ckpt", "", "checkpoint path for the global model")
+		resume  = flag.String("resume", "", "resume from a checkpoint written via -ckpt")
 		seed    = flag.Int64("seed", 1, "run seed")
 	)
 	flag.Parse()
 
-	res, err := photon.Pretrain(photon.Options{
-		Size:            photon.ModelSize(*size),
-		Clients:         *clients,
-		ClientsPerRound: *k,
-		Rounds:          *rounds,
-		LocalSteps:      *steps,
-		BatchSize:       *batch,
-		MaxLR:           *lr,
-		Server:          photon.ServerOptimizer(*server),
-		Heterogeneous:   *hetero,
-		DropoutProb:     *dropout,
-		CheckpointPath:  *ckpt,
-		Seed:            *seed,
-	})
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job := photon.NewJob(
+		photon.WithModel(photon.ModelSize(*size)),
+		photon.WithClients(*clients),
+		photon.WithClientsPerRound(*k),
+		photon.WithRounds(*rounds),
+		photon.WithLocalSteps(*steps),
+		photon.WithBatchSize(*batch),
+		photon.WithMaxLR(*lr),
+		photon.WithServerOptimizer(*server),
+		photon.WithDataSource(*source),
+		photon.WithDropout(*dropout),
+		photon.WithCheckpoint(*ckpt),
+		photon.WithResume(*resume),
+		photon.WithSeed(*seed),
+	)
+
+	// Stream telemetry live while the run is in progress.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fmt.Printf("round  clients  train-loss  val-ppl    comm-MB\n")
+		for ev := range job.Events() {
+			fmt.Printf("%5d  %7d  %10.4f  %7.2f  %9.2f\n",
+				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
+		}
+	}()
+
+	res, err := job.Run(ctx)
+	wg.Wait()
+	switch {
+	case errors.Is(err, context.Canceled):
+		log.Printf("interrupted after %d rounds", len(res.Stats))
+	case err != nil:
 		log.Fatal(err)
 	}
-	fmt.Printf("round  clients  train-loss  val-ppl\n")
-	for _, s := range res.Stats {
-		fmt.Printf("%5d  %7d  %10.4f  %7.2f\n", s.Round, s.Clients, s.TrainLoss, s.Perplexity)
+	if len(res.Stats) == 0 {
+		return // stopped before any round completed; nothing to report
 	}
 	fmt.Printf("\nfinal perplexity: %.2f (%d params)\n", res.FinalPerplexity, res.NumParams())
 }

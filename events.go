@@ -1,0 +1,43 @@
+package photon
+
+import "photon/internal/metrics"
+
+// RoundEvent is one round's live training telemetry, streamed on
+// Job.Events while a run is in progress.
+type RoundEvent struct {
+	// Round is the 1-based federated round (or, for the centralized
+	// backend, the optimizer step of the evaluation record). Resumed runs
+	// continue the checkpoint's numbering.
+	Round int
+	// TrainLoss is the mean participating-client training loss
+	// (nats/token).
+	TrainLoss float64
+	// Perplexity is the global model's validation perplexity, 0 when the
+	// round was not evaluated.
+	Perplexity float64
+	// Clients is the number of clients whose updates were aggregated
+	// (workers, for the centralized backend).
+	Clients int
+	// CommBytes is the model/update traffic attributed to the round:
+	// broadcast down plus updates up for the federated backends, gradient
+	// all-reduce volume for the centralized one.
+	CommBytes int64
+	// UpdateNorm is the L2 norm of the aggregated pseudo-gradient (0 for
+	// the centralized and client backends).
+	UpdateNorm float64
+	// SimSeconds is the simulated wall-clock time consumed so far when the
+	// run carries a time model, 0 otherwise.
+	SimSeconds float64
+}
+
+func eventFromRound(r metrics.Round) RoundEvent {
+	return RoundEvent{
+		Round:      r.Round,
+		TrainLoss:  r.TrainLoss,
+		Perplexity: r.ValPPL,
+		Clients:    r.Clients,
+		CommBytes:  r.CommBytes,
+		UpdateNorm: r.UpdateNorm,
+		SimSeconds: r.SimSeconds,
+	}
+}

@@ -2,17 +2,26 @@
 // Pile-like data source (the paper's Section 5.5 setting). The example
 // trains the same federation under full and 50% partial participation and
 // against an IID control, showing FedAvg's robustness to non-IID data.
+// Data distribution is selected via the data source registry: "c4" shards
+// one corpus IID, "pile" gives each client a distinct source.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"photon"
 )
 
-func run(name string, opts photon.Options) *photon.Result {
-	res, err := photon.Pretrain(opts)
+func run(name string, extra ...photon.JobOption) *photon.Result {
+	opts := append([]photon.JobOption{
+		photon.WithClients(8),
+		photon.WithRounds(20),
+		photon.WithLocalSteps(8),
+		photon.WithSeed(3),
+	}, extra...)
+	res, err := photon.NewJob(opts...).Run(context.Background())
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
@@ -22,22 +31,11 @@ func run(name string, opts photon.Options) *photon.Result {
 
 func main() {
 	fmt.Println("Photon cross-silo heterogeneity (Pile-like sources, 8 clients)")
-	base := photon.Options{
-		Clients:    8,
-		Rounds:     20,
-		LocalSteps: 8,
-		Seed:       3,
-	}
 
-	iid := base
-	full := base
-	full.Heterogeneous = true
-	partial := full
-	partial.ClientsPerRound = 4 // 50% participation
-
-	rIID := run("IID control", iid)
-	rFull := run("non-IID, full participation", full)
-	rPart := run("non-IID, 50% participation", partial)
+	rIID := run("IID control", photon.WithDataSource("c4"))
+	rFull := run("non-IID, full participation", photon.WithDataSource("pile"))
+	rPart := run("non-IID, 50% participation",
+		photon.WithDataSource("pile"), photon.WithClientsPerRound(4))
 
 	fmt.Println("\nround-by-round validation perplexity:")
 	fmt.Println("round   IID    non-IID  non-IID-50%")

@@ -1,11 +1,14 @@
 // Quickstart: federated pre-training of a small decoder-only LM with the
-// Photon recipe (FedAvg + small local batches + high learning rate), then
-// sampling from the trained model.
+// Photon recipe (FedAvg + small local batches + high learning rate) through
+// the Job API — live round telemetry while training runs, then sampling
+// from the trained model.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"photon"
 )
@@ -13,22 +16,31 @@ import (
 func main() {
 	fmt.Println("Photon quickstart: 4 clients, IID C4-like shards, FedAvg")
 
-	res, err := photon.Pretrain(photon.Options{
-		Size:       photon.SizeTiny,
-		Clients:    4,
-		Rounds:     15,
-		LocalSteps: 16,
-		BatchSize:  4, // the hardware-determined small batch of the recipe
-		MaxLR:      3e-3,
-		Server:     photon.FedAvg,
-	})
+	job := photon.NewJob(
+		photon.WithModel(photon.SizeTiny),
+		photon.WithClients(4),
+		photon.WithRounds(15),
+		photon.WithLocalSteps(16),
+		photon.WithBatchSize(4), // the hardware-determined small batch of the recipe
+		photon.WithMaxLR(3e-3),
+		photon.WithServerOptimizer("fedavg"),
+	)
+
+	// Events streams per-round stats while Run is training.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fmt.Println("\nround  clients  val-perplexity")
+		for ev := range job.Events() {
+			fmt.Printf("%5d  %7d  %14.2f\n", ev.Round, ev.Clients, ev.Perplexity)
+		}
+	}()
+
+	res, err := job.Run(context.Background())
+	wg.Wait()
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	fmt.Println("\nround  clients  val-perplexity")
-	for _, s := range res.Stats {
-		fmt.Printf("%5d  %7d  %14.2f\n", s.Round, s.Clients, s.Perplexity)
 	}
 	fmt.Printf("\nfinal perplexity: %.2f over a %d-parameter model\n",
 		res.FinalPerplexity, res.NumParams())

@@ -1,0 +1,3 @@
+module photon
+
+go 1.24

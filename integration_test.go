@@ -5,6 +5,7 @@ package photon
 // through the public API surface.
 
 import (
+	"context"
 	"crypto/x509"
 	"testing"
 
@@ -59,12 +60,12 @@ func TestTLSFederationEndToEnd(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			_ = fed.ServeClient(conn, netClient(t, string(rune('a'+i)), i), netSpec())
+			_ = fed.ServeClient(context.Background(), conn, netClient(t, string(rune('a'+i)), i), netSpec())
 		}(i)
 	}
 
 	cfg := tinyNetCfg()
-	res, err := fed.Serve(l, fed.ServerConfig{
+	res, err := fed.Serve(context.Background(), l, fed.ServerConfig{
 		ModelConfig:   cfg,
 		Seed:          21,
 		Rounds:        3,
@@ -104,7 +105,7 @@ func TestServerToleratesMidRunClientLoss(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			_ = fed.ServeClient(conn, netClient(t, string(rune('a'+i)), i), netSpec())
+			_ = fed.ServeClient(context.Background(), conn, netClient(t, string(rune('a'+i)), i), netSpec())
 		}(i)
 	}
 	// One client that answers round 1 and then disconnects.
@@ -122,7 +123,7 @@ func TestServerToleratesMidRunClientLoss(t *testing.T) {
 			return
 		}
 		c := netClient(t, "flaky", 5)
-		res, err := c.RunRound(msg.Payload, 0, netSpec())
+		res, err := c.RunRound(context.Background(), msg.Payload, 0, netSpec())
 		if err != nil {
 			return
 		}
@@ -132,7 +133,7 @@ func TestServerToleratesMidRunClientLoss(t *testing.T) {
 	}()
 
 	cfg := tinyNetCfg()
-	res, err := fed.Serve(l, fed.ServerConfig{
+	res, err := fed.Serve(context.Background(), l, fed.ServerConfig{
 		ModelConfig:   cfg,
 		Seed:          23,
 		Rounds:        3,

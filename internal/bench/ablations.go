@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -19,7 +20,7 @@ import (
 // AblationOuterOpt compares the server optimizers DESIGN.md calls out:
 // FedAvg(1.0) (Photon's recipe), FedAvg with server momentum, and DiLoCo's
 // outer Nesterov at its stable learning rate.
-func AblationOuterOpt(w io.Writer, scale Scale) error {
+func AblationOuterOpt(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau, n := 30, 16, 4
 	if scale == Quick {
 		rounds = 10
@@ -40,7 +41,7 @@ func AblationOuterOpt(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		hist, err := runFed(proxyCfg(), clients, c.outer, proxySpec(tau, proxyLR), rounds, n, 10, 0)
+		hist, err := runFed(ctx, proxyCfg(), clients, c.outer, proxySpec(tau, proxyLR), rounds, n, 10, 0)
 		if err != nil {
 			return err
 		}
@@ -62,7 +63,7 @@ func roundsOrDash(h *metrics.History, target float64) string {
 // recipe: federated averaging tolerates the high learning rate with small
 // batches, while centralized small-batch training at the same rate is
 // unstable unless the rate is scaled down linearly with batch size.
-func AblationRecipe(w io.Writer, scale Scale) error {
+func AblationRecipe(ctx context.Context, w io.Writer, scale Scale) error {
 	steps, tau, n := 480, 16, 4
 	if scale == Quick {
 		steps, tau = 160, 8
@@ -77,7 +78,7 @@ func AblationRecipe(w io.Writer, scale Scale) error {
 	if err != nil {
 		return err
 	}
-	fedH, err := runFed(proxyCfg(), clients, photonOuter(),
+	fedH, err := runFed(ctx, proxyCfg(), clients, photonOuter(),
 		fed.LocalSpec{Steps: tau, BatchSize: proxyBatch, SeqLen: 16,
 			Schedule: opt.PaperCosine(highLR, 4*steps), ClipNorm: 1.0},
 		rounds, n, 12, 0)
@@ -87,7 +88,7 @@ func AblationRecipe(w io.Writer, scale Scale) error {
 	rows = append(rows, []string{"federated high-LR small-batch", pplOrDiverged(fedH.FinalPPL()),
 		stable(fedH.FinalPPL())})
 
-	cenHigh, err := runCentralized(proxyCfg(), steps, proxyBatch, highLR, 12)
+	cenHigh, err := runCentralized(ctx, proxyCfg(), steps, proxyBatch, highLR, 12)
 	if err != nil {
 		return err
 	}
@@ -95,7 +96,7 @@ func AblationRecipe(w io.Writer, scale Scale) error {
 		stable(cenHigh.FinalPPL())})
 
 	scaled := opt.LinearLRScale(highLR, proxyBatch*8, proxyBatch)
-	cenScaled, err := runCentralized(proxyCfg(), steps, proxyBatch, scaled, 12)
+	cenScaled, err := runCentralized(ctx, proxyCfg(), steps, proxyBatch, scaled, 12)
 	if err != nil {
 		return err
 	}
@@ -123,7 +124,7 @@ func stable(p float64) string {
 // AblationOptState compares stateless local AdamW (the paper's choice, which
 // avoids communicating or persisting optimizer state) against keeping
 // momenta across rounds.
-func AblationOptState(w io.Writer, scale Scale) error {
+func AblationOptState(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau, n := 24, 16, 4
 	if scale == Quick {
 		rounds = 8
@@ -138,7 +139,7 @@ func AblationOptState(w io.Writer, scale Scale) error {
 		}
 		spec := proxySpec(tau, proxyLR)
 		spec.Stateful = stateful
-		hist, err := runFed(proxyCfg(), clients, photonOuter(), spec, rounds, n, 14, 0)
+		hist, err := runFed(ctx, proxyCfg(), clients, photonOuter(), spec, rounds, n, 14, 0)
 		if err != nil {
 			return err
 		}
@@ -155,7 +156,7 @@ func AblationOptState(w io.Writer, scale Scale) error {
 // AblationCompression measures the Link codec with and without lossless
 // flate compression on realistic payloads: fresh model updates (near-
 // incompressible floats) and sparse/clipped updates (highly compressible).
-func AblationCompression(w io.Writer, _ Scale) error {
+func AblationCompression(ctx context.Context, w io.Writer, _ Scale) error {
 	fprintf(w, "Ablation: Link payload compression\n")
 	cfg := proxyCfg()
 	clients, err := federation(cfg, 1, 53)
@@ -163,7 +164,7 @@ func AblationCompression(w io.Writer, _ Scale) error {
 		return err
 	}
 	global := nn.NewModel(cfg, rand.New(rand.NewSource(53))).Params().Flatten(nil)
-	res, err := clients[0].RunRound(global, 0, proxySpec(8, proxyLR))
+	res, err := clients[0].RunRound(ctx, global, 0, proxySpec(8, proxyLR))
 	if err != nil {
 		return err
 	}
@@ -202,7 +203,7 @@ func AblationCompression(w io.Writer, _ Scale) error {
 // AblationSubFed compares flat clients against nested sub-federations
 // (Algorithm 1 lines 19–25): the same 4 GPUs organized as 4 flat clients
 // versus 2 clients of 2 sub-nodes each.
-func AblationSubFed(w io.Writer, scale Scale) error {
+func AblationSubFed(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau := 20, 16
 	if scale == Quick {
 		rounds = 8
@@ -216,7 +217,7 @@ func AblationSubFed(w io.Writer, scale Scale) error {
 	if err != nil {
 		return err
 	}
-	flatH, err := runFed(cfg, flat, photonOuter(), proxySpec(tau, proxyLR), rounds, 4, 16, 0)
+	flatH, err := runFed(ctx, cfg, flat, photonOuter(), proxySpec(tau, proxyLR), rounds, 4, 16, 0)
 	if err != nil {
 		return err
 	}
@@ -230,7 +231,7 @@ func AblationSubFed(w io.Writer, scale Scale) error {
 		{ID: "silo-a", SubNodes: nodes[:2]},
 		{ID: "silo-b", SubNodes: nodes[2:]},
 	}
-	nestedH, err := runFed(cfg, nested, photonOuter(), proxySpec(tau, proxyLR), rounds, 2, 16, 0)
+	nestedH, err := runFed(ctx, cfg, nested, photonOuter(), proxySpec(tau, proxyLR), rounds, 2, 16, 0)
 	if err != nil {
 		return err
 	}
@@ -242,7 +243,7 @@ func AblationSubFed(w io.Writer, scale Scale) error {
 // AblationDDPBaseline exercises the real multi-worker DDP substrate against
 // the single-worker large-batch equivalent, verifying the Algorithm 2
 // baseline behaves like its mathematical definition.
-func AblationDDPBaseline(w io.Writer, scale Scale) error {
+func AblationDDPBaseline(ctx context.Context, w io.Writer, scale Scale) error {
 	steps := 120
 	if scale == Quick {
 		steps = 40
@@ -263,7 +264,7 @@ func AblationDDPBaseline(w io.Writer, scale Scale) error {
 		for i := range streams {
 			streams[i] = data.NewShard(data.C4Like(cfg.VocabSize), i, 61)
 		}
-		res, err := ddp.Run(ddp.Config{
+		res, err := ddp.Run(ctx, ddp.Config{
 			ModelConfig: cfg, Seed: 18, Steps: steps, Workers: c.workers,
 			BatchSize: c.batch, SeqLen: cfg.SeqLen,
 			Schedule: opt.PaperCosine(proxyLR, steps*40), ClipNorm: 1,

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -19,7 +20,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
 			var buf bytes.Buffer
-			if err := e.Run(&buf, Quick); err != nil {
+			if err := e.Run(context.Background(), &buf, Quick); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if buf.Len() < 50 {
@@ -43,7 +44,7 @@ func TestLookup(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table2(&buf, Quick); err != nil {
+	if err := Table2(context.Background(), &buf, Quick); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +66,7 @@ func TestTable2FedBeatsCent(t *testing.T) {
 	// and fed comm < 1% of cent comm.
 	for _, r := range table2Rows() {
 		var buf bytes.Buffer
-		if err := Table2(&buf, Quick); err != nil {
+		if err := Table2(context.Background(), &buf, Quick); err != nil {
 			t.Fatal(err)
 		}
 		_ = r

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -103,9 +104,9 @@ func validation(cfg nn.Config) *data.ValidationSet {
 }
 
 // runFed executes one federated proxy run and returns its history.
-func runFed(cfg nn.Config, clients []*fed.Client, outer fed.OuterOpt, spec fed.LocalSpec,
+func runFed(ctx context.Context, cfg nn.Config, clients []*fed.Client, outer fed.OuterOpt, spec fed.LocalSpec,
 	rounds, k int, seed int64, stopAt float64) (*metrics.History, error) {
-	res, err := fed.Run(fed.RunConfig{
+	res, err := fed.Run(ctx, fed.RunConfig{
 		ModelConfig:     cfg,
 		Seed:            seed,
 		Rounds:          rounds,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 
 	"photon/internal/data"
@@ -14,7 +15,7 @@ import (
 // evaluation of the Photon model family. Three proxy sizes are pre-trained
 // federatedly on the same corpus and scored on the 13-task synthetic suite;
 // the headline statistic is the pairwise win count of the largest model.
-func Table78(w io.Writer, scale Scale) error {
+func Table78(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau, n := 20, 16, 4
 	instances := 0 // 0 keeps task defaults
 	if scale == Quick {
@@ -30,7 +31,7 @@ func Table78(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		res, err := runFedResult(cfg, clients, rounds, tau)
+		res, err := runFedResult(ctx, cfg, clients, rounds, tau)
 		if err != nil {
 			return err
 		}
@@ -73,8 +74,8 @@ func evalSized(c nn.Config) nn.Config {
 }
 
 // runFedResult trains one proxy federation and returns the final model.
-func runFedResult(cfg nn.Config, clients []*fed.Client, rounds, tau int) (*nn.Model, error) {
-	res, err := fed.Run(fed.RunConfig{
+func runFedResult(ctx context.Context, cfg nn.Config, clients []*fed.Client, rounds, tau int) (*nn.Model, error) {
+	res, err := fed.Run(ctx, fed.RunConfig{
 		ModelConfig:     cfg,
 		Seed:            37,
 		Rounds:          rounds,

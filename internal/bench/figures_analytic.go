@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // bandwidth map, the Ring-AllReduce bottleneck (Maharashtra–Quebec), the
 // parameter-server star bottleneck to England, and the resulting per-update
 // communication times for each model size.
-func Figure2(w io.Writer, _ Scale) error {
+func Figure2(ctx context.Context, w io.Writer, _ Scale) error {
 	g := topo.WorldGraph()
 	ring := topo.WorldRing()
 	fprintf(w, "Figure 2: federation locations and bandwidth\n\nLinks (Gbps):\n")
@@ -64,7 +65,7 @@ func Figure2(w io.Writer, _ Scale) error {
 // target R(N) comes from real proxy training runs (τ scaled down by the
 // documented factor); each round is then charged at the paper's 125M round
 // cost with τ local steps at ν=2 over the cross-silo bandwidth.
-func topologyWallTime(w io.Writer, scale Scale, figure string, tauPaper, tauProxy int, targetPPL float64) error {
+func topologyWallTime(ctx context.Context, w io.Writer, scale Scale, figure string, tauPaper, tauProxy int, targetPPL float64) error {
 	ns := []int{2, 4, 8, 16}
 	if scale == Quick {
 		ns = []int{2, 8}
@@ -85,7 +86,7 @@ func topologyWallTime(w io.Writer, scale Scale, figure string, tauPaper, tauProx
 		if scale == Quick {
 			maxRounds = 60
 		}
-		hist, err := runFed(cfg, clients, photonOuter(), proxySpec(tauProxy, proxyLR),
+		hist, err := runFed(ctx, cfg, clients, photonOuter(), proxySpec(tauProxy, proxyLR),
 			maxRounds, n, 1, targetPPL)
 		if err != nil {
 			return err
@@ -109,16 +110,16 @@ func topologyWallTime(w io.Writer, scale Scale, figure string, tauPaper, tauProx
 }
 
 // Figure6 reproduces the paper's Figure 6 (τ=512 local steps per round).
-func Figure6(w io.Writer, scale Scale) error {
-	return topologyWallTime(w, scale, "Figure 6", 512, 24, 35)
+func Figure6(ctx context.Context, w io.Writer, scale Scale) error {
+	return topologyWallTime(ctx, w, scale, "Figure 6", 512, 24, 35)
 }
 
 // Figure9 reproduces the appendix Figure 9 (τ=64).
-func Figure9(w io.Writer, scale Scale) error {
-	return topologyWallTime(w, scale, "Figure 9", 64, 6, 35)
+func Figure9(ctx context.Context, w io.Writer, scale Scale) error {
+	return topologyWallTime(ctx, w, scale, "Figure 9", 64, 6, 35)
 }
 
 // Figure10 reproduces the appendix Figure 10 (τ=128).
-func Figure10(w io.Writer, scale Scale) error {
-	return topologyWallTime(w, scale, "Figure 10", 128, 12, 35)
+func Figure10(ctx context.Context, w io.Writer, scale Scale) error {
+	return topologyWallTime(ctx, w, scale, "Figure 10", 128, 12, 35)
 }

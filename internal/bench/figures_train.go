@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,8 +20,8 @@ func photonOuter() fed.OuterOpt { return fed.FedAvg{LR: 1.0} }
 // runCentralized trains the matched centralized baseline: one worker with
 // the federation's effective batch Bg = N·Bl for R·τ steps (identical token
 // budget), using the linearly LR-scaled centralized recipe.
-func runCentralized(cfg nn.Config, steps, globalBatch int, maxLR float64, seed int64) (*metrics.History, error) {
-	res, err := ddp.Run(ddp.Config{
+func runCentralized(ctx context.Context, cfg nn.Config, steps, globalBatch int, maxLR float64, seed int64) (*metrics.History, error) {
+	res, err := ddp.Run(ctx, ddp.Config{
 		ModelConfig: cfg,
 		Seed:        seed,
 		Steps:       steps,
@@ -41,12 +42,12 @@ func runCentralized(cfg nn.Config, steps, globalBatch int, maxLR float64, seed i
 
 // fedVsCent runs the federated recipe and the token-matched centralized
 // baseline for one config, returning both histories.
-func fedVsCent(cfg nn.Config, n, rounds, tau int, seed int64) (fedH, cenH *metrics.History, err error) {
+func fedVsCent(ctx context.Context, cfg nn.Config, n, rounds, tau int, seed int64) (fedH, cenH *metrics.History, err error) {
 	clients, err := federation(cfg, n, seed+100)
 	if err != nil {
 		return nil, nil, err
 	}
-	fedH, err = runFed(cfg, clients, photonOuter(), proxySpec(tau, proxyLR), rounds, n, seed, 0)
+	fedH, err = runFed(ctx, cfg, clients, photonOuter(), proxySpec(tau, proxyLR), rounds, n, seed, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -54,7 +55,7 @@ func fedVsCent(cfg nn.Config, n, rounds, tau int, seed int64) (fedH, cenH *metri
 	// the N×-larger batch follows linear scaling from the small-batch rate
 	// (Appendix C.1), capped at the stability limit observed for the proxy.
 	cenLR := opt.LinearLRScale(proxyLR, proxyBatch, proxyBatch)
-	cenH, err = runCentralized(cfg, rounds*tau, n*proxyBatch, cenLR, seed)
+	cenH, err = runCentralized(ctx, cfg, rounds*tau, n*proxyBatch, cenLR, seed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -65,13 +66,13 @@ func fedVsCent(cfg nn.Config, n, rounds, tau int, seed int64) (fedH, cenH *metri
 // versus centralized training for the 3B- and 7B-proxy models (global model
 // validation and client train perplexity per federated round; centralized
 // validation at the equivalent token budget per round).
-func Figure3(w io.Writer, scale Scale) error {
+func Figure3(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau, n := 21, 16, 4
 	if scale == Quick {
 		rounds, tau = 8, 8
 	}
 	for _, cfg := range []nn.Config{sized(nn.ConfigTinyM), sized(nn.ConfigTinyL)} {
-		fedH, cenH, err := fedVsCent(cfg, n, rounds, tau, 3)
+		fedH, cenH, err := fedVsCent(ctx, cfg, n, rounds, tau, 3)
 		if err != nil {
 			return err
 		}
@@ -97,7 +98,7 @@ func sized(c nn.Config) nn.Config {
 
 // Figure4 reproduces the paper's Figure 4 table: final federated versus
 // centralized perplexity per model size with the relative gain.
-func Figure4(w io.Writer, scale Scale) error {
+func Figure4(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tau, n := 24, 16, 4
 	if scale == Quick {
 		rounds, tau = 8, 8
@@ -106,7 +107,7 @@ func Figure4(w io.Writer, scale Scale) error {
 	headers := []string{"Size", "Params", "Fed PPL", "Cent PPL", "Gain(%)"}
 	var rows [][]string
 	for _, cfg := range []nn.Config{sized(nn.ConfigTinyS), sized(nn.ConfigTinyM), sized(nn.ConfigTinyL)} {
-		fedH, cenH, err := fedVsCent(cfg, n, rounds, tau, 5)
+		fedH, cenH, err := fedVsCent(ctx, cfg, n, rounds, tau, 5)
 		if err != nil {
 			return err
 		}
@@ -122,7 +123,7 @@ func Figure4(w io.Writer, scale Scale) error {
 // wall time to two target perplexities as a function of the global batch
 // size Bg = N·Bl for different local-step counts. R(N) is measured on proxy
 // runs; wall time charges each round at the paper's 125M cost.
-func Figure5(w io.Writer, scale Scale) error {
+func Figure5(ctx context.Context, w io.Writer, scale Scale) error {
 	taus := map[int]int{64: 8, 128: 16, 512: 24} // paper τ → proxy τ
 	ns := []int{1, 2, 4, 8, 16}
 	targets := []float64{42, 35}
@@ -145,7 +146,7 @@ func Figure5(w io.Writer, scale Scale) error {
 			if scale == Quick {
 				maxRounds = 40
 			}
-			hist, err := runFed(proxyCfg(), clients, photonOuter(), proxySpec(tauProxy, proxyLR),
+			hist, err := runFed(ctx, proxyCfg(), clients, photonOuter(), proxySpec(tauProxy, proxyLR),
 				maxRounds, n, 2, targets[len(targets)-1])
 			if err != nil {
 				return err
@@ -184,7 +185,7 @@ func sortedIntKeys(m map[int]int) []int {
 
 // Table3 reproduces the paper's Table 3: Photon versus DiLoCo(ηs=0.1)
 // wall time to the two target perplexities across client counts.
-func Table3(w io.Writer, scale Scale) error {
+func Table3(ctx context.Context, w io.Writer, scale Scale) error {
 	ns := []int{2, 4, 8}
 	tauPaper, tauProxy := 128, 16
 	maxRounds := 300
@@ -211,7 +212,7 @@ func Table3(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
-			hist, err := runFed(proxyCfg(), clients, meth.outer, proxySpec(tauProxy, proxyLR),
+			hist, err := runFed(ctx, proxyCfg(), clients, meth.outer, proxySpec(tauProxy, proxyLR),
 				maxRounds, n, 4, 35)
 			if err != nil {
 				return err
@@ -247,7 +248,7 @@ func Table3(w io.Writer, scale Scale) error {
 
 // Figure8 reproduces the appendix Figure 8: DiLoCo's server learning-rate
 // sweep (ηs ∈ {0.1, 0.3, 0.5, 0.7}, µ=0.9) against Photon at N=4.
-func Figure8(w io.Writer, scale Scale) error {
+func Figure8(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tauProxy, n := 40, 16, 4
 	if scale == Quick {
 		rounds = 12
@@ -270,7 +271,7 @@ func Figure8(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		hist, err := runFed(proxyCfg(), clients, c.outer, proxySpec(tauProxy, proxyLR),
+		hist, err := runFed(ctx, proxyCfg(), clients, c.outer, proxySpec(tauProxy, proxyLR),
 			rounds, n, 6, 0)
 		if err != nil {
 			return err
@@ -303,7 +304,7 @@ func Figure8(w io.Writer, scale Scale) error {
 // on the Pile-like sources — full participation with 4/8/16 clients versus
 // an IID reference, and partial participation sampling 25/50/100% of a
 // 16-client federation.
-func Figure7(w io.Writer, scale Scale) error {
+func Figure7(ctx context.Context, w io.Writer, scale Scale) error {
 	rounds, tauProxy := 30, 8
 	fullNs := []int{4, 8, 16}
 	partialKs := []int{4, 8, 16} // of 16 clients: 25%, 50%, 100%
@@ -323,7 +324,7 @@ func Figure7(w io.Writer, scale Scale) error {
 			clients[i] = fed.NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
 				opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
 		}
-		res, err := fed.Run(fed.RunConfig{
+		res, err := fed.Run(ctx, fed.RunConfig{
 			ModelConfig: cfg, Seed: seed, Rounds: rounds, ClientsPerRound: k,
 			Clients: clients, Outer: photonOuter(), Spec: proxySpec(tauProxy, proxyLR),
 			Validation: val, EvalEvery: 1,

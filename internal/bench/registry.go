@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -10,7 +11,7 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, scale Scale) error
+	Run   func(ctx context.Context, w io.Writer, scale Scale) error
 }
 
 // Registry returns every experiment, keyed and ordered by ID.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,7 +14,7 @@ import (
 // Table1 reproduces the paper's Table 1: the regional compute resources per
 // model size, extended with the batch size and training strategy Photon's
 // heuristics select for each silo.
-func Table1(w io.Writer, _ Scale) error {
+func Table1(ctx context.Context, w io.Writer, _ Scale) error {
 	fprintf(w, "Table 1: computational resources of different regions\n")
 	graph := topo.WorldGraph()
 	cfgByName := map[string]nn.Config{"7B": nn.Config7B, "3B": nn.Config3B,
@@ -94,7 +95,7 @@ func table2Times(r table2Row, tau int, bandwidthGbps float64) (fedWall, fedComm,
 // billion-scale models under federated (τ=500, RAR every round) versus
 // centralized DDP (RAR every step) over a fixed 10 Gbps slowest link, plus
 // GPU utilization and MFU from the hardware model.
-func Table2(w io.Writer, _ Scale) error {
+func Table2(ctx context.Context, w io.Writer, _ Scale) error {
 	const (
 		tau           = 500 // local steps per round (Table 6)
 		bandwidthGbps = 10  // fixed slowest link (Table 2 caption)
@@ -129,7 +130,7 @@ func Table2(w io.Writer, _ Scale) error {
 
 // Table4 reproduces the paper's Table 4: architecture details per model
 // size, with exact parameter counts from the implemented architecture.
-func Table4(w io.Writer, _ Scale) error {
+func Table4(ctx context.Context, w io.Writer, _ Scale) error {
 	fprintf(w, "Table 4: architecture details\n")
 	headers := []string{"Size", "#Blocks", "d", "#Heads", "Exp", "(β1,β2)", "|Vocab|", "l", "Params", "Wire[MB]"}
 	var rows [][]string
@@ -169,7 +170,7 @@ func table5Rows() []hyper5 {
 // Table5 reproduces the paper's Table 5 hyperparameters and checks the
 // Appendix C.1 schedule-extension relationship: for the 125M model the
 // federated decay period T equals Tcent·(Bcent/Bl) = 5120·(256/32) = 40960.
-func Table5(w io.Writer, _ Scale) error {
+func Table5(ctx context.Context, w io.Writer, _ Scale) error {
 	fprintf(w, "Table 5: experiment hyperparameters\n")
 	headers := []string{"Model", "ηs", "µs", "α", "ηmax", "T", "Tcent", "Batch", "BatchCent"}
 	var rows [][]string
@@ -189,7 +190,7 @@ func Table5(w io.Writer, _ Scale) error {
 
 // Table6 reproduces the paper's Table 6: federated experiment configuration
 // (population P, clients per round K, dataset, local steps τ).
-func Table6(w io.Writer, _ Scale) error {
+func Table6(ctx context.Context, w io.Writer, _ Scale) error {
 	fprintf(w, "Table 6: federated experiment hyperparameters\n")
 	headers := []string{"Model", "P", "K", "Dataset", "τ"}
 	rows := [][]string{

@@ -1,6 +1,7 @@
 package ddp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -41,6 +42,10 @@ type Config struct {
 	// structure: local compute per step plus a per-step RAR gradient
 	// exchange among Workers.
 	TimeModel *topo.Model
+
+	// OnRound, when non-nil, is called synchronously with each evaluation
+	// record right after it is appended to the history.
+	OnRound func(metrics.Round)
 }
 
 func (c *Config) validate() error {
@@ -74,7 +79,10 @@ type Result struct {
 // and every step computes local gradients, averages them with a real
 // concurrent Ring-AllReduce, and applies identical optimizer updates, so the
 // replicas remain bit-identical throughout (verified in tests).
-func Run(cfg Config) (*Result, error) {
+//
+// Cancelling ctx stops the run between steps; Run then returns the partial
+// Result accumulated so far together with ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -106,7 +114,13 @@ func Run(cfg Config) (*Result, error) {
 	losses := make([]float64, cfg.Workers)
 	grads := make([][]float32, cfg.Workers)
 
+	var runErr error
+	commBytes := int64(0)
 	for step := 1; step <= cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
@@ -142,19 +156,32 @@ func Run(cfg Config) (*Result, error) {
 			tm.LocalSteps = 1
 			simTime += tm.LocalComputeTime() + tm.CommTime(topo.RAR, cfg.Workers)
 		}
+		if cfg.Workers > 1 {
+			// Ring-AllReduce moves ~2·(N−1)/N of the gradient vector per
+			// worker each step.
+			n := int64(cfg.Workers)
+			commBytes += 2 * (n - 1) * int64(len(grads[0])) * 4
+		}
 
 		if step%evalEvery == 0 || step == cfg.Steps {
-			rec := metrics.Round{Round: step, TrainLoss: meanLoss, SimSeconds: simTime, Clients: cfg.Workers}
+			rec := metrics.Round{
+				Round: step, TrainLoss: meanLoss, SimSeconds: simTime,
+				Clients: cfg.Workers, CommBytes: commBytes,
+			}
+			commBytes = 0
 			if cfg.Validation != nil {
 				rec.ValPPL = cfg.Validation.Evaluate(workers[0])
 			}
 			hist.Append(rec)
+			if cfg.OnRound != nil {
+				cfg.OnRound(rec)
+			}
 			if cfg.StopAtPPL > 0 && rec.ValPPL > 0 && rec.ValPPL <= cfg.StopAtPPL {
 				break
 			}
 		}
 	}
-	return &Result{History: hist, FinalModel: workers[0]}, nil
+	return &Result{History: hist, FinalModel: workers[0]}, runErr
 }
 
 func flattenGrads(ps nn.ParamSet, dst []float32) []float32 {

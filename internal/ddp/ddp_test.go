@@ -1,6 +1,7 @@
 package ddp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -125,7 +126,7 @@ func TestRingAllReduceProperty(t *testing.T) {
 func TestCentralizedSingleWorkerConverges(t *testing.T) {
 	cfg := baseConfig(1)
 	cfg.Steps = 120
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,14 +142,14 @@ func TestDDPWorkersStayInSync(t *testing.T) {
 	// a second run with a different worker count producing the same global
 	// dynamics is too loose — instead check the invariant directly through
 	// a custom small harness.
-	res1, err := Run(cfg)
+	res1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Re-running the same config must be deterministic.
 	cfg2 := baseConfig(3)
 	cfg2.Steps = 10
-	res2, err := Run(cfg2)
+	res2, err := Run(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,14 +164,14 @@ func TestDDPMatchesLargeBatchSingleWorker(t *testing.T) {
 	// equivalence). We verify loosely via final validation perplexity.
 	two := baseConfig(2)
 	two.Steps = 60
-	resTwo, err := Run(two)
+	resTwo, err := Run(context.Background(), two)
 	if err != nil {
 		t.Fatal(err)
 	}
 	one := baseConfig(1)
 	one.Steps = 60
 	one.BatchSize = 8 // = 2 workers × 4
-	resOne, err := Run(one)
+	resOne, err := Run(context.Background(), one)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestRunValidation(t *testing.T) {
 	} {
 		cfg := baseConfig(2)
 		mutate(&cfg)
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
@@ -202,7 +203,7 @@ func TestRunSimulatedTimeChargesPerStep(t *testing.T) {
 	cfg.Steps = 4
 	cfg.EvalEvery = 1
 	cfg.TimeModel = &topo.Model{ModelSizeMB: 10, BandwidthMBps: 100, Throughput: 2, LocalSteps: 999}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestRunStopAtPPL(t *testing.T) {
 	cfg.Steps = 500
 	cfg.EvalEvery = 5
 	cfg.StopAtPPL = 60
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package fed
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -78,6 +80,11 @@ type RunConfig struct {
 	// StopAtPPL ends training early once validation reaches the target
 	// (0 disables early stopping).
 	StopAtPPL float64
+
+	// OnRound, when non-nil, is called synchronously with each round's
+	// record right after it is appended to the history — the hook behind
+	// live observability (Job.Events).
+	OnRound func(metrics.Round)
 }
 
 func (c *RunConfig) validate() error {
@@ -115,7 +122,11 @@ type Result struct {
 // replica and data stream), aggregates surviving updates into a
 // pseudo-gradient, and applies the outer optimizer. It is deterministic for
 // a fixed config.
-func Run(cfg RunConfig) (*Result, error) {
+//
+// Cancelling ctx stops the run promptly — in-flight clients abort between
+// local steps and the interrupted round is discarded — and Run returns the
+// partial Result for the completed rounds together with ctx.Err().
+func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -145,7 +156,12 @@ func Run(cfg RunConfig) (*Result, error) {
 		evalEvery = 1
 	}
 
+	var runErr error
 	for round := cfg.StartRound + 1; round <= cfg.StartRound+cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		cohortIdx := sampler.Sample(rng, len(cfg.Clients), cfg.ClientsPerRound)
 		// Draw dropout decisions up front so parallel execution stays
 		// deterministic.
@@ -169,11 +185,17 @@ func Run(cfg RunConfig) (*Result, error) {
 			wg.Add(1)
 			go func(i int, c *Client) {
 				defer wg.Done()
-				res, err := c.RunRound(global, stepBase, cfg.Spec)
+				res, err := c.RunRound(ctx, global, stepBase, cfg.Spec)
 				outcomes[i] = outcome{res: res, err: err, ok: err == nil}
 			}(i, cfg.Clients[ci])
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			// The round was interrupted; discard its partial work and
+			// return what completed before the cancellation.
+			runErr = err
+			break
+		}
 
 		var updates [][]float32
 		var clientMetrics []map[string]float64
@@ -181,10 +203,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		for i := range outcomes {
 			o := outcomes[i]
 			if !o.ok {
-				if o.err != nil {
+				if o.err != nil && !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
 					return nil, fmt.Errorf("fed: round %d client %s: %w", round, cfg.Clients[cohortIdx[i]].ID, o.err)
 				}
-				continue // dropped client
+				continue // dropped or cancelled client
 			}
 			upd := o.res.Update
 			if len(cfg.Post) > 0 {
@@ -203,7 +225,13 @@ func Run(cfg RunConfig) (*Result, error) {
 			}
 		}
 
-		rec := metrics.Round{Round: round, Clients: len(updates)}
+		paramBytes := int64(len(global)) * 4
+		rec := metrics.Round{
+			Round:   round,
+			Clients: len(updates),
+			// Model broadcast to the sampled cohort plus surviving uploads.
+			CommBytes: int64(len(cohortIdx))*paramBytes + int64(len(updates))*paramBytes,
+		}
 		if len(updates) > 0 {
 			var delta []float32
 			var err error
@@ -232,6 +260,9 @@ func Run(cfg RunConfig) (*Result, error) {
 			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
 		}
 		hist.Append(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
 
 		if writer != nil {
 			snapshot := make([]float32, len(global))
@@ -251,7 +282,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err := globalModel.Params().LoadFlat(global); err != nil {
 		return nil, err
 	}
-	return &Result{History: hist, Global: global, FinalModel: globalModel}, nil
+	return &Result{History: hist, Global: global, FinalModel: globalModel}, runErr
 }
 
 func norm2(x []float32) float64 {

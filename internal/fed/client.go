@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -88,16 +89,17 @@ type RoundResult struct {
 // 13–28): load the global parameters, run τ local steps (or the nested
 // sub-federation), and return the update θt − θt_k with metrics. stepBase is
 // the cumulative global step count at the start of the round, which keys the
-// shared learning-rate schedule.
-func (c *Client) RunRound(global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
+// shared learning-rate schedule. Cancelling ctx aborts the local loop
+// between steps and returns the context's error.
+func (c *Client) RunRound(ctx context.Context, global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
 	if err := spec.Validate(); err != nil {
 		return RoundResult{}, err
 	}
 	if len(c.SubNodes) > 0 {
-		return c.runSubFederation(global, stepBase, spec)
+		return c.runSubFederation(ctx, global, stepBase, spec)
 	}
 	if c.ddp != nil {
-		return c.runDDP(global, stepBase, spec)
+		return c.runDDP(ctx, global, stepBase, spec)
 	}
 	if err := c.Model.Params().LoadFlat(global); err != nil {
 		return RoundResult{}, fmt.Errorf("fed: client %s: %w", c.ID, err)
@@ -109,6 +111,9 @@ func (c *Client) RunRound(global []float32, stepBase int, spec LocalSpec) (Round
 	var lossSum float64
 	lastLR := 0.0
 	for step := 0; step < spec.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return RoundResult{}, err
+		}
 		batch := c.Stream.NextBatch(spec.BatchSize, spec.SeqLen)
 		c.Model.Params().ZeroGrads()
 		lossSum += c.Model.ForwardBackward(batch)
@@ -151,11 +156,11 @@ func addProximalGrad(ps nn.ParamSet, global []float32, mu float32) {
 // sub-node trains independently from the same starting point on its own
 // stream partition, and the client averages the node models into one update
 // before replying to the aggregator.
-func (c *Client) runSubFederation(global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
+func (c *Client) runSubFederation(ctx context.Context, global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
 	updates := make([][]float32, 0, len(c.SubNodes))
 	clientMetrics := make([]map[string]float64, 0, len(c.SubNodes))
 	for _, node := range c.SubNodes {
-		res, err := node.RunRound(global, stepBase, spec)
+		res, err := node.RunRound(ctx, global, stepBase, spec)
 		if err != nil {
 			return RoundResult{}, fmt.Errorf("fed: sub-node %s: %w", node.ID, err)
 		}

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -146,7 +147,7 @@ func TestClientRunRoundProducesUpdate(t *testing.T) {
 	cfg := tinyCfg()
 	c := makeClients(t, cfg, 1)[0]
 	global := nn.NewModel(cfg, rand.New(rand.NewSource(3))).Params().Flatten(nil)
-	res, err := c.RunRound(global, 0, tinySpec())
+	res, err := c.RunRound(context.Background(), global, 0, tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestClientRunRoundProducesUpdate(t *testing.T) {
 
 func TestClientWrongGlobalSize(t *testing.T) {
 	c := makeClients(t, tinyCfg(), 1)[0]
-	if _, err := c.RunRound([]float32{1, 2, 3}, 0, tinySpec()); err == nil {
+	if _, err := c.RunRound(context.Background(), []float32{1, 2, 3}, 0, tinySpec()); err == nil {
 		t.Fatal("mismatched global vector accepted")
 	}
 }
@@ -179,17 +180,17 @@ func TestSubFederationEqualsMeanOfNodes(t *testing.T) {
 	global := nn.NewModel(cfg, rand.New(rand.NewSource(5))).Params().Flatten(nil)
 	spec := tinySpec()
 
-	res, err := parent.RunRound(global, 0, spec)
+	res, err := parent.RunRound(context.Background(), global, 0, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reference: run the same nodes independently (fresh streams/state).
 	refNodes := makeClients(t, cfg, 2)
-	r0, err := refNodes[0].RunRound(global, 0, spec)
+	r0, err := refNodes[0].RunRound(context.Background(), global, 0, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := refNodes[1].RunRound(global, 0, spec)
+	r1, err := refNodes[1].RunRound(context.Background(), global, 0, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +206,11 @@ func TestSubFederationEqualsMeanOfNodes(t *testing.T) {
 }
 
 func TestRunConvergesAndIsDeterministic(t *testing.T) {
-	res1, err := Run(baseRun(t, nil))
+	res1, err := Run(context.Background(), baseRun(t, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Run(baseRun(t, nil))
+	res2, err := Run(context.Background(), baseRun(t, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,14 +237,14 @@ func TestRunValidatesConfig(t *testing.T) {
 		func(c *RunConfig) { c.Spec.Steps = 0 },
 	} {
 		cfg := baseRun(t, mutate)
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
 }
 
 func TestRunFullDropoutSkipsUpdates(t *testing.T) {
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.DropoutProb = 1.0
 		c.Rounds = 3
 	}))
@@ -258,7 +259,7 @@ func TestRunFullDropoutSkipsUpdates(t *testing.T) {
 }
 
 func TestRunPartialDropoutStillConverges(t *testing.T) {
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.DropoutProb = 0.25
 		c.Rounds = 8
 	}))
@@ -272,7 +273,7 @@ func TestRunPartialDropoutStillConverges(t *testing.T) {
 
 func TestRunSimulatedTime(t *testing.T) {
 	tm := &topo.Model{ModelSizeMB: 1, BandwidthMBps: 100, Throughput: 2, LocalSteps: 4}
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.TimeModel = tm
 		c.Topology = topo.RAR
 		c.Rounds = 3
@@ -289,7 +290,7 @@ func TestRunSimulatedTime(t *testing.T) {
 }
 
 func TestRunStopAtPPL(t *testing.T) {
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.Rounds = 50
 		c.StopAtPPL = 60 // easy target: reached quickly
 		c.EvalEvery = 1
@@ -304,7 +305,7 @@ func TestRunStopAtPPL(t *testing.T) {
 
 func TestRunCheckpoints(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "global.ckpt")
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.CheckpointPath = path
 		c.Rounds = 3
 	}))
@@ -327,7 +328,7 @@ func TestRunCheckpoints(t *testing.T) {
 }
 
 func TestRunPostPipelineClips(t *testing.T) {
-	res, err := Run(baseRun(t, func(c *RunConfig) {
+	res, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.Post = link.Pipeline{link.ClipL2{MaxNorm: 0.001}, link.NaNGuard{}}
 		c.Rounds = 2
 	}))
@@ -381,11 +382,11 @@ func TestNetworkedFederation(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			_ = ServeClient(conn, c, spec)
+			_ = ServeClient(context.Background(), conn, c, spec)
 		}(c)
 	}
 
-	res, err := Serve(l, ServerConfig{
+	res, err := Serve(context.Background(), l, ServerConfig{
 		ModelConfig:   cfg,
 		Seed:          11,
 		Rounds:        4,
@@ -416,7 +417,7 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if _, err := Serve(l, ServerConfig{}); err == nil {
+	if _, err := Serve(context.Background(), l, ServerConfig{}); err == nil {
 		t.Fatal("empty server config accepted")
 	}
 }

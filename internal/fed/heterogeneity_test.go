@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -91,7 +92,7 @@ func TestTiesMergeInFederation(t *testing.T) {
 			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
 	}
 	val := data.NewValidationSet(data.NewMixtureSource("pile", pile, nil), 8, 16, 999)
-	res, err := Run(RunConfig{
+	res, err := Run(context.Background(), RunConfig{
 		ModelConfig: cfg, Seed: 1, Rounds: 6, ClientsPerRound: 4,
 		Clients: clients, Outer: &TiesMerge{Keep: 0.5}, Spec: tinySpec(),
 		Validation: val, EvalEvery: 2,
@@ -145,7 +146,7 @@ func TestPowerOfChoiceExploresUnobserved(t *testing.T) {
 func TestPowerOfChoiceInFederation(t *testing.T) {
 	cfg := tinyCfg()
 	clients := makeClients(t, cfg, 6)
-	res, err := Run(RunConfig{
+	res, err := Run(context.Background(), RunConfig{
 		ModelConfig: cfg, Seed: 1, Rounds: 5, ClientsPerRound: 2,
 		Clients: clients, Outer: FedAvg{}, Spec: tinySpec(),
 		Sampler:    &PowerOfChoice{},
@@ -169,7 +170,7 @@ func TestFedProxLimitsDrift(t *testing.T) {
 		spec := tinySpec()
 		spec.Steps = 8
 		spec.ProxMu = mu
-		res, err := c.RunRound(global, 0, spec)
+		res, err := c.RunRound(context.Background(), global, 0, spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func TestDDPClientMatchesFlatDynamics(t *testing.T) {
 	}
 	global := nn.NewModel(cfg, rand.New(rand.NewSource(9))).Params().Flatten(nil)
 	spec := tinySpec()
-	res, err := ddpClient.RunRound(global, 0, spec)
+	res, err := ddpClient.RunRound(context.Background(), global, 0, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestBuildClientStrategies(t *testing.T) {
 		case "c":
 			client, _, _ = BuildClient("c", cfg, twoNodes, streams, newOpt)
 		}
-		if _, err := client.RunRound(global, 0, tinySpec()); err != nil {
+		if _, err := client.RunRound(context.Background(), global, 0, tinySpec()); err != nil {
 			t.Fatalf("client %s round failed: %v", built, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -43,7 +44,7 @@ func NewDDPClient(id string, cfg nn.Config, streams []data.Stream, newOpt func()
 
 // runDDP executes the client's round with the intra-silo DDP strategy and
 // returns the update θt − θt_k (identical across replicas by construction).
-func (c *Client) runDDP(global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
+func (c *Client) runDDP(ctx context.Context, global []float32, stepBase int, spec LocalSpec) (RoundResult, error) {
 	g := c.ddp
 	n := len(g.replicas)
 	for i, m := range g.replicas {
@@ -60,6 +61,9 @@ func (c *Client) runDDP(global []float32, stepBase int, spec LocalSpec) (RoundRe
 	var lossSum float64
 	lastLR := 0.0
 	for step := 0; step < spec.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return RoundResult{}, err
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < n; w++ {
 			wg.Add(1)

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestResumeFromCheckpoint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "global.ckpt")
 
-	first, err := Run(baseRun(t, func(c *RunConfig) {
+	first, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.Rounds = 5
 		c.EvalEvery = 1
 		c.CheckpointPath = path
@@ -29,7 +30,7 @@ func TestResumeFromCheckpoint(t *testing.T) {
 		t.Fatalf("checkpoint at round %d, want 5", snap.Round)
 	}
 
-	resumed, err := Run(baseRun(t, func(c *RunConfig) {
+	resumed, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.Rounds = 5
 		c.EvalEvery = 1
 		c.InitParams = snap.Params
@@ -57,7 +58,7 @@ func TestResumeFromCheckpoint(t *testing.T) {
 }
 
 func TestInitParamsLengthChecked(t *testing.T) {
-	_, err := Run(baseRun(t, func(c *RunConfig) {
+	_, err := Run(context.Background(), baseRun(t, func(c *RunConfig) {
 		c.InitParams = []float32{1, 2, 3}
 	}))
 	if err == nil {

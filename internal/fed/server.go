@@ -1,9 +1,11 @@
 package fed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"photon/internal/data"
 	"photon/internal/link"
@@ -24,6 +26,10 @@ type ServerConfig struct {
 	Outer      OuterOpt
 	Validation *data.ValidationSet
 	EvalEvery  int
+
+	// OnRound, when non-nil, is called synchronously with each round's
+	// record right after it is appended to the history.
+	OnRound func(metrics.Round)
 }
 
 // Serve runs the aggregator protocol on the listener: wait for
@@ -32,7 +38,14 @@ type ServerConfig struct {
 // optimizer. Clients that error or disconnect mid-round are treated as
 // dropouts (the PS partial-update behavior); a client failure is permanent
 // for the rest of the run. All clients receive MsgShutdown at the end.
-func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
+//
+// Cancelling ctx aborts the join wait and the round loop promptly: members
+// are sent a best-effort MsgShutdown and in-flight I/O is expired via
+// deadlines, and Serve returns the partial Result for the completed rounds
+// together with ctx.Err(). A member that is mid-training when the
+// cancellation lands may still observe a connection error instead of the
+// shutdown message.
+func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, error) {
 	if cfg.Outer == nil || cfg.Rounds <= 0 || cfg.ExpectClients <= 0 {
 		return nil, fmt.Errorf("fed: invalid server config %+v", cfg)
 	}
@@ -49,27 +62,74 @@ func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
 		conn  *link.Conn
 		alive bool
 	}
+	// Registered before the join wait so that members who already joined
+	// are shut down and closed even when the wait itself is cancelled or
+	// fails.
 	members := make([]*member, 0, cfg.ExpectClients)
+	defer func() {
+		// Send every member a shutdown (members marked dead by a
+		// cancellation-induced deadline expiry may still be reachable),
+		// then drain inbound data for a bounded grace period before
+		// closing: closing with an unread in-flight update would reset the
+		// connection and destroy the shutdown message before the client
+		// reads it.
+		var shut sync.WaitGroup
+		for _, m := range members {
+			shut.Add(1)
+			go func(m *member) {
+				defer shut.Done()
+				m.conn.SetDeadline(time.Now().Add(3 * time.Second))
+				m.conn.Send(&link.Message{Type: link.MsgShutdown})
+				for {
+					if _, err := m.conn.Recv(); err != nil {
+						break
+					}
+				}
+				m.conn.Close()
+			}(m)
+		}
+		shut.Wait()
+	}()
+
 	for len(members) < cfg.ExpectClients {
-		conn, err := l.Accept()
+		conn, err := l.AcceptContext(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("fed: accept: %w", err)
 		}
+		// Bound the join handshake so a stray connection that never sends
+		// MsgJoin (port scanner, stalled client) cannot wedge the wait.
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
 		join, err := conn.Recv()
 		if err != nil || join.Type != link.MsgJoin {
 			conn.Close()
 			continue
 		}
+		conn.SetDeadline(time.Time{})
 		members = append(members, &member{id: join.ClientID, conn: conn, alive: true})
 	}
-	defer func() {
-		for _, m := range members {
-			if m.alive {
-				m.conn.Send(&link.Message{Type: link.MsgShutdown})
+
+	// On cancellation, expire in-flight member I/O via deadlines (rather
+	// than closing the connections, which would destroy the shutdown
+	// message the drain defer above delivers afterwards). Deadlines only —
+	// sending here could block on a send mutex held by a stalled round
+	// exchange, which is exactly what the deadline must break. Started only
+	// after the membership is final, so it never races the appends above.
+	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
+	go func() {
+		defer close(watcherExited)
+		select {
+		case <-ctx.Done():
+			for _, m := range members {
+				m.conn.SetDeadline(time.Now())
 			}
-			m.conn.Close()
+		case <-watchDone:
 		}
 	}()
+	defer func() { close(watchDone); <-watcherExited }()
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
@@ -80,7 +140,12 @@ func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
 		evalEvery = 1
 	}
 
+	var runErr error
 	for round := 1; round <= cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		alive := make([]*member, 0, len(members))
 		for _, m := range members {
 			if m.alive {
@@ -128,8 +193,18 @@ func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
 			}(m)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			// The round was interrupted by cancellation; discard it.
+			runErr = err
+			break
+		}
 
-		rec := metrics.Round{Round: round, Clients: len(updates)}
+		paramBytes := int64(len(global)) * 4
+		rec := metrics.Round{
+			Round:     round,
+			Clients:   len(updates),
+			CommBytes: int64(len(cohort))*paramBytes + int64(len(updates))*paramBytes,
+		}
 		if len(updates) > 0 {
 			delta, err := MeanDelta(updates)
 			if err != nil {
@@ -146,28 +221,45 @@ func Serve(l *link.Listener, cfg ServerConfig) (*Result, error) {
 			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
 		}
 		hist.Append(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
 	}
 
 	if err := globalModel.Params().LoadFlat(global); err != nil {
 		return nil, err
 	}
-	return &Result{History: hist, Global: global, FinalModel: globalModel}, nil
+	return &Result{History: hist, Global: global, FinalModel: globalModel}, runErr
 }
 
 // ServeClient runs an LLM-C against a connected aggregator: it joins with
 // the client's ID and then answers MsgModel rounds with MsgUpdate replies
 // until MsgShutdown (or connection loss). stepBase for the shared schedule
-// is derived from the round number.
-func ServeClient(conn *link.Conn, client *Client, spec LocalSpec) error {
+// is derived from the round number. Cancelling ctx closes the connection to
+// unblock a pending receive and returns ctx.Err(). onRound observers, if
+// any, see one record per completed round (client-side loss, no PPL).
+func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec LocalSpec, onRound ...func(metrics.Round)) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
 	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: client.ID}); err != nil {
 		return fmt.Errorf("fed: join: %w", err)
 	}
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return fmt.Errorf("fed: client %s recv: %w", client.ID, err)
 		}
 		switch msg.Type {
@@ -175,8 +267,11 @@ func ServeClient(conn *link.Conn, client *Client, spec LocalSpec) error {
 			return nil
 		case link.MsgModel:
 			stepBase := (int(msg.Round) - 1) * spec.Steps
-			res, err := client.RunRound(msg.Payload, stepBase, spec)
+			res, err := client.RunRound(ctx, msg.Payload, stepBase, spec)
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				return fmt.Errorf("fed: client %s round %d: %w", client.ID, msg.Round, err)
 			}
 			err = conn.Send(&link.Message{
@@ -187,7 +282,20 @@ func ServeClient(conn *link.Conn, client *Client, spec LocalSpec) error {
 				Payload:  res.Update,
 			})
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				return fmt.Errorf("fed: client %s send: %w", client.ID, err)
+			}
+			paramBytes := int64(len(msg.Payload)) * 4
+			rec := metrics.Round{
+				Round:     int(msg.Round),
+				TrainLoss: res.Metrics["loss"],
+				Clients:   1,
+				CommBytes: 2 * paramBytes, // model down + update up
+			}
+			for _, fn := range onRound {
+				fn(rec)
 			}
 		default:
 			return fmt.Errorf("fed: client %s: unexpected message type %d", client.ID, msg.Type)

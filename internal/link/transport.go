@@ -2,6 +2,7 @@ package link
 
 import (
 	"bufio"
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -128,6 +129,35 @@ func (l *Listener) Accept() (*Conn, error) {
 	return NewConn(c, l.compress), nil
 }
 
+// AcceptContext blocks for the next inbound connection or until ctx is
+// cancelled. Cancellation closes the listener (the only portable way to
+// unblock a pending accept), so a cancelled AcceptContext ends the
+// listener's life — the intended use is server shutdown.
+func (l *Listener) AcceptContext(ctx context.Context) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type result struct {
+		conn *Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- result{c, err}
+	}()
+	select {
+	case <-ctx.Done():
+		l.Close()
+		if r := <-ch; r.conn != nil {
+			r.conn.Close()
+		}
+		return nil, ctx.Err()
+	case r := <-ch:
+		return r.conn, r.err
+	}
+}
+
 // Addr returns the bound address.
 func (l *Listener) Addr() string { return l.l.Addr().String() }
 
@@ -136,7 +166,15 @@ func (l *Listener) Close() error { return l.l.Close() }
 
 // Dial connects to a plain-TCP aggregator.
 func Dial(addr string, compress bool) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialContext(context.Background(), addr, compress)
+}
+
+// DialContext connects to a plain-TCP aggregator, honoring ctx cancellation
+// and deadline during connection establishment (a 10s fallback timeout
+// applies when ctx carries no deadline).
+func DialContext(ctx context.Context, addr string, compress bool) (*Conn, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("link: dial: %w", err)
 	}
@@ -146,11 +184,19 @@ func Dial(addr string, compress bool) (*Conn, error) {
 // DialTLS connects over TLS. rootCAs nil skips verification (self-signed
 // development certificates); production deployments pass a pinned pool.
 func DialTLS(addr string, rootCAs *x509.CertPool, compress bool) (*Conn, error) {
+	return DialTLSContext(context.Background(), addr, rootCAs, compress)
+}
+
+// DialTLSContext connects over TLS honoring ctx during dial and handshake.
+// rootCAs nil skips verification (self-signed development certificates);
+// production deployments pass a pinned pool.
+func DialTLSContext(ctx context.Context, addr string, rootCAs *x509.CertPool, compress bool) (*Conn, error) {
 	cfg := &tls.Config{RootCAs: rootCAs}
 	if rootCAs == nil {
 		cfg.InsecureSkipVerify = true
 	}
-	c, err := tls.DialWithDialer(&net.Dialer{Timeout: 10 * time.Second}, "tcp", addr, cfg)
+	d := tls.Dialer{NetDialer: &net.Dialer{Timeout: 10 * time.Second}, Config: cfg}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("link: tls dial: %w", err)
 	}

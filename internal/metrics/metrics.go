@@ -19,6 +19,7 @@ type Round struct {
 	UpdateNorm float64 // L2 norm of the aggregated pseudo-gradient
 	SimSeconds float64 // simulated wall-clock time consumed up to this round
 	Clients    int     // participating clients
+	CommBytes  int64   // model/update bytes exchanged this round (down + up)
 }
 
 // History is an append-only sequence of round records.

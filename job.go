@@ -1,0 +1,309 @@
+package photon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"photon/internal/ckpt"
+	"photon/internal/data"
+	"photon/internal/ddp"
+	"photon/internal/fed"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+// Job is a configured training run: one backend, one model, one recipe.
+// Build it with NewJob, start it with Run, and watch it live through
+// Events. A Job is single-use — Run may be called once.
+type Job struct {
+	cfg     jobConfig
+	events  chan RoundEvent
+	started atomic.Bool
+	addr    atomic.Value // string: aggregator backend's bound listen address
+}
+
+// NewJob assembles a job from functional options. Configuration problems
+// (unknown backend, unregistered optimizer or data source names, missing
+// required fields) are reported by Run, not here.
+func NewJob(opts ...JobOption) *Job {
+	var cfg jobConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fill()
+	return &Job{cfg: cfg, events: make(chan RoundEvent, cfg.expectedEvents())}
+}
+
+// Events returns the job's telemetry stream: one RoundEvent per completed
+// round (or evaluation interval), emitted while Run is executing and in
+// round order. The channel is buffered for the whole run, so training never
+// blocks on a slow consumer, and it is closed when Run returns — ranging
+// over it terminates. The one exception to the one-event-per-round
+// guarantee is BackendClient, whose round count is aggregator-driven: its
+// buffer holds 4096 events, and an unconsumed session longer than that
+// drops the excess rather than stalling training.
+func (j *Job) Events() <-chan RoundEvent { return j.events }
+
+// Addr returns the aggregator backend's bound listen address once Run has
+// started listening, and "" before that (or for other backends). It makes
+// WithAddr("127.0.0.1:0") usable: the kernel picks a free port and Addr
+// reports it.
+func (j *Job) Addr() string {
+	s, _ := j.addr.Load().(string)
+	return s
+}
+
+// Run executes the job until completion, cancellation, or error. It honors
+// ctx: cancelling stops a run promptly mid-round, and Run then returns the
+// partial Result for the rounds that completed together with ctx.Err().
+func (j *Job) Run(ctx context.Context) (*Result, error) {
+	if j.started.Swap(true) {
+		return nil, errors.New("photon: job already run (jobs are single-use; build a new one)")
+	}
+	defer close(j.events)
+	switch j.cfg.backend {
+	case BackendFederated:
+		return j.runFederated(ctx)
+	case BackendCentralized:
+		return j.runCentralized(ctx)
+	case BackendAggregator:
+		return j.runAggregator(ctx)
+	case BackendClient:
+		return j.runClient(ctx)
+	default:
+		return nil, fmt.Errorf("photon: unknown backend %q", j.cfg.backend)
+	}
+}
+
+// emit forwards a round record to the events channel. The channel is sized
+// for the run's full event count, so the send only falls into the drop arm
+// if a backend produces more rounds than anticipated (client backend under
+// a very long-lived aggregator).
+func (j *Job) emit(r metrics.Round) {
+	select {
+	case j.events <- eventFromRound(r):
+	default:
+	}
+}
+
+// newResult converts an internal run result to the public form.
+func newResult(model *nn.Model, hist *metrics.History) *Result {
+	out := &Result{model: model}
+	if hist != nil {
+		out.FinalPerplexity = hist.FinalPPL()
+		for _, r := range hist.Rounds {
+			out.Stats = append(out.Stats, RoundStat{
+				Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL,
+				Clients: r.Clients, CommBytes: r.CommBytes,
+			})
+		}
+	}
+	return out
+}
+
+func (j *Job) runFederated(ctx context.Context) (*Result, error) {
+	c := j.cfg
+	cfg, err := ModelConfig(c.size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = c.seqLen
+
+	srcs, err := lookupDataSource(c.dataSource, cfg.VocabSize)
+	if err != nil {
+		return nil, err
+	}
+	var part *data.Partition
+	var valSrc data.Source
+	if len(srcs) == 1 {
+		valSrc = srcs[0]
+		part, err = data.IIDPartition(srcs[0], c.clients, c.seed+1000)
+	} else {
+		part, err = data.BySourcePartition(srcs, c.clients, c.seed+1000)
+		valSrc = data.NewMixtureSource(c.dataSource, srcs, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	clients := make([]*fed.Client, part.NumClients())
+	for i := range clients {
+		clients[i] = fed.NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
+			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+	}
+	outer, err := lookupServerOptimizer(c.server)
+	if err != nil {
+		return nil, err
+	}
+	var post link.Pipeline
+	if c.clipUpdateNorm > 0 {
+		post = link.Pipeline{link.NaNGuard{}, link.ClipL2{MaxNorm: c.clipUpdateNorm}}
+	}
+	// Extended decay period (Appendix C.1): decay over 4x the planned run so
+	// the high learning rate persists, with the PaperCosine 1% warmup.
+	period := 4 * c.rounds * c.localSteps
+	if period < 200 {
+		period = 200
+	}
+	var initParams []float32
+	startRound := 0
+	if c.resumeFrom != "" {
+		snap, err := ckpt.Load(c.resumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("photon: resume: %w", err)
+		}
+		initParams = snap.Params
+		startRound = snap.Round
+	}
+
+	res, err := fed.Run(ctx, fed.RunConfig{
+		ModelConfig:     cfg,
+		Seed:            c.seed,
+		Rounds:          c.rounds,
+		ClientsPerRound: c.clientsPerRound,
+		Clients:         clients,
+		Outer:           outer,
+		Spec: fed.LocalSpec{
+			Steps:     c.localSteps,
+			BatchSize: c.batchSize,
+			SeqLen:    cfg.SeqLen,
+			Schedule:  opt.PaperCosine(c.maxLR, period),
+			ClipNorm:  1.0,
+		},
+		Validation:     data.NewValidationSet(valSrc, 16, cfg.SeqLen, 987654),
+		EvalEvery:      c.evalEvery,
+		Post:           post,
+		DropoutProb:    c.dropoutProb,
+		CheckpointPath: c.checkpointPath,
+		InitParams:     initParams,
+		StartRound:     startRound,
+		StopAtPPL:      c.stopAtPPL,
+		OnRound:        j.emit,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return newResult(res.FinalModel, res.History), err
+}
+
+func (j *Job) runCentralized(ctx context.Context) (*Result, error) {
+	c := j.cfg
+	cfg, err := ModelConfig(c.size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = c.seqLen
+	if c.workers < 1 || c.workers > data.NumShards {
+		return nil, fmt.Errorf("photon: workers must be in 1..%d", data.NumShards)
+	}
+	src := data.C4Like(cfg.VocabSize)
+	streams := make([]data.Stream, c.workers)
+	for i := range streams {
+		streams[i] = data.NewShard(src, i, c.seed+1000)
+	}
+	res, err := ddp.Run(ctx, ddp.Config{
+		ModelConfig: cfg,
+		Seed:        c.seed,
+		Steps:       c.steps,
+		Workers:     c.workers,
+		BatchSize:   c.batchSize,
+		SeqLen:      cfg.SeqLen,
+		Schedule:    opt.PaperCosine(c.maxLR, c.steps),
+		ClipNorm:    1.0,
+		Streams:     streams,
+		Validation:  data.NewValidationSet(src, 16, cfg.SeqLen, 987654),
+		EvalEvery:   c.evalEvery,
+		StopAtPPL:   c.stopAtPPL,
+		OnRound:     j.emit,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return newResult(res.FinalModel, res.History), err
+}
+
+func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
+	c := j.cfg
+	if c.expectClients <= 0 {
+		return nil, fmt.Errorf("photon: aggregator backend requires WithExpectClients > 0")
+	}
+	cfg, err := ModelConfig(c.size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = c.seqLen
+	outer, err := lookupServerOptimizer(c.server)
+	if err != nil {
+		return nil, err
+	}
+	l, err := link.Listen(c.addr, c.compress)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	j.addr.Store(l.Addr())
+
+	res, err := fed.Serve(ctx, l, fed.ServerConfig{
+		ModelConfig:     cfg,
+		Seed:            c.seed,
+		Rounds:          c.rounds,
+		ExpectClients:   c.expectClients,
+		ClientsPerRound: c.clientsPerRound,
+		Outer:           outer,
+		Validation:      data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
+		EvalEvery:       c.evalEvery,
+		OnRound:         j.emit,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return newResult(res.FinalModel, res.History), err
+}
+
+func (j *Job) runClient(ctx context.Context) (*Result, error) {
+	c := j.cfg
+	if c.clientID == "" {
+		return nil, fmt.Errorf("photon: client backend requires WithClientID")
+	}
+	cfg, err := ModelConfig(c.size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = c.seqLen
+	if c.shard < 0 || c.shard >= data.NumShards {
+		return nil, fmt.Errorf("photon: shard must be in 0..%d", data.NumShards-1)
+	}
+	stream := data.NewShard(data.C4Like(cfg.VocabSize), c.shard, c.seed+1000)
+	client := fed.NewClient(c.clientID, cfg, stream, opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+
+	conn, err := link.DialContext(ctx, c.addr, c.compress)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	const period = 2000 // extended decay: high LR for the whole session
+	hist := &metrics.History{}
+	err = fed.ServeClient(ctx, conn, client, fed.LocalSpec{
+		Steps:     c.localSteps,
+		BatchSize: c.batchSize,
+		SeqLen:    cfg.SeqLen,
+		Schedule:  opt.PaperCosine(c.maxLR, period),
+		ClipNorm:  1.0,
+	}, func(r metrics.Round) {
+		hist.Append(r)
+		j.emit(r)
+	})
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	// The client holds its last local replica; expose it with the
+	// client-side round history (no validation PPL — evaluation is the
+	// aggregator's job, so the result reports 0 = not evaluated).
+	res := newResult(client.Model, hist)
+	res.FinalPerplexity = 0
+	return res, err
+}

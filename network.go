@@ -1,15 +1,11 @@
 package photon
 
-import (
-	"fmt"
-
-	"photon/internal/data"
-	"photon/internal/fed"
-	"photon/internal/link"
-	"photon/internal/opt"
-)
+import "context"
 
 // AggregatorOptions configures ServeAggregator, the networked Agg process.
+//
+// Deprecated: build a Job with NewJob and WithBackend(BackendAggregator)
+// instead; AggregatorOptions remains for the legacy entry point.
 type AggregatorOptions struct {
 	Addr          string // listen address, e.g. ":9000"
 	Size          ModelSize
@@ -24,62 +20,34 @@ type AggregatorOptions struct {
 // ServeAggregator runs a real networked aggregator: it listens on Addr,
 // waits for ExpectClients LLM clients to join over the Photon wire protocol,
 // coordinates Rounds of federated training, and returns the final result.
+//
+// Deprecated: use NewJob(WithBackend(BackendAggregator), ...).Run(ctx),
+// which adds graceful shutdown and live Events telemetry.
 func ServeAggregator(o AggregatorOptions) (*Result, error) {
-	if o.Size == "" {
-		o.Size = SizeTiny
+	opts := []JobOption{
+		WithBackend(BackendAggregator),
+		WithAddr(o.Addr),
+		WithModel(o.Size),
+		WithRounds(o.Rounds),
+		WithExpectClients(o.ExpectClients),
+		WithSeqLen(o.SeqLen),
+		WithCompression(o.Compress),
+		WithSeed(o.Seed),
 	}
-	if o.Rounds == 0 {
-		o.Rounds = 10
+	if o.Server != "" {
+		opts = append(opts, WithServerOptimizer(string(o.Server)))
 	}
-	if o.SeqLen == 0 {
-		o.SeqLen = 16
-	}
-	if o.Server == "" {
-		o.Server = FedAvg
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.ExpectClients <= 0 {
-		return nil, fmt.Errorf("photon: ExpectClients must be positive")
-	}
-	cfg, err := ModelConfig(o.Size)
+	res, err := NewJob(opts...).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	cfg.SeqLen = o.SeqLen
-	outer, err := Options{Server: o.Server}.outer()
-	if err != nil {
-		return nil, err
-	}
-	l, err := link.Listen(o.Addr, o.Compress)
-	if err != nil {
-		return nil, err
-	}
-	defer l.Close()
-
-	res, err := fed.Serve(l, fed.ServerConfig{
-		ModelConfig:   cfg,
-		Seed:          o.Seed,
-		Rounds:        o.Rounds,
-		ExpectClients: o.ExpectClients,
-		Outer:         outer,
-		Validation:    data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
-		EvalEvery:     1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{model: res.FinalModel, FinalPerplexity: res.History.FinalPPL()}
-	for _, r := range res.History.Rounds {
-		out.Stats = append(out.Stats, RoundStat{
-			Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL, Clients: r.Clients,
-		})
-	}
-	return out, nil
+	return res, nil
 }
 
 // ClientOptions configures JoinAsClient, the networked LLM-C process.
+//
+// Deprecated: build a Job with NewJob and WithBackend(BackendClient)
+// instead; ClientOptions remains for the legacy entry point.
 type ClientOptions struct {
 	Addr       string // aggregator address
 	ID         string // client identity
@@ -95,50 +63,22 @@ type ClientOptions struct {
 
 // JoinAsClient connects to a networked aggregator and serves training rounds
 // until the aggregator shuts the session down.
+//
+// Deprecated: use NewJob(WithBackend(BackendClient), ...).Run(ctx), which
+// adds cancellation and client-side round telemetry.
 func JoinAsClient(o ClientOptions) error {
-	if o.Size == "" {
-		o.Size = SizeTiny
-	}
-	if o.LocalSteps == 0 {
-		o.LocalSteps = 16
-	}
-	if o.BatchSize == 0 {
-		o.BatchSize = 4
-	}
-	if o.SeqLen == 0 {
-		o.SeqLen = 16
-	}
-	if o.MaxLR == 0 {
-		o.MaxLR = 3e-3
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.ID == "" {
-		return fmt.Errorf("photon: client ID required")
-	}
-	cfg, err := ModelConfig(o.Size)
-	if err != nil {
-		return err
-	}
-	cfg.SeqLen = o.SeqLen
-	if o.Shard < 0 || o.Shard >= data.NumShards {
-		return fmt.Errorf("photon: shard must be in 0..%d", data.NumShards-1)
-	}
-	stream := data.NewShard(data.C4Like(cfg.VocabSize), o.Shard, o.Seed+1000)
-	client := fed.NewClient(o.ID, cfg, stream, opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
-
-	conn, err := link.Dial(o.Addr, o.Compress)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	const period = 2000 // extended decay: high LR for the whole session
-	return fed.ServeClient(conn, client, fed.LocalSpec{
-		Steps:     o.LocalSteps,
-		BatchSize: o.BatchSize,
-		SeqLen:    cfg.SeqLen,
-		Schedule:  opt.PaperCosine(o.MaxLR, period),
-		ClipNorm:  1.0,
-	})
+	_, err := NewJob(
+		WithBackend(BackendClient),
+		WithAddr(o.Addr),
+		WithClientID(o.ID),
+		WithModel(o.Size),
+		WithShard(o.Shard),
+		WithLocalSteps(o.LocalSteps),
+		WithBatchSize(o.BatchSize),
+		WithSeqLen(o.SeqLen),
+		WithMaxLR(o.MaxLR),
+		WithCompression(o.Compress),
+		WithSeed(o.Seed),
+	).Run(context.Background())
+	return err
 }

@@ -1,0 +1,246 @@
+package photon
+
+// Backend selects the execution engine a Job runs on.
+type Backend string
+
+// Available backends.
+const (
+	// BackendFederated runs Algorithm 1 end to end in a single process:
+	// the default, and the paper's main experimental harness.
+	BackendFederated Backend = "federated"
+	// BackendCentralized runs the matched centralized/DDP baseline
+	// (Algorithm 2).
+	BackendCentralized Backend = "centralized"
+	// BackendAggregator serves a real networked aggregator on WithAddr,
+	// coordinating WithExpectClients remote clients over the wire protocol.
+	BackendAggregator Backend = "aggregator"
+	// BackendClient joins a networked aggregator at WithAddr and serves
+	// training rounds until the session ends.
+	BackendClient Backend = "client"
+)
+
+// jobConfig is the resolved configuration a Job runs with. Zero values are
+// filled with per-backend defaults at Run time.
+type jobConfig struct {
+	backend Backend
+	size    ModelSize
+
+	clients         int
+	clientsPerRound int
+	rounds          int
+	localSteps      int
+	batchSize       int
+	seqLen          int
+
+	steps   int // centralized: optimizer steps
+	workers int // centralized: DDP workers
+
+	maxLR      float64
+	server     string
+	dataSource string
+
+	dropoutProb    float64
+	clipUpdateNorm float64
+	checkpointPath string
+	resumeFrom     string
+	stopAtPPL      float64
+	evalEvery      int
+	seed           int64
+
+	addr          string
+	expectClients int
+	clientID      string
+	shard         int
+	compress      bool
+}
+
+// JobOption configures a Job; build them with the With* constructors.
+type JobOption func(*jobConfig)
+
+// WithBackend selects the execution engine (default BackendFederated).
+func WithBackend(b Backend) JobOption { return func(c *jobConfig) { c.backend = b } }
+
+// WithModel selects the model architecture preset (default SizeTiny).
+func WithModel(size ModelSize) JobOption { return func(c *jobConfig) { c.size = size } }
+
+// WithClients sets the federation population N (default 4).
+func WithClients(n int) JobOption { return func(c *jobConfig) { c.clients = n } }
+
+// WithClientsPerRound sets the per-round cohort size K (default: all
+// clients, i.e. full participation).
+func WithClientsPerRound(k int) JobOption { return func(c *jobConfig) { c.clientsPerRound = k } }
+
+// WithRounds sets the number of federated rounds (default 20 for the
+// federated backend, 10 for the aggregator).
+func WithRounds(r int) JobOption { return func(c *jobConfig) { c.rounds = r } }
+
+// WithLocalSteps sets τ, the local steps per round (default 16).
+func WithLocalSteps(tau int) JobOption { return func(c *jobConfig) { c.localSteps = tau } }
+
+// WithBatchSize sets the hardware-determined local batch size Bl (default 4
+// federated, 16 centralized).
+func WithBatchSize(b int) JobOption { return func(c *jobConfig) { c.batchSize = b } }
+
+// WithSeqLen sets the training sequence length (default 16).
+func WithSeqLen(n int) JobOption { return func(c *jobConfig) { c.seqLen = n } }
+
+// WithSteps sets the centralized backend's optimizer step count
+// (default 320).
+func WithSteps(n int) JobOption { return func(c *jobConfig) { c.steps = n } }
+
+// WithWorkers sets the centralized backend's DDP worker count (default 1).
+func WithWorkers(n int) JobOption { return func(c *jobConfig) { c.workers = n } }
+
+// WithMaxLR sets the peak learning rate (default 3e-3, the high-LR recipe).
+func WithMaxLR(lr float64) JobOption { return func(c *jobConfig) { c.maxLR = lr } }
+
+// WithServerOptimizer selects the registered server optimizer by name
+// (default "fedavg"; see RegisterServerOptimizer).
+func WithServerOptimizer(name string) JobOption { return func(c *jobConfig) { c.server = name } }
+
+// WithDataSource selects the registered training corpus by name (default
+// "c4"; see RegisterDataSource). Multi-source corpora such as "pile" give
+// each client one distinct source, modeling cross-client heterogeneity.
+func WithDataSource(name string) JobOption { return func(c *jobConfig) { c.dataSource = name } }
+
+// WithDropout injects per-round client failures with probability p.
+func WithDropout(p float64) JobOption { return func(c *jobConfig) { c.dropoutProb = p } }
+
+// WithClipUpdateNorm applies NaN-guarding and L2-clipping post-processing
+// to client updates before aggregation (0 disables).
+func WithClipUpdateNorm(maxNorm float64) JobOption {
+	return func(c *jobConfig) { c.clipUpdateNorm = maxNorm }
+}
+
+// WithCheckpoint enables per-round async checkpointing of the global model.
+func WithCheckpoint(path string) JobOption { return func(c *jobConfig) { c.checkpointPath = path } }
+
+// WithResume loads a checkpoint written via WithCheckpoint and continues
+// from it: the global model is restored and round numbering (and the
+// learning-rate schedule) picks up where the checkpoint left off.
+func WithResume(path string) JobOption { return func(c *jobConfig) { c.resumeFrom = path } }
+
+// WithStopAtPPL halts training once validation perplexity reaches the
+// target (0 disables early stopping).
+func WithStopAtPPL(target float64) JobOption { return func(c *jobConfig) { c.stopAtPPL = target } }
+
+// WithEvalEvery evaluates validation perplexity every n rounds (default 1
+// federated, 10 centralized).
+func WithEvalEvery(n int) JobOption { return func(c *jobConfig) { c.evalEvery = n } }
+
+// WithSeed sets the run seed (default 1).
+func WithSeed(seed int64) JobOption { return func(c *jobConfig) { c.seed = seed } }
+
+// WithAddr sets the network address: the listen address for
+// BackendAggregator (e.g. ":9000"), the aggregator address for
+// BackendClient.
+func WithAddr(addr string) JobOption { return func(c *jobConfig) { c.addr = addr } }
+
+// WithExpectClients makes the aggregator backend block until this many
+// clients join before training starts.
+func WithExpectClients(n int) JobOption { return func(c *jobConfig) { c.expectClients = n } }
+
+// WithClientID sets the client backend's identity.
+func WithClientID(id string) JobOption { return func(c *jobConfig) { c.clientID = id } }
+
+// WithShard sets which of the 64 corpus shards the client backend holds.
+func WithShard(shard int) JobOption { return func(c *jobConfig) { c.shard = shard } }
+
+// WithCompression flate-compresses parameter payloads on the wire
+// (networked backends).
+func WithCompression(on bool) JobOption { return func(c *jobConfig) { c.compress = on } }
+
+// fill resolves zero values to per-backend defaults.
+func (c *jobConfig) fill() {
+	if c.backend == "" {
+		c.backend = BackendFederated
+	}
+	if c.size == "" {
+		c.size = SizeTiny
+	}
+	if c.seqLen == 0 {
+		c.seqLen = 16
+	}
+	if c.maxLR == 0 {
+		c.maxLR = 3e-3
+	}
+	if c.server == "" {
+		c.server = string(FedAvg)
+	}
+	if c.dataSource == "" {
+		c.dataSource = "c4"
+	}
+	if c.seed == 0 {
+		c.seed = 1
+	}
+	if c.localSteps == 0 {
+		c.localSteps = 16
+	}
+	switch c.backend {
+	case BackendCentralized:
+		if c.steps == 0 {
+			c.steps = 320
+		}
+		if c.workers == 0 {
+			c.workers = 1
+		}
+		if c.batchSize == 0 {
+			c.batchSize = 16
+		}
+		if c.evalEvery == 0 {
+			c.evalEvery = 10
+		}
+	case BackendAggregator:
+		if c.rounds == 0 {
+			c.rounds = 10
+		}
+		if c.evalEvery == 0 {
+			c.evalEvery = 1
+		}
+	case BackendClient:
+		if c.batchSize == 0 {
+			c.batchSize = 4
+		}
+	default: // BackendFederated
+		if c.clients == 0 {
+			c.clients = 4
+		}
+		if c.clientsPerRound == 0 {
+			c.clientsPerRound = c.clients
+		}
+		if c.rounds == 0 {
+			c.rounds = 20
+		}
+		if c.batchSize == 0 {
+			c.batchSize = 4
+		}
+		if c.evalEvery == 0 {
+			c.evalEvery = 1
+		}
+	}
+}
+
+// expectedEvents bounds the number of RoundEvents a run can emit, sizing
+// the events channel so training never blocks on a slow (or absent)
+// consumer. Invalid (negative) round/step counts are clamped here and
+// rejected with a proper error by the backend's own validation in Run.
+func (c *jobConfig) expectedEvents() int {
+	n := 0
+	switch c.backend {
+	case BackendCentralized:
+		n = c.steps
+		if c.evalEvery > 0 {
+			n = c.steps / c.evalEvery
+		}
+	case BackendClient:
+		// Round count is aggregator-driven and unknown here; size for any
+		// realistic session length.
+		n = 4096
+	default:
+		n = c.rounds
+	}
+	if n < 8 {
+		n = 8
+	}
+	return n + 2
+}

@@ -4,32 +4,34 @@
 //
 // The package wraps the internal subsystems (federated core, transformer
 // training stack, data sources, communication layer, and wall-time models)
-// behind three entry points:
+// behind a single context-aware, observable entry point:
 //
-//   - Pretrain runs a complete federated pre-training job in-process:
-//     Algorithm 1 with FedAvg/FedMom/DiLoCo server optimizers, IID or
-//     heterogeneous data, partial participation, dropout injection, and
-//     checkpointing.
-//   - PretrainCentralized runs the matched centralized/DDP baseline
-//     (Algorithm 2).
+//   - NewJob assembles a training job from functional options, Run executes
+//     it honoring context cancellation and deadlines, and Events streams
+//     per-round telemetry (loss, perplexity, participating clients,
+//     communication bytes) while training is in progress.
+//   - Backends select the execution engine: BackendFederated (Algorithm 1
+//     in-process), BackendCentralized (the Algorithm 2 DDP baseline), and
+//     BackendAggregator/BackendClient (real networked federation over the
+//     Photon wire protocol, as used by the photon-agg and photon-client
+//     commands).
+//   - RegisterServerOptimizer and RegisterDataSource plug new aggregation
+//     rules and corpora into every backend without touching core.
 //   - PlanDeployment evaluates the Appendix B.1 wall-time model over a
 //     bandwidth topology, choosing the cheapest admissible aggregation
 //     topology for a deployment.
 //
-// For networked (multi-process) federations, ServeAggregator and JoinAsClient
-// speak the same wire protocol as the photon-agg and photon-client commands.
+// The legacy blocking entry points (Pretrain, PretrainCentralized,
+// ServeAggregator, JoinAsClient) remain as deprecated thin wrappers over
+// the Job API.
 package photon
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"photon/internal/ckpt"
-	"photon/internal/data"
-	"photon/internal/fed"
-	"photon/internal/link"
 	"photon/internal/nn"
-	"photon/internal/opt"
 	"photon/internal/topo"
 )
 
@@ -64,10 +66,11 @@ func ModelConfig(size ModelSize) (nn.Config, error) {
 	return nn.Config{}, fmt.Errorf("photon: unknown model size %q", size)
 }
 
-// ServerOptimizer selects the aggregator-side optimizer.
+// ServerOptimizer names an aggregator-side optimizer in the registry.
 type ServerOptimizer string
 
-// Server optimizer choices.
+// Built-in server optimizer names (see RegisterServerOptimizer for adding
+// more).
 const (
 	// FedAvg with ηs=1 is Photon's recipe.
 	FedAvg ServerOptimizer = "fedavg"
@@ -79,6 +82,9 @@ const (
 
 // Options configures Pretrain. Zero values select the paper-faithful
 // defaults documented per field.
+//
+// Deprecated: build a Job with NewJob and the With* options instead;
+// Options remains for the legacy Pretrain entry point.
 type Options struct {
 	Size ModelSize // default SizeTiny
 
@@ -112,57 +118,39 @@ type Options struct {
 	// StopAtPPL halts once validation perplexity reaches the target.
 	StopAtPPL float64
 
-	// SecureAggregation applies NaN-guarding and L2-clipping post-processing
+	// ClipUpdateNorm applies NaN-guarding and L2-clipping post-processing
 	// to client updates before aggregation.
 	ClipUpdateNorm float64
 
 	Seed int64 // default 1
 }
 
-func (o *Options) fill() {
-	if o.Size == "" {
-		o.Size = SizeTiny
+// jobOptions translates the legacy struct to the functional-option form.
+func (o Options) jobOptions() []JobOption {
+	opts := []JobOption{
+		WithBackend(BackendFederated),
+		WithModel(o.Size),
+		WithClients(o.Clients),
+		WithClientsPerRound(o.ClientsPerRound),
+		WithRounds(o.Rounds),
+		WithLocalSteps(o.LocalSteps),
+		WithBatchSize(o.BatchSize),
+		WithSeqLen(o.SeqLen),
+		WithMaxLR(o.MaxLR),
+		WithDropout(o.DropoutProb),
+		WithClipUpdateNorm(o.ClipUpdateNorm),
+		WithCheckpoint(o.CheckpointPath),
+		WithResume(o.ResumeFrom),
+		WithStopAtPPL(o.StopAtPPL),
+		WithSeed(o.Seed),
 	}
-	if o.Clients == 0 {
-		o.Clients = 4
+	if o.Server != "" {
+		opts = append(opts, WithServerOptimizer(string(o.Server)))
 	}
-	if o.ClientsPerRound == 0 {
-		o.ClientsPerRound = o.Clients
+	if o.Heterogeneous {
+		opts = append(opts, WithDataSource("pile"))
 	}
-	if o.Rounds == 0 {
-		o.Rounds = 20
-	}
-	if o.LocalSteps == 0 {
-		o.LocalSteps = 16
-	}
-	if o.BatchSize == 0 {
-		o.BatchSize = 4
-	}
-	if o.SeqLen == 0 {
-		o.SeqLen = 16
-	}
-	if o.MaxLR == 0 {
-		o.MaxLR = 3e-3
-	}
-	if o.Server == "" {
-		o.Server = FedAvg
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-}
-
-func (o Options) outer() (fed.OuterOpt, error) {
-	switch o.Server {
-	case FedAvg:
-		return fed.FedAvg{LR: 1.0}, nil
-	case FedMom:
-		return fed.NewFedMom(1.0, 0.9), nil
-	case DiLoCo:
-		return fed.NewDiLoCo(0.1, 0.9), nil
-	default:
-		return nil, fmt.Errorf("photon: unknown server optimizer %q", o.Server)
-	}
+	return opts
 }
 
 // RoundStat is one round of training progress.
@@ -171,9 +159,10 @@ type RoundStat struct {
 	TrainLoss  float64
 	Perplexity float64 // 0 when the round was not evaluated
 	Clients    int
+	CommBytes  int64 // model/update bytes exchanged during the round
 }
 
-// Result is a finished pre-training run.
+// Result is a finished (or, under cancellation, partial) pre-training run.
 type Result struct {
 	Stats           []RoundStat
 	FinalPerplexity float64
@@ -182,104 +171,38 @@ type Result struct {
 }
 
 // Generate samples tokens from the trained model (temperature 0 = greedy).
+// It returns nil when the run produced no model (client backend).
 func (r *Result) Generate(seed int64, prompt []int, n int, temperature float64) []int {
+	if r.model == nil {
+		return nil
+	}
 	return r.model.Generate(rand.New(rand.NewSource(seed)), prompt, n, temperature)
 }
 
 // Perplexity evaluates the trained model on fresh held-out data.
 func (r *Result) Perplexity() float64 { return r.FinalPerplexity }
 
-// NumParams returns the trained model's parameter count.
-func (r *Result) NumParams() int { return r.model.NumParams() }
+// NumParams returns the trained model's parameter count (0 when the run
+// produced no model).
+func (r *Result) NumParams() int {
+	if r.model == nil {
+		return 0
+	}
+	return r.model.NumParams()
+}
 
 // Pretrain runs federated pre-training end to end in a single process and
 // returns the trained global model with its training history.
+//
+// Deprecated: use NewJob(...).Run(ctx) with BackendFederated, which adds
+// cancellation and live Events telemetry. Pretrain remains as a thin
+// wrapper and is equivalent to running the job with context.Background().
 func Pretrain(o Options) (*Result, error) {
-	o.fill()
-	cfg, err := ModelConfig(o.Size)
+	res, err := NewJob(o.jobOptions()...).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	cfg.SeqLen = o.SeqLen
-
-	var part *data.Partition
-	var valSrc data.Source
-	if o.Heterogeneous {
-		pile := data.PileLike(cfg.VocabSize)
-		part, err = data.BySourcePartition(pile, o.Clients, o.Seed+1000)
-		valSrc = data.NewMixtureSource("pile", pile, nil)
-	} else {
-		valSrc = data.C4Like(cfg.VocabSize)
-		part, err = data.IIDPartition(valSrc, o.Clients, o.Seed+1000)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	clients := make([]*fed.Client, part.NumClients())
-	for i := range clients {
-		clients[i] = fed.NewClient(part.SourceNames[i], cfg, part.ClientStreams[i],
-			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
-	}
-	outer, err := o.outer()
-	if err != nil {
-		return nil, err
-	}
-	var post link.Pipeline
-	if o.ClipUpdateNorm > 0 {
-		post = link.Pipeline{link.NaNGuard{}, link.ClipL2{MaxNorm: o.ClipUpdateNorm}}
-	}
-	// Extended decay period (Appendix C.1): decay over 4x the planned run so
-	// the high learning rate persists, with the PaperCosine 1% warmup.
-	period := 4 * o.Rounds * o.LocalSteps
-	if period < 200 {
-		period = 200
-	}
-	var initParams []float32
-	startRound := 0
-	if o.ResumeFrom != "" {
-		snap, err := ckpt.Load(o.ResumeFrom)
-		if err != nil {
-			return nil, fmt.Errorf("photon: resume: %w", err)
-		}
-		initParams = snap.Params
-		startRound = snap.Round
-	}
-
-	res, err := fed.Run(fed.RunConfig{
-		ModelConfig:     cfg,
-		Seed:            o.Seed,
-		Rounds:          o.Rounds,
-		ClientsPerRound: o.ClientsPerRound,
-		Clients:         clients,
-		Outer:           outer,
-		Spec: fed.LocalSpec{
-			Steps:     o.LocalSteps,
-			BatchSize: o.BatchSize,
-			SeqLen:    cfg.SeqLen,
-			Schedule:  opt.PaperCosine(o.MaxLR, period),
-			ClipNorm:  1.0,
-		},
-		Validation:     data.NewValidationSet(valSrc, 16, cfg.SeqLen, 987654),
-		EvalEvery:      1,
-		Post:           post,
-		DropoutProb:    o.DropoutProb,
-		CheckpointPath: o.CheckpointPath,
-		InitParams:     initParams,
-		StartRound:     startRound,
-		StopAtPPL:      o.StopAtPPL,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	out := &Result{model: res.FinalModel, FinalPerplexity: res.History.FinalPPL()}
-	for _, r := range res.History.Rounds {
-		out.Stats = append(out.Stats, RoundStat{
-			Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL, Clients: r.Clients,
-		})
-	}
-	return out, nil
+	return res, nil
 }
 
 // TopologyPlan is one aggregation option evaluated by PlanDeployment.

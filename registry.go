@@ -1,0 +1,138 @@
+package photon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"photon/internal/data"
+	"photon/internal/fed"
+)
+
+// OuterOptimizer is the server-side (outer) optimizer contract: it consumes
+// the round pseudo-gradient Δt = θt − mean_k(θt_k) and updates the global
+// parameter vector in place. Implementations registered via
+// RegisterServerOptimizer plug into every backend without touching core.
+type OuterOptimizer interface {
+	// Step applies θ_{t+1} = ServerOpt(θ_t, −Δ_t, t).
+	Step(global, delta []float32, round int)
+	// Name identifies the optimizer in logs and checkpoints.
+	Name() string
+}
+
+// Source produces an endless token stream with a characteristic
+// distribution; it is the extension contract behind RegisterDataSource.
+type Source interface {
+	// Name identifies the source ("arxiv", "c4", ...).
+	Name() string
+	// Vocab returns the vocabulary size tokens are drawn from.
+	Vocab() int
+	// Sample writes a sequence of tokens drawn from the source into out,
+	// using rng for all randomness.
+	Sample(rng *rand.Rand, out []int)
+}
+
+var (
+	registryMu       sync.RWMutex
+	serverOptimizers = map[string]func() OuterOptimizer{}
+	dataSources      = map[string]func(vocab int) []Source{}
+)
+
+// RegisterServerOptimizer makes a server optimizer available to jobs under
+// name (selected via WithServerOptimizer). The factory is invoked once per
+// run so stateful optimizers start fresh. Registering an existing name
+// replaces it; the built-ins "fedavg", "fedmom", and "diloco" are
+// pre-registered.
+func RegisterServerOptimizer(name string, factory func() OuterOptimizer) {
+	if name == "" || factory == nil {
+		panic("photon: RegisterServerOptimizer requires a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	serverOptimizers[name] = factory
+}
+
+// RegisterDataSource makes a training corpus available to jobs under name
+// (selected via WithDataSource). The factory receives the model's vocabulary
+// size and returns one or more sources: a single source is sharded IID
+// across clients; multiple sources model cross-client heterogeneity, each
+// client holding one distinct source. The built-ins "c4" (single blended
+// corpus) and "pile" (four statistically distinct sources) are
+// pre-registered.
+func RegisterDataSource(name string, factory func(vocab int) []Source) {
+	if name == "" || factory == nil {
+		panic("photon: RegisterDataSource requires a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	dataSources[name] = factory
+}
+
+// ServerOptimizers lists the registered server optimizer names, sorted.
+func ServerOptimizers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return sortedKeys(serverOptimizers)
+}
+
+// DataSources lists the registered data source names, sorted.
+func DataSources() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return sortedKeys(dataSources)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupServerOptimizer(name string) (OuterOptimizer, error) {
+	registryMu.RLock()
+	factory, ok := serverOptimizers[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("photon: unknown server optimizer %q (registered: %v)", name, ServerOptimizers())
+	}
+	return factory(), nil
+}
+
+func lookupDataSource(name string, vocab int) ([]data.Source, error) {
+	registryMu.RLock()
+	factory, ok := dataSources[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("photon: unknown data source %q (registered: %v)", name, DataSources())
+	}
+	srcs := factory(vocab)
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("photon: data source %q produced no sources", name)
+	}
+	out := make([]data.Source, len(srcs))
+	for i, s := range srcs {
+		out[i] = s
+	}
+	return out, nil
+}
+
+func init() {
+	RegisterServerOptimizer(string(FedAvg), func() OuterOptimizer { return fed.FedAvg{LR: 1.0} })
+	RegisterServerOptimizer(string(FedMom), func() OuterOptimizer { return fed.NewFedMom(1.0, 0.9) })
+	RegisterServerOptimizer(string(DiLoCo), func() OuterOptimizer { return fed.NewDiLoCo(0.1, 0.9) })
+	RegisterDataSource("c4", func(vocab int) []Source {
+		return []Source{data.C4Like(vocab)}
+	})
+	RegisterDataSource("pile", func(vocab int) []Source {
+		pile := data.PileLike(vocab)
+		out := make([]Source, len(pile))
+		for i, s := range pile {
+			out[i] = s
+		}
+		return out
+	})
+}
