@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
 	"photon"
 )
@@ -26,13 +27,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("photon-agg: ")
 	var (
-		addr     = flag.String("addr", ":9000", "listen address")
-		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
-		clients  = flag.Int("clients", 2, "clients to wait for")
-		rounds   = flag.Int("rounds", 10, "federated rounds")
-		server   = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
-		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
-		seed     = flag.Int64("seed", 1, "run seed")
+		addr       = flag.String("addr", ":9000", "listen address")
+		size       = flag.String("model", string(photon.SizeTiny), "model size preset")
+		clients    = flag.Int("clients", 2, "clients to wait for before round 1")
+		rounds     = flag.Int("rounds", 10, "federated rounds")
+		server     = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
+		compress   = flag.Bool("compress", true, "flate-compress parameter payloads")
+		seed       = flag.Int64("seed", 1, "run seed")
+		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat interval; members missing 3 beats are evicted (0 disables)")
+		deadline   = flag.Duration("deadline", 0, "per-round deadline; late members become stragglers (0 waits forever)")
+		minClients = flag.Int("min-clients", 1, "mid-run participation floor: rounds wait for this many alive members")
+		over       = flag.Float64("over", 0, "cohort over-provision fraction (0.25 = sample 25% extra)")
 	)
 	flag.Parse()
 
@@ -48,6 +53,10 @@ func main() {
 		photon.WithServerOptimizer(*server),
 		photon.WithCompression(*compress),
 		photon.WithSeed(*seed),
+		photon.WithHeartbeat(*heartbeat),
+		photon.WithRoundDeadline(*deadline),
+		photon.WithMinClients(*minClients),
+		photon.WithOverProvision(*over),
 	)
 
 	var wg sync.WaitGroup
@@ -55,8 +64,15 @@ func main() {
 	go func() {
 		defer wg.Done()
 		for ev := range job.Events() {
-			fmt.Printf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB\n",
+			line := fmt.Sprintf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB",
 				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
+			if ev.Joins > 0 || ev.Evictions > 0 || ev.Stragglers > 0 {
+				line += fmt.Sprintf(" joins=%d evict=%d stragglers=%d", ev.Joins, ev.Evictions, ev.Stragglers)
+			}
+			if ev.HeartbeatRTTMs > 0 {
+				line += fmt.Sprintf(" hb-rtt=%.1fms", ev.HeartbeatRTTMs)
+			}
+			fmt.Println(line)
 		}
 	}()
 
@@ -74,6 +90,10 @@ func main() {
 	}
 	if len(res.Stats) == 0 {
 		return // stopped before any round completed; nothing to report
+	}
+	if res.Joins > 0 || res.Evictions > 0 || res.Stragglers > 0 {
+		log.Printf("membership churn: %d joins, %d evictions, %d stragglers dropped",
+			res.Joins, res.Evictions, res.Stragglers)
 	}
 	fmt.Printf("final perplexity: %.2f\n", res.FinalPerplexity)
 }

@@ -35,6 +35,8 @@ func main() {
 		lr       = flag.Float64("lr", 3e-3, "peak learning rate")
 		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
 		seed     = flag.Int64("seed", 1, "run seed")
+		retry    = flag.Int("reconnect", 5, "reconnect attempts after a lost session (0 disables)")
+		ckpt     = flag.String("ckpt", "", "local checkpoint path for crash recovery (optional)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,8 @@ func main() {
 		photon.WithMaxLR(*lr),
 		photon.WithCompression(*compress),
 		photon.WithSeed(*seed),
+		photon.WithReconnect(*retry),
+		photon.WithCheckpoint(*ckpt),
 	)
 
 	var wg sync.WaitGroup

@@ -28,16 +28,35 @@ type RoundEvent struct {
 	// SimSeconds is the simulated wall-clock time consumed so far when the
 	// run carries a time model, 0 otherwise.
 	SimSeconds float64
+
+	// Joins counts members that joined (or rejoined) the federation during
+	// this round — elastic membership telemetry from the networked
+	// aggregator backend, 0 elsewhere. Churn is windowed between recorded
+	// rounds: round 1 includes the initial cohort's joins.
+	Joins int
+	// Evictions counts members evicted this round (connection failure or
+	// missed heartbeats).
+	Evictions int
+	// Stragglers counts cohort slots dropped at the round deadline: the
+	// member stayed alive but its update arrived too late to aggregate.
+	Stragglers int
+	// HeartbeatRTTMs is the mean heartbeat round-trip observed during the
+	// round in milliseconds (0 when heartbeats are disabled).
+	HeartbeatRTTMs float64
 }
 
 func eventFromRound(r metrics.Round) RoundEvent {
 	return RoundEvent{
-		Round:      r.Round,
-		TrainLoss:  r.TrainLoss,
-		Perplexity: r.ValPPL,
-		Clients:    r.Clients,
-		CommBytes:  r.CommBytes,
-		UpdateNorm: r.UpdateNorm,
-		SimSeconds: r.SimSeconds,
+		Round:          r.Round,
+		TrainLoss:      r.TrainLoss,
+		Perplexity:     r.ValPPL,
+		Clients:        r.Clients,
+		CommBytes:      r.CommBytes,
+		UpdateNorm:     r.UpdateNorm,
+		SimSeconds:     r.SimSeconds,
+		Joins:          r.Joins,
+		Evictions:      r.Evictions,
+		Stragglers:     r.Stragglers,
+		HeartbeatRTTMs: r.HeartbeatRTTMs,
 	}
 }

@@ -39,6 +39,13 @@ type RunConfig struct {
 	ModelConfig nn.Config
 	Seed        int64
 
+	// Rng, when non-nil, is the injected source behind every random
+	// decision the run makes — model init, cohort sampling, dropout /
+	// churn draws — replacing any implicit global-rand usage. Nil seeds a
+	// fresh source from Seed. Injecting the source makes churn simulations
+	// reproducible and lets callers share one stream across subsystems.
+	Rng *rand.Rand
+
 	Rounds          int
 	ClientsPerRound int // K
 	Clients         []*Client
@@ -130,7 +137,10 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
 	if cfg.InitParams != nil {
 		if err := globalModel.Params().LoadFlat(cfg.InitParams); err != nil {

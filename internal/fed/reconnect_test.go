@@ -1,0 +1,244 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photon/internal/ckpt"
+	"photon/internal/data"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+func reconClient(id string) *Client {
+	cfg := nn.ConfigTiny
+	cfg.SeqLen = 16
+	stream := data.NewShard(data.C4Like(cfg.VocabSize), 0, 7)
+	return NewClient(id, cfg, stream, opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+}
+
+func reconSpec() LocalSpec {
+	return LocalSpec{Steps: 2, BatchSize: 2, SeqLen: 16, Schedule: opt.Constant(3e-3)}
+}
+
+// fakeAggregator answers one ServeClient session over a pipe: it consumes
+// the join, serves `rounds` model/update exchanges, and shuts down.
+func fakeAggregator(t *testing.T, conn *link.Conn, rounds int) {
+	t.Helper()
+	if msg, err := conn.Recv(); err != nil || msg.Type != link.MsgJoin {
+		t.Errorf("expected join, got %v (%v)", msg, err)
+		return
+	}
+	params := make([]float32, reconClient("x").Model.NumParams())
+	for r := 1; r <= rounds; r++ {
+		if err := conn.Send(&link.Message{Type: link.MsgModel, Round: int32(r), Payload: params}); err != nil {
+			t.Errorf("send model: %v", err)
+			return
+		}
+		reply, err := conn.Recv()
+		if err != nil || reply.Type != link.MsgUpdate {
+			t.Errorf("expected update, got %v (%v)", reply, err)
+			return
+		}
+	}
+	conn.Send(&link.Message{Type: link.MsgShutdown})
+	// Drain until the client hangs up so the shutdown is not reset.
+	for {
+		if _, err := conn.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// TestResilientClientInitialDialNotRetried: failing to reach the
+// aggregator at startup is a configuration error, reported immediately
+// without burning reconnect attempts.
+func TestResilientClientInitialDialNotRetried(t *testing.T) {
+	var dials atomic.Int32
+	dialErr := errors.New("nobody home")
+	dial := func(context.Context) (*link.Conn, error) {
+		dials.Add(1)
+		return nil, dialErr
+	}
+	err := RunResilientClient(context.Background(), dial, reconClient("c"), reconSpec(),
+		ReconnectConfig{MaxAttempts: 5, InitialBackoff: time.Millisecond})
+	if !errors.Is(err, dialErr) {
+		t.Fatalf("want the dial error, got %v", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("initial dial retried: %d attempts", got)
+	}
+}
+
+// TestResilientClientZeroAttemptsDisablesReconnect: MaxAttempts 0 is the
+// plain ServeClient behavior — a lost session is fatal.
+func TestResilientClientZeroAttemptsDisablesReconnect(t *testing.T) {
+	var dials atomic.Int32
+	dial := func(context.Context) (*link.Conn, error) {
+		dials.Add(1)
+		a, b := link.Pipe(false)
+		go func() {
+			b.Recv() // join
+			b.Close()
+		}()
+		return a, nil
+	}
+	err := RunResilientClient(context.Background(), dial, reconClient("c"), reconSpec(),
+		ReconnectConfig{MaxAttempts: 0})
+	if err == nil {
+		t.Fatal("lost session with reconnect disabled returned nil")
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dialed %d times with reconnect disabled", got)
+	}
+}
+
+// TestResilientClientReconnectsThroughPipe drops the first session after
+// one round and verifies the wrapper redials, rejoins, and completes the
+// second session cleanly.
+func TestResilientClientReconnectsThroughPipe(t *testing.T) {
+	var dials atomic.Int32
+	dial := func(context.Context) (*link.Conn, error) {
+		a, b := link.Pipe(false)
+		if dials.Add(1) == 1 {
+			go func() { // first session: one round, then the "network" dies
+				if msg, _ := b.Recv(); msg == nil || msg.Type != link.MsgJoin {
+					b.Close()
+					return
+				}
+				params := make([]float32, reconClient("x").Model.NumParams())
+				b.Send(&link.Message{Type: link.MsgModel, Round: 1, Payload: params})
+				b.Recv() // the update
+				b.Close()
+			}()
+		} else {
+			go fakeAggregator(t, b, 2)
+		}
+		return a, nil
+	}
+	var rounds []int
+	err := RunResilientClient(context.Background(), dial, reconClient("c"), reconSpec(),
+		ReconnectConfig{MaxAttempts: 3, InitialBackoff: time.Millisecond},
+		func(r metrics.Round) { rounds = append(rounds, r.Round) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2", got)
+	}
+	if len(rounds) != 3 || rounds[0] != 1 {
+		t.Fatalf("served rounds %v, want [1 1 2]", rounds)
+	}
+}
+
+// TestResilientClientDoesNotRetryProtocolErrors: a deterministic session
+// failure (here: a protocol violation) must not trigger reconnection — a
+// successful redial resets the attempt budget, so retrying a recurring
+// error would spin forever.
+func TestResilientClientDoesNotRetryProtocolErrors(t *testing.T) {
+	var dials atomic.Int32
+	dial := func(context.Context) (*link.Conn, error) {
+		dials.Add(1)
+		a, b := link.Pipe(false)
+		go func() {
+			b.Recv() // join
+			b.Send(&link.Message{Type: link.MsgMetrics})
+			b.Recv() // wait for the client to hang up
+			b.Close()
+		}()
+		return a, nil
+	}
+	err := RunResilientClient(context.Background(), dial, reconClient("c"), reconSpec(),
+		ReconnectConfig{MaxAttempts: 5, InitialBackoff: time.Millisecond})
+	if err == nil || errors.Is(err, ErrSessionLost) {
+		t.Fatalf("protocol violation misclassified: %v", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("protocol error retried: %d dials", got)
+	}
+}
+
+// TestResilientClientExhaustsAttempts: when the aggregator never comes
+// back, the wrapper gives up after MaxAttempts with a descriptive error.
+func TestResilientClientExhaustsAttempts(t *testing.T) {
+	var dials atomic.Int32
+	dial := func(context.Context) (*link.Conn, error) {
+		if dials.Add(1) == 1 {
+			a, b := link.Pipe(false)
+			go func() {
+				b.Recv()
+				b.Close()
+			}()
+			return a, nil
+		}
+		return nil, fmt.Errorf("still down")
+	}
+	err := RunResilientClient(context.Background(), dial, reconClient("c"), reconSpec(),
+		ReconnectConfig{MaxAttempts: 3, InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err == nil {
+		t.Fatal("exhausted reconnects returned nil")
+	}
+	if got := dials.Load(); got != 4 { // 1 initial + 3 attempts
+		t.Fatalf("dials = %d, want 4", got)
+	}
+}
+
+// TestResilientClientCheckpointRoundTrip: the local checkpoint written
+// after each round warm-starts the next process under the same path.
+func TestResilientClientCheckpointRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/client.ckpt"
+	dial := func(context.Context) (*link.Conn, error) {
+		a, b := link.Pipe(false)
+		go fakeAggregator(t, b, 2)
+		return a, nil
+	}
+	c1 := reconClient("c")
+	err := RunResilientClient(context.Background(), dial, c1, reconSpec(),
+		ReconnectConfig{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after run: %v", err)
+	}
+	if snap.Round != 2 {
+		t.Fatalf("checkpoint round = %d, want 2", snap.Round)
+	}
+	want := c1.Model.Params().Flatten(nil)
+	if len(snap.Params) != len(want) {
+		t.Fatalf("checkpoint params %d, model %d", len(snap.Params), len(want))
+	}
+
+	// A fresh client under the same path warm-starts from the snapshot.
+	c2 := reconClient("c")
+	dial2 := func(context.Context) (*link.Conn, error) {
+		a, b := link.Pipe(false)
+		go func() {
+			b.Recv() // join
+			b.Send(&link.Message{Type: link.MsgShutdown})
+			for {
+				if _, err := b.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		return a, nil
+	}
+	if err := RunResilientClient(context.Background(), dial2, c2, reconSpec(),
+		ReconnectConfig{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Model.Params().Flatten(nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("warm start did not restore the checkpointed parameters")
+		}
+	}
+}

@@ -2,16 +2,23 @@ package fed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"photon/internal/cluster"
 	"photon/internal/data"
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
 )
+
+// joinTimeout bounds the handshake of a freshly accepted connection: a
+// stray connection that never sends MsgJoin is dropped without ever
+// counting toward the membership.
+const joinTimeout = 10 * time.Second
 
 // ServerConfig configures a networked aggregator (the Agg component) that
 // coordinates real LLM-C processes over the link protocol.
@@ -19,9 +26,39 @@ type ServerConfig struct {
 	ModelConfig nn.Config
 	Seed        int64
 
+	// Rng, when non-nil, drives all of the aggregator's randomness (model
+	// init, cohort sampling). Nil seeds a fresh source from Seed. Injecting
+	// it makes churn simulations reproducible across processes.
+	Rng *rand.Rand
+
 	Rounds          int
-	ExpectClients   int // block until this many clients join
+	ExpectClients   int // block until this many clients join before round 1
 	ClientsPerRound int // K; 0 means full participation
+
+	// MinClients is the per-round participation floor once training has
+	// started: a round does not begin until at least this many members are
+	// alive (default 1), giving evicted clients a window to rejoin.
+	MinClients int
+
+	// HeartbeatInterval enables liveness tracking: the aggregator pings
+	// every member on this cadence and evicts members that miss MissedBeats
+	// consecutive beats. Zero disables heartbeats (pure round-driven
+	// failure detection, the pre-elastic behavior).
+	HeartbeatInterval time.Duration
+	// MissedBeats is the eviction threshold (default 3).
+	MissedBeats int
+
+	// RoundDeadline bounds one round's model/update exchange. When it
+	// expires the round aggregates the updates that arrived and counts the
+	// missing members as stragglers (they stay alive, but their health
+	// score — and so their sampling weight — drops). Zero blocks until
+	// every cohort member answers or fails, the pre-elastic behavior.
+	RoundDeadline time.Duration
+
+	// OverProvision inflates the sampled cohort by this fraction (e.g.
+	// 0.25 → 25% extra members) so that a round deadline with stragglers
+	// still collects about K updates. Zero disables over-provisioning.
+	OverProvision float64
 
 	Outer      OuterOpt
 	Validation *data.ValidationSet
@@ -32,19 +69,43 @@ type ServerConfig struct {
 	OnRound func(metrics.Round)
 }
 
-// Serve runs the aggregator protocol on the listener: wait for
-// ExpectClients joins, then for each round send the global model to the
-// sampled cohort, collect updates, aggregate, and advance the outer
-// optimizer. Clients that error or disconnect mid-round are treated as
-// dropouts (the PS partial-update behavior); a client failure is permanent
-// for the rest of the run. All clients receive MsgShutdown at the end.
+// memberConn is the aggregator's handle on one connected member: the
+// connection plus the channels its reader goroutine communicates through.
+type memberConn struct {
+	id      string
+	conn    *link.Conn
+	updates chan *link.Message // latest-wins buffer of MsgUpdate replies
+	dead    chan struct{}      // closed when the reader exits (conn lost)
+}
+
+// server is the state shared between the accept loop, per-member readers,
+// the liveness loop, and the round loop.
+type server struct {
+	cfg ServerConfig
+	reg *cluster.Registry
+
+	mu    sync.Mutex
+	conns map[string]*memberConn
+}
+
+// Serve runs the elastic aggregator protocol on the listener: wait for
+// ExpectClients joins, then for each round sample a (possibly
+// over-provisioned) cohort from the alive membership, send the global
+// model, collect updates until all answer or RoundDeadline expires,
+// aggregate what arrived, and advance the outer optimizer.
+//
+// Membership is elastic: the accept loop keeps admitting clients for the
+// whole run, so an evicted or crashed client can rejoin mid-run (it resumes
+// at the current round — MsgModel carries the round number that keys the
+// shared schedule), and a brand-new client can join late. Members whose
+// connection breaks are evicted immediately; with HeartbeatInterval set,
+// silent members are evicted after MissedBeats missed beats. Per-round
+// joins, evictions, stragglers, and mean heartbeat RTT are stamped on each
+// round record.
 //
 // Cancelling ctx aborts the join wait and the round loop promptly: members
-// are sent a best-effort MsgShutdown and in-flight I/O is expired via
-// deadlines, and Serve returns the partial Result for the completed rounds
-// together with ctx.Err(). A member that is mid-training when the
-// cancellation lands may still observe a connection error instead of the
-// shutdown message.
+// are sent a best-effort MsgShutdown, and Serve returns the partial Result
+// for the completed rounds together with ctx.Err().
 func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, error) {
 	if cfg.Outer == nil || cfg.Rounds <= 0 || cfg.ExpectClients <= 0 {
 		return nil, fmt.Errorf("fed: invalid server config %+v", cfg)
@@ -56,82 +117,101 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	if k <= 0 || k > cfg.ExpectClients {
 		k = cfg.ExpectClients
 	}
-
-	type member struct {
-		id    string
-		conn  *link.Conn
-		alive bool
+	minClients := cfg.MinClients
+	if minClients < 1 {
+		minClients = 1
 	}
-	// Registered before the join wait so that members who already joined
-	// are shut down and closed even when the wait itself is cancelled or
-	// fails.
-	members := make([]*member, 0, cfg.ExpectClients)
-	defer func() {
-		// Send every member a shutdown (members marked dead by a
-		// cancellation-induced deadline expiry may still be reachable),
-		// then drain inbound data for a bounded grace period before
-		// closing: closing with an unread in-flight update would reset the
-		// connection and destroy the shutdown message before the client
-		// reads it.
-		var shut sync.WaitGroup
-		for _, m := range members {
-			shut.Add(1)
-			go func(m *member) {
-				defer shut.Done()
-				m.conn.SetDeadline(time.Now().Add(3 * time.Second))
-				m.conn.Send(&link.Message{Type: link.MsgShutdown})
-				for {
-					if _, err := m.conn.Recv(); err != nil {
-						break
-					}
-				}
-				m.conn.Close()
-			}(m)
-		}
-		shut.Wait()
+
+	s := &server{
+		cfg: cfg,
+		reg: cluster.New(cluster.Config{
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			MissedBeats:       cfg.MissedBeats,
+		}),
+		conns: make(map[string]*memberConn),
+	}
+
+	// The accept loop admits members for the entire run. Handshakes run in
+	// their own goroutines so a stray connection that never sends MsgJoin
+	// can neither hold a membership slot nor stall other joiners.
+	acceptCtx, stopAccept := context.WithCancel(ctx)
+	var loops sync.WaitGroup
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		s.acceptLoop(acceptCtx, l)
 	}()
-
-	for len(members) < cfg.ExpectClients {
-		conn, err := l.AcceptContext(ctx)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("fed: accept: %w", err)
-		}
-		// Bound the join handshake so a stray connection that never sends
-		// MsgJoin (port scanner, stalled client) cannot wedge the wait.
-		conn.SetDeadline(time.Now().Add(10 * time.Second))
-		join, err := conn.Recv()
-		if err != nil || join.Type != link.MsgJoin {
-			conn.Close()
-			continue
-		}
-		conn.SetDeadline(time.Time{})
-		members = append(members, &member{id: join.ClientID, conn: conn, alive: true})
+	if cfg.HeartbeatInterval > 0 {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			s.livenessLoop(acceptCtx)
+		}()
 	}
 
-	// On cancellation, expire in-flight member I/O via deadlines (rather
-	// than closing the connections, which would destroy the shutdown
-	// message the drain defer above delivers afterwards). Deadlines only —
-	// sending here could block on a send mutex held by a stalled round
-	// exchange, which is exactly what the deadline must break. Started only
-	// after the membership is final, so it never races the appends above.
+	// On cancellation, expire in-flight member I/O via deadlines. Deadlines
+	// only — a round waiter stuck in an unbounded model Send holds the
+	// connection's send mutex, which is exactly what the deadline must
+	// break before the shutdown path below can deliver MsgShutdown.
 	watchDone := make(chan struct{})
 	watcherExited := make(chan struct{})
 	go func() {
 		defer close(watcherExited)
 		select {
 		case <-ctx.Done():
-			for _, m := range members {
-				m.conn.SetDeadline(time.Now())
+			for _, mc := range s.snapshot() {
+				mc.conn.SetDeadline(time.Now())
 			}
 		case <-watchDone:
 		}
 	}()
-	defer func() { close(watchDone); <-watcherExited }()
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Shutdown: stop admitting, then deliver MsgShutdown to every member
+	// still connected and give each a bounded grace period to read it
+	// before the connection is torn down.
+	defer func() {
+		stopAccept()
+		close(watchDone)
+		<-watcherExited
+		loops.Wait()
+		var shut sync.WaitGroup
+		for _, mc := range s.snapshot() {
+			shut.Add(1)
+			go func(mc *memberConn) {
+				defer shut.Done()
+				// SendTimeout installs a fresh write deadline once it holds
+				// the send mutex, overriding any expiry the cancellation
+				// watcher left behind.
+				mc.conn.SendTimeout(&link.Message{Type: link.MsgShutdown}, 3*time.Second)
+				select {
+				case <-mc.dead:
+					// The reader is gone; drain inbound for a bounded grace
+					// period ourselves — closing with an unread in-flight
+					// update would reset the connection and destroy the
+					// shutdown message before the client reads it.
+					mc.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+					for {
+						if _, err := mc.conn.Recv(); err != nil {
+							break
+						}
+					}
+				case <-time.After(3 * time.Second):
+				}
+				mc.conn.Close()
+			}(mc)
+		}
+		shut.Wait()
+	}()
+
+	// Initial membership: wait (ctx-bounded) for the expected cohort.
+	if err := s.waitAlive(ctx, cfg.ExpectClients, 0); err != nil {
+		return nil, err
+	}
+
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
 	global := globalModel.Params().Flatten(nil)
 	hist := &metrics.History{}
@@ -139,6 +219,22 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
+	// finish packages the (possibly partial) run: completed rounds are
+	// never discarded, even when the run ends on a membership or
+	// no-progress error.
+	finish := func(err error) (*Result, error) {
+		if lerr := globalModel.Params().LoadFlat(global); lerr != nil {
+			return nil, lerr
+		}
+		return &Result{History: hist, Global: global, FinalModel: globalModel}, err
+	}
+
+	// emptyRounds counts consecutive rounds that aggregated zero updates
+	// (every cohort member straggled past the deadline or failed). A few
+	// in a row mean the run is burning rounds without training — better to
+	// stop with the partial result than to silently "complete".
+	const maxEmptyRounds = 3
+	emptyRounds := 0
 
 	var runErr error
 	for round := 1; round <= cfg.Rounds; round++ {
@@ -146,64 +242,50 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			runErr = err
 			break
 		}
-		alive := make([]*member, 0, len(members))
-		for _, m := range members {
-			if m.alive {
-				alive = append(alive, m)
+		// Membership floor: give evicted members a grace window to rejoin
+		// before declaring the run dead.
+		rejoinGrace := cfg.RoundDeadline
+		if rejoinGrace <= 0 {
+			rejoinGrace = 10 * time.Second
+		}
+		if err := s.waitAlive(ctx, minClients, rejoinGrace); err != nil {
+			if ctx.Err() != nil {
+				runErr = ctx.Err()
+				break
 			}
-		}
-		if len(alive) == 0 {
-			return nil, fmt.Errorf("fed: round %d: all clients lost", round)
-		}
-		kr := k
-		if kr > len(alive) {
-			kr = len(alive)
-		}
-		cohort := make([]*member, 0, kr)
-		for _, idx := range rng.Perm(len(alive))[:kr] {
-			cohort = append(cohort, alive[idx])
+			return finish(fmt.Errorf("fed: round %d: %w", round, err))
 		}
 
-		var mu sync.Mutex
-		var updates [][]float32
-		var clientMetrics []map[string]float64
-		var wg sync.WaitGroup
-		for _, m := range cohort {
-			wg.Add(1)
-			go func(m *member) {
-				defer wg.Done()
-				err := m.conn.Send(&link.Message{
-					Type:    link.MsgModel,
-					Round:   int32(round),
-					Payload: global,
-				})
-				if err != nil {
-					m.alive = false
-					return
-				}
-				reply, err := m.conn.Recv()
-				if err != nil || reply.Type != link.MsgUpdate || reply.Round != int32(round) {
-					m.alive = false
-					return
-				}
-				mu.Lock()
-				updates = append(updates, reply.Payload)
-				clientMetrics = append(clientMetrics, reply.Meta)
-				mu.Unlock()
-			}(m)
+		cohortInfos := s.reg.SampleCohort(rng, k, cfg.OverProvision)
+		cohort := make([]*memberConn, 0, len(cohortInfos))
+		for _, info := range cohortInfos {
+			if mc := s.get(info.ID); mc != nil {
+				cohort = append(cohort, mc)
+			}
 		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			// The round was interrupted by cancellation; discard it.
-			runErr = err
+		if len(cohort) == 0 {
+			// Sampled members vanished between the wait and the draw; retry
+			// the round against the refreshed membership.
+			round--
+			continue
+		}
+
+		updates, clientMetrics, interrupted := s.exchangeRound(ctx, round, global, cohort)
+		if interrupted {
+			runErr = ctx.Err()
 			break
 		}
 
 		paramBytes := int64(len(global)) * 4
+		churn := s.reg.RoundDelta()
 		rec := metrics.Round{
-			Round:     round,
-			Clients:   len(updates),
-			CommBytes: int64(len(cohort))*paramBytes + int64(len(updates))*paramBytes,
+			Round:          round,
+			Clients:        len(updates),
+			CommBytes:      int64(len(cohort))*paramBytes + int64(len(updates))*paramBytes,
+			Joins:          churn.Joins + churn.Rejoins,
+			Evictions:      churn.Evictions,
+			Stragglers:     churn.Stragglers,
+			HeartbeatRTTMs: churn.HeartbeatRTTMs,
 		}
 		if len(updates) > 0 {
 			delta, err := MeanDelta(updates)
@@ -224,18 +306,316 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)
 		}
+		if len(updates) == 0 {
+			if emptyRounds++; emptyRounds >= maxEmptyRounds {
+				return finish(fmt.Errorf("fed: no client updates for %d consecutive rounds", emptyRounds))
+			}
+		} else {
+			emptyRounds = 0
+		}
 	}
 
-	if err := globalModel.Params().LoadFlat(global); err != nil {
-		return nil, err
-	}
-	return &Result{History: hist, Global: global, FinalModel: globalModel}, runErr
+	return finish(runErr)
 }
+
+// acceptLoop admits connections until ctx is cancelled, handing each off to
+// a handshake goroutine.
+func (s *server) acceptLoop(ctx context.Context, l *link.Listener) {
+	var handshakes sync.WaitGroup
+	defer handshakes.Wait()
+	for {
+		conn, err := l.AcceptContext(ctx)
+		if err != nil {
+			return
+		}
+		handshakes.Add(1)
+		go func() {
+			defer handshakes.Done()
+			s.handshake(ctx, conn)
+		}()
+	}
+}
+
+// handshake performs the bounded join exchange on a fresh connection. Only
+// a completed MsgJoin admits the connection into the membership; anything
+// else closes it without side effects.
+func (s *server) handshake(ctx context.Context, conn *link.Conn) {
+	// Unblock the bounded Recv early if the server is shutting down.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	msg, err := conn.RecvTimeout(joinTimeout)
+	if err != nil || msg.Type != link.MsgJoin || msg.ClientID == "" {
+		conn.Close()
+		return
+	}
+	s.admit(msg.ClientID, conn)
+}
+
+// admit registers a joined connection, displacing any previous connection
+// held under the same identity (fast reconnect), and starts its reader.
+func (s *server) admit(id string, conn *link.Conn) {
+	mc := &memberConn{
+		id:      id,
+		conn:    conn,
+		updates: make(chan *link.Message, 1),
+		dead:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	old := s.conns[id]
+	s.conns[id] = mc
+	s.mu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+	s.reg.Join(id)
+	go s.readLoop(mc)
+}
+
+// readLoop is the single receiver for one member connection: it answers
+// nothing itself but routes heartbeat echoes into the registry and round
+// updates into the member's latest-wins buffer. A receive error evicts the
+// member (unless a newer connection has already displaced this one).
+func (s *server) readLoop(mc *memberConn) {
+	defer close(mc.dead)
+	for {
+		msg, err := mc.conn.Recv()
+		if err != nil {
+			s.drop(mc, "connection lost")
+			return
+		}
+		switch msg.Type {
+		case link.MsgHeartbeat:
+			rtt := time.Duration(0)
+			if ns, ok := msg.Meta[link.HeartbeatSentKey]; ok {
+				rtt = time.Since(time.Unix(0, int64(ns)))
+			}
+			s.reg.Heartbeat(mc.id, rtt)
+		case link.MsgUpdate:
+			// Latest-wins: a stale straggler reply never blocks the reader
+			// or shadows the current round's update.
+			select {
+			case mc.updates <- msg:
+			default:
+				select {
+				case <-mc.updates:
+				default:
+				}
+				select {
+				case mc.updates <- msg:
+				default:
+				}
+			}
+		default:
+			// Ignore anything else (duplicate joins, metrics-only frames).
+		}
+	}
+}
+
+// livenessLoop pings every member on the heartbeat cadence and evicts the
+// ones that stopped answering.
+func (s *server) livenessLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			for _, mc := range s.snapshot() {
+				go func(mc *memberConn) {
+					ping := &link.Message{
+						Type: link.MsgHeartbeat,
+						Meta: map[string]float64{link.HeartbeatSentKey: float64(time.Now().UnixNano())},
+					}
+					if err := mc.conn.SendTimeout(ping, s.cfg.HeartbeatInterval); err != nil {
+						s.drop(mc, "heartbeat send failed")
+						mc.conn.Close()
+					}
+				}(mc)
+			}
+			for _, id := range s.reg.ExpireDead() {
+				if mc := s.get(id); mc != nil {
+					s.remove(mc)
+					mc.conn.Close()
+				}
+			}
+		}
+	}
+}
+
+// exchangeRound broadcasts the global model to the cohort and collects
+// updates until every member answers or fails, the round deadline expires,
+// or ctx is cancelled (interrupted=true discards the round).
+func (s *server) exchangeRound(ctx context.Context, round int, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, interrupted bool) {
+	type reply struct {
+		mc      *memberConn
+		msg     *link.Message // nil when the member failed
+		latency time.Duration
+	}
+	results := make(chan reply, len(cohort))
+	stop := make(chan struct{})
+	defer close(stop)
+
+	for _, mc := range cohort {
+		go func(mc *memberConn) {
+			// Drain any stale straggler update from a previous round.
+			select {
+			case <-mc.updates:
+			default:
+			}
+			start := time.Now()
+			err := mc.conn.SendTimeout(&link.Message{
+				Type:    link.MsgModel,
+				Round:   int32(round),
+				Payload: global,
+			}, s.cfg.RoundDeadline)
+			if err != nil {
+				s.drop(mc, "model send failed")
+				mc.conn.Close()
+				results <- reply{mc: mc}
+				return
+			}
+			for {
+				select {
+				case msg := <-mc.updates:
+					if msg.Round != int32(round) {
+						continue // late reply from an earlier round
+					}
+					results <- reply{mc: mc, msg: msg, latency: time.Since(start)}
+					return
+				case <-mc.dead:
+					results <- reply{mc: mc}
+					return
+				case <-stop:
+					return
+				}
+			}
+		}(mc)
+	}
+
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := time.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	responded := make(map[string]bool, len(cohort))
+	for len(responded) < len(cohort) {
+		select {
+		case r := <-results:
+			responded[r.mc.id] = true
+			if r.msg != nil {
+				updates = append(updates, r.msg.Payload)
+				clientMetrics = append(clientMetrics, r.msg.Meta)
+				s.reg.ObserveRound(r.mc.id, r.latency, cluster.OutcomeOK)
+			}
+		case <-deadlineC:
+			// Deadline: aggregate the partial round; everyone who has not
+			// answered is a straggler (alive, but down-weighted).
+			for _, mc := range cohort {
+				if !responded[mc.id] {
+					s.reg.ObserveRound(mc.id, s.cfg.RoundDeadline, cluster.OutcomeStraggler)
+				}
+			}
+			return updates, clientMetrics, false
+		case <-ctx.Done():
+			return nil, nil, true
+		}
+	}
+	return updates, clientMetrics, false
+}
+
+// waitAlive blocks until at least n members are alive. grace > 0 bounds the
+// wait; grace == 0 waits until ctx is cancelled.
+func (s *server) waitAlive(ctx context.Context, n int, grace time.Duration) error {
+	var deadlineC <-chan time.Time
+	if grace > 0 {
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.reg.AliveCount() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadlineC:
+			if alive := s.reg.AliveCount(); alive == 0 {
+				return fmt.Errorf("all clients lost")
+			} else {
+				return fmt.Errorf("%d alive members, need %d", alive, n)
+			}
+		case <-tick.C:
+		}
+	}
+}
+
+// drop evicts a member whose connection mc failed — unless a newer
+// connection has already displaced mc (fast rejoin), in which case the
+// stale connection just goes away without touching the membership.
+func (s *server) drop(mc *memberConn, reason string) {
+	s.mu.Lock()
+	current := s.conns[mc.id] == mc
+	if current {
+		delete(s.conns, mc.id)
+	}
+	s.mu.Unlock()
+	if current {
+		s.reg.Evict(mc.id, reason)
+	}
+}
+
+// remove deletes a member's connection entry without evicting (used when
+// the registry already evicted it, e.g. for missed heartbeats).
+func (s *server) remove(mc *memberConn) {
+	s.mu.Lock()
+	if s.conns[mc.id] == mc {
+		delete(s.conns, mc.id)
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) get(id string) *memberConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns[id]
+}
+
+func (s *server) snapshot() []*memberConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*memberConn, 0, len(s.conns))
+	for _, mc := range s.conns {
+		out = append(out, mc)
+	}
+	return out
+}
+
+// ErrSessionLost marks a ServeClient failure caused by connection I/O —
+// the session was healthy but the transport died. It is the class of
+// failure RunResilientClient reconnects on; protocol violations and
+// training errors are deterministic and not worth retrying.
+var ErrSessionLost = errors.New("fed: session lost")
 
 // ServeClient runs an LLM-C against a connected aggregator: it joins with
 // the client's ID and then answers MsgModel rounds with MsgUpdate replies
-// until MsgShutdown (or connection loss). stepBase for the shared schedule
-// is derived from the round number. Cancelling ctx closes the connection to
+// until MsgShutdown (or connection loss). Heartbeat pings are echoed
+// immediately — even while a round is training, thanks to the dedicated
+// reader goroutine — so a slow client is seen as alive-but-straggling
+// rather than dead. stepBase for the shared schedule is derived from the
+// round number, which also makes a rejoining client resume at the
+// aggregator's current round. Cancelling ctx closes the connection to
 // unblock a pending receive and returns ctx.Err(). onRound observers, if
 // any, see one record per completed round (client-side loss, no PPL).
 func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec LocalSpec, onRound ...func(metrics.Round)) error {
@@ -252,15 +632,71 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 		}
 	}()
 	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: client.ID}); err != nil {
-		return fmt.Errorf("fed: join: %w", err)
+		return fmt.Errorf("fed: join: %w: %w", ErrSessionLost, err)
 	}
-	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+
+	// The reader answers heartbeats inline — even while a round is training
+	// — and routes models and control messages to the training loop. Send
+	// is safe concurrently with the training loop's update uploads (Conn
+	// serializes senders). Models are latest-wins: if the aggregator
+	// deadlined past rounds while this client was still training, the
+	// superseded broadcasts are dropped and the client jumps straight to
+	// the current round — the backlog can never grow, so the reader is
+	// never blocked off the heartbeat path and a chronically slow client
+	// stays visible as alive-but-straggling instead of being evicted dead.
+	models := make(chan *link.Message, 1)
+	ctrl := make(chan *link.Message, 4)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
 			}
-			return fmt.Errorf("fed: client %s recv: %w", client.ID, err)
+			switch msg.Type {
+			case link.MsgHeartbeat:
+				conn.Send(&link.Message{Type: link.MsgHeartbeat, Meta: msg.Meta})
+			case link.MsgModel:
+				select {
+				case models <- msg:
+				default:
+					select {
+					case <-models:
+					default:
+					}
+					select {
+					case models <- msg:
+					default:
+					}
+				}
+			default:
+				select {
+				case ctrl <- msg:
+				default:
+				}
+			}
+		}
+	}()
+
+	for {
+		var msg *link.Message
+		// A pending control message (shutdown) takes priority over a
+		// pending model broadcast.
+		select {
+		case msg = <-ctrl:
+		default:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case err := <-readErr:
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("fed: client %s recv: %w: %w", client.ID, ErrSessionLost, err)
+			case msg = <-ctrl:
+			case msg = <-models:
+			}
 		}
 		switch msg.Type {
 		case link.MsgShutdown:
@@ -285,7 +721,7 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				return fmt.Errorf("fed: client %s send: %w", client.ID, err)
+				return fmt.Errorf("fed: client %s send: %w: %w", client.ID, ErrSessionLost, err)
 			}
 			paramBytes := int64(len(msg.Payload)) * 4
 			rec := metrics.Round{

@@ -3,11 +3,14 @@ package link
 import (
 	"bytes"
 	"crypto/x509"
+	"errors"
 	"math"
 	"math/rand"
+	"net"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func sampleMessage() *Message {
@@ -229,6 +232,112 @@ func TestTLSTransport(t *testing.T) {
 	got := <-done
 	if got == nil || !reflect.DeepEqual(want, got) {
 		t.Fatal("TLS transport failed")
+	}
+}
+
+// tcpPair returns two ends of a real TCP connection wrapped in the wire
+// protocol.
+func tcpPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- accepted{c, err}
+	}()
+	dialed, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		dialed.Close()
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { dialed.Close(); a.c.Close() })
+	return NewConn(dialed, false), NewConn(a.c, false)
+}
+
+// TestSetDeadlineMidRecvReturnsPromptly covers the elastic aggregator's
+// cancellation path: an already-blocked Recv must be interrupted by
+// SetDeadline within a bounded time, and — because no frame bytes were
+// consumed by the idle expiry — the connection must be fully reusable once
+// the deadline is cleared.
+func TestSetDeadlineMidRecvReturnsPromptly(t *testing.T) {
+	a, b := tcpPair(t)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	// Let the receiver block, then expire its deadline mid-Recv.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	a.SetDeadline(time.Now())
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("expired Recv returned a message")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("want timeout error, got %v", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("Recv took %v to observe the deadline", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not return after SetDeadline")
+	}
+
+	// Clear the deadline: the stream consumed no bytes, so the connection
+	// must work again end to end.
+	a.SetDeadline(time.Time{})
+	want := sampleMessage()
+	if err := b.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Recv()
+	if err != nil {
+		t.Fatalf("Recv after cleared deadline: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("message mangled after deadline cycle")
+	}
+}
+
+// TestRecvTimeoutIdleExpiryReusable covers the helper the round loop uses:
+// an idle RecvTimeout times out, clears its own deadline, and leaves the
+// connection reusable for the next exchange.
+func TestRecvTimeoutIdleExpiryReusable(t *testing.T) {
+	a, b := tcpPair(t)
+	if _, err := a.RecvTimeout(30 * time.Millisecond); err == nil {
+		t.Fatal("idle RecvTimeout returned a message")
+	}
+	want := sampleMessage()
+	if err := b.SendTimeout(want, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatalf("Recv after idle timeout: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("message mangled after RecvTimeout expiry")
+	}
+	// d <= 0 falls back to a plain blocking Recv/Send.
+	go func() { b.SendTimeout(want, 0) }()
+	if _, err := a.RecvTimeout(0); err != nil {
+		t.Fatal(err)
 	}
 }
 

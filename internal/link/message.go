@@ -39,7 +39,16 @@ const (
 	MsgMetrics
 	// MsgShutdown ends a session.
 	MsgShutdown
+	// MsgHeartbeat is a liveness probe. The aggregator pings each member on
+	// its heartbeat interval with a send-timestamp in Meta; the client
+	// echoes the message back unchanged so the aggregator can record both
+	// liveness and round-trip time. Heartbeats never carry parameters.
+	MsgHeartbeat
 )
+
+// HeartbeatSentKey is the Meta key carrying the ping's send time in
+// nanoseconds since the Unix epoch, echoed back by the receiver.
+const HeartbeatSentKey = "hb_sent_ns"
 
 // Message is the unit of communication. Payload carries model parameters or
 // pseudo-gradients; Meta carries scalar metadata (losses, step counts,

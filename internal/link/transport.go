@@ -49,6 +49,10 @@ func NewConn(raw net.Conn, compress bool) *Conn {
 func (c *Conn) Send(m *Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	return c.sendLocked(m)
+}
+
+func (c *Conn) sendLocked(m *Message) error {
 	if err := Encode(c.w, m, c.compress); err != nil {
 		return err
 	}
@@ -66,6 +70,10 @@ func (c *Conn) Send(m *Message) error {
 func (c *Conn) Recv() (*Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	return c.recvLocked()
+}
+
+func (c *Conn) recvLocked() (*Message, error) {
 	m, err := Decode(c.r)
 	if err != nil {
 		return nil, err
@@ -81,6 +89,43 @@ func (c *Conn) Close() error { return c.raw.Close() }
 
 // SetDeadline bounds pending and future I/O.
 func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline bounds pending and future receives only.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds pending and future sends only.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// SendTimeout sends one message with a write deadline of d (d <= 0 means no
+// deadline). The deadline is cleared after the send so the connection stays
+// usable — the deadline-bounded round I/O the elastic aggregator relies on
+// to never block forever on a stalled member.
+func (c *Conn) SendTimeout(m *Message, d time.Duration) error {
+	if d <= 0 {
+		return c.Send(m)
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.raw.SetWriteDeadline(time.Now().Add(d))
+	defer c.raw.SetWriteDeadline(time.Time{})
+	return c.sendLocked(m)
+}
+
+// RecvTimeout receives one message with a read deadline of d (d <= 0 means
+// block indefinitely), clearing the deadline afterwards. A deadline expiry
+// that interrupted a partially read frame leaves the stream unframed, so
+// the caller must treat a timeout mid-payload as fatal for the connection;
+// a timeout with no bytes read (idle expiry) leaves the stream reusable.
+func (c *Conn) RecvTimeout(d time.Duration) (*Message, error) {
+	if d <= 0 {
+		return c.Recv()
+	}
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	c.raw.SetReadDeadline(time.Now().Add(d))
+	defer c.raw.SetReadDeadline(time.Time{})
+	return c.recvLocked()
+}
 
 // Stats returns (messages sent, messages received, payload elements sent).
 func (c *Conn) Stats() (sent, recvd int, elems int64) {

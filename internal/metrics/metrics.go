@@ -20,6 +20,15 @@ type Round struct {
 	SimSeconds float64 // simulated wall-clock time consumed up to this round
 	Clients    int     // participating clients
 	CommBytes  int64   // model/update bytes exchanged this round (down + up)
+
+	// Elastic-membership churn attributed to this round (networked
+	// aggregator only; zero for the in-process backends). Churn is
+	// windowed between recorded rounds, so the initial cohort's joins
+	// land on round 1 by design.
+	Joins          int     // members that joined (first time or rejoin)
+	Evictions      int     // members evicted on failure or missed heartbeats
+	Stragglers     int     // cohort slots dropped at the round deadline
+	HeartbeatRTTMs float64 // mean heartbeat round-trip observed, milliseconds
 }
 
 // History is an append-only sequence of round records.

@@ -99,7 +99,12 @@ func newResult(model *nn.Model, hist *metrics.History) *Result {
 			out.Stats = append(out.Stats, RoundStat{
 				Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL,
 				Clients: r.Clients, CommBytes: r.CommBytes,
+				Joins: r.Joins, Evictions: r.Evictions, Stragglers: r.Stragglers,
+				HeartbeatRTTMs: r.HeartbeatRTTMs,
 			})
+			out.Joins += r.Joins
+			out.Evictions += r.Evictions
+			out.Stragglers += r.Stragglers
 		}
 	}
 	return out
@@ -248,15 +253,19 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 	j.addr.Store(l.Addr())
 
 	res, err := fed.Serve(ctx, l, fed.ServerConfig{
-		ModelConfig:     cfg,
-		Seed:            c.seed,
-		Rounds:          c.rounds,
-		ExpectClients:   c.expectClients,
-		ClientsPerRound: c.clientsPerRound,
-		Outer:           outer,
-		Validation:      data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
-		EvalEvery:       c.evalEvery,
-		OnRound:         j.emit,
+		ModelConfig:       cfg,
+		Seed:              c.seed,
+		Rounds:            c.rounds,
+		ExpectClients:     c.expectClients,
+		ClientsPerRound:   c.clientsPerRound,
+		MinClients:        c.minClients,
+		HeartbeatInterval: c.heartbeat,
+		RoundDeadline:     c.roundDeadline,
+		OverProvision:     c.overProvision,
+		Outer:             outer,
+		Validation:        data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
+		EvalEvery:         c.evalEvery,
+		OnRound:           j.emit,
 	})
 	if res == nil {
 		return nil, err
@@ -280,19 +289,23 @@ func (j *Job) runClient(ctx context.Context) (*Result, error) {
 	stream := data.NewShard(data.C4Like(cfg.VocabSize), c.shard, c.seed+1000)
 	client := fed.NewClient(c.clientID, cfg, stream, opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
 
-	conn, err := link.DialContext(ctx, c.addr, c.compress)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
 	const period = 2000 // extended decay: high LR for the whole session
 	hist := &metrics.History{}
-	err = fed.ServeClient(ctx, conn, client, fed.LocalSpec{
+	// The session dials once up front (a failure here reports immediately)
+	// and then survives aggregator connection churn: a dropped connection
+	// is redialed with exponential backoff and the client rejoins under
+	// its ID, resuming at the aggregator's current round.
+	err = fed.RunResilientClient(ctx, func(ctx context.Context) (*link.Conn, error) {
+		return link.DialContext(ctx, c.addr, c.compress)
+	}, client, fed.LocalSpec{
 		Steps:     c.localSteps,
 		BatchSize: c.batchSize,
 		SeqLen:    cfg.SeqLen,
 		Schedule:  opt.PaperCosine(c.maxLR, period),
 		ClipNorm:  1.0,
+	}, fed.ReconnectConfig{
+		MaxAttempts:    c.reconnect,
+		CheckpointPath: c.checkpointPath,
 	}, func(r metrics.Round) {
 		hist.Append(r)
 		j.emit(r)

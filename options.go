@@ -1,5 +1,7 @@
 package photon
 
+import "time"
+
 // Backend selects the execution engine a Job runs on.
 type Backend string
 
@@ -52,6 +54,13 @@ type jobConfig struct {
 	clientID      string
 	shard         int
 	compress      bool
+
+	heartbeat     time.Duration
+	roundDeadline time.Duration
+	minClients    int
+	overProvision float64
+	reconnect     int
+	reconnectSet  bool
 }
 
 // JobOption configures a Job; build them with the With* constructors.
@@ -150,6 +159,45 @@ func WithShard(shard int) JobOption { return func(c *jobConfig) { c.shard = shar
 // (networked backends).
 func WithCompression(on bool) JobOption { return func(c *jobConfig) { c.compress = on } }
 
+// WithHeartbeat enables heartbeat liveness tracking on the aggregator
+// backend: every member is pinged on this cadence and evicted after three
+// consecutive missed beats. Clients echo heartbeats automatically, even
+// mid-training, so a slow member reads as alive-but-straggling rather than
+// dead. Zero (the default) disables heartbeats.
+func WithHeartbeat(interval time.Duration) JobOption {
+	return func(c *jobConfig) { c.heartbeat = interval }
+}
+
+// WithRoundDeadline bounds one federated round's model/update exchange on
+// the aggregator backend. When the deadline expires the round aggregates
+// the updates that arrived and counts the missing cohort members as
+// stragglers (down-weighting their future sampling) instead of blocking
+// forever. Zero (the default) waits until every cohort member answers or
+// fails.
+func WithRoundDeadline(d time.Duration) JobOption {
+	return func(c *jobConfig) { c.roundDeadline = d }
+}
+
+// WithMinClients sets the aggregator backend's mid-run participation
+// floor: after training starts, a round does not begin until at least this
+// many members are alive, giving crashed clients a window to reconnect
+// (default 1).
+func WithMinClients(n int) JobOption { return func(c *jobConfig) { c.minClients = n } }
+
+// WithOverProvision inflates the aggregator backend's sampled cohort by
+// this fraction (0.25 → 25% extra members) so a round deadline with
+// stragglers still collects about K updates.
+func WithOverProvision(f float64) JobOption { return func(c *jobConfig) { c.overProvision = f } }
+
+// WithReconnect sets how many consecutive failed reconnect attempts the
+// client backend tolerates before abandoning a session that lost its
+// aggregator connection (exponential backoff between attempts; default 5;
+// 0 disables reconnection). The initial dial is never retried — only a
+// session that joined successfully reconnects.
+func WithReconnect(attempts int) JobOption {
+	return func(c *jobConfig) { c.reconnect = attempts; c.reconnectSet = true }
+}
+
 // fill resolves zero values to per-backend defaults.
 func (c *jobConfig) fill() {
 	if c.backend == "" {
@@ -200,6 +248,9 @@ func (c *jobConfig) fill() {
 	case BackendClient:
 		if c.batchSize == 0 {
 			c.batchSize = 4
+		}
+		if !c.reconnectSet {
+			c.reconnect = 5
 		}
 	default: // BackendFederated
 		if c.clients == 0 {

@@ -160,12 +160,27 @@ type RoundStat struct {
 	Perplexity float64 // 0 when the round was not evaluated
 	Clients    int
 	CommBytes  int64 // model/update bytes exchanged during the round
+
+	// Elastic-membership churn attributed to the round (networked
+	// aggregator backend only): joins/rejoins (round 1 includes the
+	// initial cohort), evictions, cohort slots dropped at the round
+	// deadline, and the mean heartbeat round-trip.
+	Joins          int
+	Evictions      int
+	Stragglers     int
+	HeartbeatRTTMs float64
 }
 
 // Result is a finished (or, under cancellation, partial) pre-training run.
 type Result struct {
 	Stats           []RoundStat
 	FinalPerplexity float64
+
+	// Run-total churn counts (sums over Stats), so a caller can see at a
+	// glance how much membership turbulence the run absorbed.
+	Joins      int
+	Evictions  int
+	Stragglers int
 
 	model *nn.Model
 }
