@@ -64,8 +64,11 @@ func BenchmarkAblationOuterOpt(b *testing.B)    { benchExperiment(b, "ablation-o
 func BenchmarkAblationRecipe(b *testing.B)      { benchExperiment(b, "ablation-recipe") }
 func BenchmarkAblationOptState(b *testing.B)    { benchExperiment(b, "ablation-optstate") }
 func BenchmarkAblationCompression(b *testing.B) { benchExperiment(b, "ablation-compression") }
-func BenchmarkAblationSubFed(b *testing.B)      { benchExperiment(b, "ablation-subfed") }
-func BenchmarkAblationDDP(b *testing.B)         { benchExperiment(b, "ablation-ddp") }
+func BenchmarkAblationCodecConvergence(b *testing.B) {
+	benchExperiment(b, "ablation-codec-convergence")
+}
+func BenchmarkAblationSubFed(b *testing.B) { benchExperiment(b, "ablation-subfed") }
+func BenchmarkAblationDDP(b *testing.B)    { benchExperiment(b, "ablation-ddp") }
 
 // --- substrate micro-benchmarks ---
 
@@ -115,11 +118,16 @@ func BenchmarkLinkEncodeCompressed(b *testing.B) {
 	payload := make([]float32, 100_000)
 	rng := rand.New(rand.NewSource(1))
 	tensor.RandNormal(rng, payload, 0, 0.01)
-	m := &link.Message{Type: link.MsgUpdate, Payload: payload}
+	codec := link.FlateCodec{}
 	b.SetBytes(int64(len(payload) * 4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := link.Encode(io.Discard, m, true); err != nil {
+		enc, err := link.EncodeVector(codec, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := &link.Message{Type: link.MsgUpdate, Payload: enc}
+		if err := link.Encode(io.Discard, m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,33 @@ import (
 	"photon"
 )
 
+// resolveCodecFlag maps the deprecated -compress flag onto -codec when the
+// operator set it explicitly; an explicit -codec always wins.
+func resolveCodecFlag(codec *string, compress bool) {
+	compressSet, codecSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "compress":
+			compressSet = true
+		case "codec":
+			codecSet = true
+		}
+	})
+	if !compressSet {
+		return
+	}
+	if codecSet {
+		log.Printf("warning: -compress is deprecated and ignored when -codec is given")
+		return
+	}
+	if compress {
+		*codec = "flate"
+	} else {
+		*codec = "dense"
+	}
+	log.Printf("warning: -compress is deprecated; use -codec=%s", *codec)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("photon-agg: ")
@@ -32,7 +59,8 @@ func main() {
 		clients    = flag.Int("clients", 2, "clients to wait for before round 1")
 		rounds     = flag.Int("rounds", 10, "federated rounds")
 		server     = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
-		compress   = flag.Bool("compress", true, "flate-compress parameter payloads")
+		codec      = flag.String("codec", "flate", "wire codec for parameter payloads (dense, flate, q8, topk:<keep>, ...)")
+		compress   = flag.Bool("compress", true, "deprecated: use -codec=flate (or -codec=dense to disable)")
 		seed       = flag.Int64("seed", 1, "run seed")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat interval; members missing 3 beats are evicted (0 disables)")
 		deadline   = flag.Duration("deadline", 0, "per-round deadline; late members become stragglers (0 waits forever)")
@@ -40,6 +68,7 @@ func main() {
 		over       = flag.Float64("over", 0, "cohort over-provision fraction (0.25 = sample 25% extra)")
 	)
 	flag.Parse()
+	resolveCodecFlag(codec, *compress)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -51,7 +80,7 @@ func main() {
 		photon.WithExpectClients(*clients),
 		photon.WithRounds(*rounds),
 		photon.WithServerOptimizer(*server),
-		photon.WithCompression(*compress),
+		photon.WithCodec(*codec),
 		photon.WithSeed(*seed),
 		photon.WithHeartbeat(*heartbeat),
 		photon.WithRoundDeadline(*deadline),
@@ -66,6 +95,9 @@ func main() {
 		for ev := range job.Events() {
 			line := fmt.Sprintf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB",
 				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
+			if ev.CompressionRatio > 0 {
+				line += fmt.Sprintf(" ratio=%.2f", ev.CompressionRatio)
+			}
 			if ev.Joins > 0 || ev.Evictions > 0 || ev.Stragglers > 0 {
 				line += fmt.Sprintf(" joins=%d evict=%d stragglers=%d", ev.Joins, ev.Evictions, ev.Stragglers)
 			}

@@ -33,17 +33,24 @@ func main() {
 		steps    = flag.Int("steps", 16, "local steps per round (τ)")
 		batch    = flag.Int("batch", 4, "local batch size (Bl)")
 		lr       = flag.Float64("lr", 3e-3, "peak learning rate")
-		compress = flag.Bool("compress", true, "flate-compress parameter payloads")
+		codec    = flag.String("codec", "", "require this wire codec from the aggregator (empty accepts whatever it announces)")
+		compress = flag.Bool("compress", true, "deprecated: codec choice is announced by the aggregator; see -codec")
 		seed     = flag.Int64("seed", 1, "run seed")
 		retry    = flag.Int("reconnect", 5, "reconnect attempts after a lost session (0 disables)")
 		ckpt     = flag.String("ckpt", "", "local checkpoint path for crash recovery (optional)")
 	)
 	flag.Parse()
+	_ = *compress // deprecated: the aggregator announces the codec
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "compress" {
+			log.Printf("warning: -compress is deprecated and has no effect; the aggregator announces the wire codec (use -codec=flate to require it)")
+		}
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	job := photon.NewJob(
+	opts := []photon.JobOption{
 		photon.WithBackend(photon.BackendClient),
 		photon.WithAddr(*addr),
 		photon.WithClientID(*id),
@@ -52,11 +59,14 @@ func main() {
 		photon.WithLocalSteps(*steps),
 		photon.WithBatchSize(*batch),
 		photon.WithMaxLR(*lr),
-		photon.WithCompression(*compress),
 		photon.WithSeed(*seed),
 		photon.WithReconnect(*retry),
 		photon.WithCheckpoint(*ckpt),
-	)
+	}
+	if *codec != "" {
+		opts = append(opts, photon.WithCodec(*codec))
+	}
+	job := photon.NewJob(opts...)
 
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -34,6 +34,7 @@ func main() {
 		lr      = flag.Float64("lr", 3e-3, "peak learning rate")
 		server  = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
 		source  = flag.String("data", "c4", "data source (see photon.DataSources)")
+		codec   = flag.String("codec", "dense", "wire codec simulated for all exchanged payloads (dense, flate, q8, topk:<keep>, ...)")
 		dropout = flag.Float64("dropout", 0, "per-round client dropout probability")
 		ckpt    = flag.String("ckpt", "", "checkpoint path for the global model")
 		resume  = flag.String("resume", "", "resume from a checkpoint written via -ckpt")
@@ -54,6 +55,7 @@ func main() {
 		photon.WithMaxLR(*lr),
 		photon.WithServerOptimizer(*server),
 		photon.WithDataSource(*source),
+		photon.WithCodec(*codec),
 		photon.WithDropout(*dropout),
 		photon.WithCheckpoint(*ckpt),
 		photon.WithResume(*resume),

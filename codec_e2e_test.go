@@ -1,0 +1,219 @@
+package photon
+
+// End-to-end tests for the pluggable wire-codec API: lossy codecs must
+// actually shrink measured communication without destroying convergence,
+// and codec-mismatched fleets must fail fast at join time.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runCodecJob runs a small in-process federated job under the named codec
+// and returns its result.
+func runCodecJob(t *testing.T, codec string) *Result {
+	t.Helper()
+	res, err := NewJob(
+		WithCodec(codec),
+		WithClients(2),
+		WithRounds(10),
+		WithSeed(9),
+		WithEvalEvery(10),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatalf("codec %q: %v", codec, err)
+	}
+	return res
+}
+
+func sumComm(res *Result) int64 {
+	var total int64
+	for _, s := range res.Stats {
+		total += s.CommBytes
+	}
+	return total
+}
+
+// TestCodecQ8ShrinksCommAndConverges is the acceptance scenario for the q8
+// codec: a federated run whose every exchanged payload is int8
+// block-quantized must converge to within 5% of the dense baseline's final
+// perplexity while paying at most 30% of its communication bytes.
+func TestCodecQ8ShrinksCommAndConverges(t *testing.T) {
+	dense := runCodecJob(t, "dense")
+	q8 := runCodecJob(t, "q8")
+
+	denseBytes, q8Bytes := sumComm(dense), sumComm(q8)
+	if denseBytes <= 0 || q8Bytes <= 0 {
+		t.Fatalf("missing comm accounting: dense=%d q8=%d", denseBytes, q8Bytes)
+	}
+	if ratio := float64(q8Bytes) / float64(denseBytes); ratio > 0.30 {
+		t.Fatalf("q8 wire bytes are %.1f%% of dense, want <= 30%%", 100*ratio)
+	}
+	for _, s := range q8.Stats {
+		if s.CompressionRatio <= 0 || s.CompressionRatio > 0.30 {
+			t.Fatalf("round %d compression ratio %.3f, want (0, 0.30]", s.Round, s.CompressionRatio)
+		}
+	}
+	dPPL, qPPL := dense.FinalPerplexity, q8.FinalPerplexity
+	if math.IsInf(dPPL, 1) || math.IsInf(qPPL, 1) {
+		t.Fatalf("missing perplexity: dense=%v q8=%v", dPPL, qPPL)
+	}
+	if rel := math.Abs(qPPL-dPPL) / dPPL; rel > 0.05 {
+		t.Fatalf("q8 perplexity %.3f deviates %.1f%% from dense %.3f, want <= 5%%", qPPL, 100*rel, dPPL)
+	}
+}
+
+// TestCodecTopKConvergesWithErrorFeedback: at 10% density the topk codec
+// must still train (no divergence) because dropped coordinates are carried
+// forward by the client-side residual, and its updates must be far smaller
+// than dense.
+func TestCodecTopKConvergesWithErrorFeedback(t *testing.T) {
+	res, err := NewJob(
+		WithCodec("topk:0.1"),
+		WithClients(2),
+		WithRounds(12),
+		WithSeed(9),
+		WithEvalEvery(4),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 12 {
+		t.Fatalf("completed %d rounds", len(res.Stats))
+	}
+	first, last := res.Stats[0].TrainLoss, res.Stats[len(res.Stats)-1].TrainLoss
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		t.Fatalf("topk run diverged: final loss %v", last)
+	}
+	if !(last < first) {
+		t.Fatalf("topk run did not learn: loss %v -> %v", first, last)
+	}
+	if ppl := res.FinalPerplexity; math.IsNaN(ppl) || math.IsInf(ppl, 0) || ppl <= 0 {
+		t.Fatalf("topk perplexity %v", ppl)
+	}
+	// Updates are 10% density at 8 bytes/pair; the model broadcast falls
+	// back to flate, so the total must still be well under dense.
+	for _, s := range res.Stats {
+		if s.CompressionRatio <= 0 || s.CompressionRatio >= 1 {
+			t.Fatalf("round %d ratio %.3f, want within (0,1)", s.Round, s.CompressionRatio)
+		}
+	}
+}
+
+// TestCodecNetworkedWireBytes measures real wire traffic (per-connection
+// byte counters, frame headers included) of an aggregator/client federation
+// under q8 versus dense, and requires the 30% bound end to end over TCP.
+func TestCodecNetworkedWireBytes(t *testing.T) {
+	run := func(codec string) *Result {
+		const clients = 2
+		agg := NewJob(
+			WithBackend(BackendAggregator),
+			WithAddr("127.0.0.1:0"),
+			WithExpectClients(clients),
+			WithRounds(3),
+			WithCodec(codec),
+			WithSeed(33),
+		)
+		resCh := make(chan *Result, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			res, err := agg.Run(context.Background())
+			resCh <- res
+			errCh <- err
+		}()
+		var addr string
+		for i := 0; i < 200 && addr == ""; i++ {
+			addr = agg.Addr()
+			time.Sleep(25 * time.Millisecond)
+		}
+		if addr == "" {
+			t.Fatal("aggregator never bound")
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := NewJob(
+					WithBackend(BackendClient),
+					WithAddr(addr),
+					WithClientID(string(rune('a'+i))),
+					WithShard(i),
+				).Run(context.Background())
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		res, err := <-resCh, <-errCh
+		if err != nil {
+			t.Fatalf("aggregator (%s): %v", codec, err)
+		}
+		return res
+	}
+
+	dense := run("dense")
+	q8 := run("q8")
+	denseBytes, q8Bytes := sumComm(dense), sumComm(q8)
+	if denseBytes <= 0 || q8Bytes <= 0 {
+		t.Fatalf("missing measured wire bytes: dense=%d q8=%d", denseBytes, q8Bytes)
+	}
+	// Sanity: the measured totals must split into both directions.
+	for _, s := range dense.Stats {
+		if s.WireSentBytes <= 0 || s.WireRecvBytes <= 0 {
+			t.Fatalf("round %d wire accounting one-sided: %+v", s.Round, s)
+		}
+	}
+	if ratio := float64(q8Bytes) / float64(denseBytes); ratio > 0.30 {
+		t.Fatalf("q8 measured wire bytes are %.1f%% of dense, want <= 30%%", 100*ratio)
+	}
+}
+
+// TestCodecMismatchFailsFast: a client that requires a codec different from
+// the aggregator's announcement must error out at join time with a clear
+// message, not corrupt rounds or hang.
+func TestCodecMismatchFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agg := NewJob(
+		WithBackend(BackendAggregator),
+		WithAddr("127.0.0.1:0"),
+		WithExpectClients(1),
+		WithRounds(1),
+		WithCodec("q8"),
+	)
+	aggDone := make(chan error, 1)
+	go func() {
+		_, err := agg.Run(ctx)
+		aggDone <- err
+	}()
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		addr = agg.Addr()
+		time.Sleep(25 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("aggregator never bound")
+	}
+
+	_, err := NewJob(
+		WithBackend(BackendClient),
+		WithAddr(addr),
+		WithClientID("strict"),
+		WithCodec("dense"), // disagrees with the aggregator's q8
+		WithReconnect(0),
+	).Run(context.Background())
+	if err == nil {
+		t.Fatal("codec-mismatched client joined")
+	}
+	if !strings.Contains(err.Error(), "mismatch") || !strings.Contains(err.Error(), "q8") {
+		t.Fatalf("mismatch error not descriptive: %v", err)
+	}
+	cancel()
+	<-aggDone
+}

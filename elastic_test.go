@@ -76,7 +76,7 @@ func TestElasticChurnEndToEnd(t *testing.T) {
 	// Two healthy clients that serve the whole run.
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			conn, err := link.Dial(addr, false)
+			conn, err := link.Dial(addr)
 			if err != nil {
 				t.Errorf("client %d dial: %v", i, err)
 				return
@@ -91,13 +91,13 @@ func TestElasticChurnEndToEnd(t *testing.T) {
 	victimDead := make(chan struct{})
 	go func() {
 		defer close(victimDead)
-		conn, err := link.Dial(addr, false)
+		conn, err := link.Dial(addr)
 		if err != nil {
 			t.Errorf("victim dial: %v", err)
 			return
 		}
 		defer conn.Close()
-		if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "victim"}); err != nil {
+		if _, err := fed.Handshake(conn, "victim", ""); err != nil {
 			return
 		}
 		c := netClient(t, "victim", 5)
@@ -110,12 +110,16 @@ func TestElasticChurnEndToEnd(t *testing.T) {
 			case link.MsgHeartbeat:
 				conn.Send(&link.Message{Type: link.MsgHeartbeat, Meta: msg.Meta})
 			case link.MsgModel:
-				res, err := c.RunRound(ctx, msg.Payload, 0, netSpec())
+				global, err := msg.Payload.Floats()
+				if err != nil {
+					return
+				}
+				res, err := c.RunRound(ctx, global, 0, netSpec())
 				if err != nil {
 					return
 				}
 				conn.Send(&link.Message{Type: link.MsgUpdate, Round: msg.Round,
-					ClientID: "victim", Meta: res.Metrics, Payload: res.Update})
+					ClientID: "victim", Meta: res.Metrics, Payload: link.Dense(res.Update)})
 				return // vanish after the first served round
 			}
 		}
@@ -125,7 +129,7 @@ func TestElasticChurnEndToEnd(t *testing.T) {
 	<-victimDead
 	lateDone := make(chan error, 1)
 	go func() {
-		conn, err := link.Dial(addr, false)
+		conn, err := link.Dial(addr)
 		if err != nil {
 			lateDone <- err
 			return
@@ -180,7 +184,7 @@ func TestElasticChurnEndToEnd(t *testing.T) {
 // expected cohort nor delay the genuine joiners, whose handshakes proceed
 // concurrently.
 func TestStrayConnectionCannotHoldMembershipSlot(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +194,11 @@ func TestStrayConnectionCannotHoldMembershipSlot(t *testing.T) {
 	defer cancel()
 
 	// Stray #1: connects and immediately disconnects, before any MsgJoin.
-	if c, err := link.Dial(l.Addr(), false); err == nil {
+	if c, err := link.Dial(l.Addr()); err == nil {
 		c.Close()
 	}
 	// Stray #2: connects and sits silent for the whole test.
-	silent, err := link.Dial(l.Addr(), false)
+	silent, err := link.Dial(l.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +207,7 @@ func TestStrayConnectionCannotHoldMembershipSlot(t *testing.T) {
 	// Two genuine clients join after the strays.
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			conn, err := link.Dial(l.Addr(), false)
+			conn, err := link.Dial(l.Addr())
 			if err != nil {
 				return
 			}
@@ -240,7 +244,7 @@ func TestStrayConnectionCannotHoldMembershipSlot(t *testing.T) {
 // after a bounded number of empty rounds instead of silently "completing",
 // and the error must still carry the partial history.
 func TestNoProgressRunStopsWithPartialResult(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,12 +252,12 @@ func TestNoProgressRunStopsWithPartialResult(t *testing.T) {
 
 	// One member that joins and answers heartbeats but never updates.
 	go func() {
-		conn, err := link.Dial(l.Addr(), false)
+		conn, err := link.Dial(l.Addr())
 		if err != nil {
 			return
 		}
 		defer conn.Close()
-		if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "sloth"}); err != nil {
+		if _, err := fed.Handshake(conn, "sloth", ""); err != nil {
 			return
 		}
 		for {
@@ -297,7 +301,7 @@ func TestNoProgressRunStopsWithPartialResult(t *testing.T) {
 // redials, rejoins under the same identity, and finishes the session
 // cleanly, with the rejoin visible as a round join event.
 func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +313,7 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 	// A healthy companion so the run survives while the flaky client is
 	// reconnecting.
 	go func() {
-		conn, err := link.Dial(l.Addr(), false)
+		conn, err := link.Dial(l.Addr())
 		if err != nil {
 			return
 		}
@@ -322,7 +326,7 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 	var dials atomic.Int32
 	var firstConn atomic.Pointer[link.Conn]
 	dial := func(ctx context.Context) (*link.Conn, error) {
-		conn, err := link.DialContext(ctx, l.Addr(), false)
+		conn, err := link.DialContext(ctx, l.Addr())
 		if err == nil && dials.Add(1) == 1 {
 			firstConn.Store(conn)
 		}
@@ -400,7 +404,7 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 // round (counted as a straggler) while the round aggregates the survivors,
 // and the run completes instead of blocking forever.
 func TestRoundDeadlineDropsStraggler(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +415,7 @@ func TestRoundDeadlineDropsStraggler(t *testing.T) {
 
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			conn, err := link.Dial(l.Addr(), false)
+			conn, err := link.Dial(l.Addr())
 			if err != nil {
 				return
 			}
@@ -421,12 +425,12 @@ func TestRoundDeadlineDropsStraggler(t *testing.T) {
 	}
 	// The straggler joins, answers heartbeats, but never returns updates.
 	go func() {
-		conn, err := link.Dial(l.Addr(), false)
+		conn, err := link.Dial(l.Addr())
 		if err != nil {
 			return
 		}
 		defer conn.Close()
-		if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "sloth"}); err != nil {
+		if _, err := fed.Handshake(conn, "sloth", ""); err != nil {
 			return
 		}
 		for {

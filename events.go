@@ -20,8 +20,23 @@ type RoundEvent struct {
 	Clients int
 	// CommBytes is the model/update traffic attributed to the round:
 	// broadcast down plus updates up for the federated backends, gradient
-	// all-reduce volume for the centralized one.
+	// all-reduce volume for the centralized one. The networked backends
+	// measure it on the wire (frame headers and heartbeats included); the
+	// in-process federated backend counts codec-encoded payload bytes.
 	CommBytes int64
+	// WireSentBytes and WireRecvBytes split CommBytes by direction
+	// (aggregator's perspective on the server/federated backends, the
+	// client's own on the client backend). Zero where not applicable.
+	WireSentBytes int64
+	WireRecvBytes int64
+	// CompressionRatio is encoded payload bytes divided by their dense
+	// float32 cost: 1.0 for the dense codec, ~0.25 for q8, ~0.08 for
+	// topk at 10% density. 0 means the round carried no payloads.
+	CompressionRatio float64
+	// EncodeMs and DecodeMs are the round's codec wall times in
+	// milliseconds.
+	EncodeMs float64
+	DecodeMs float64
 	// UpdateNorm is the L2 norm of the aggregated pseudo-gradient (0 for
 	// the centralized and client backends).
 	UpdateNorm float64
@@ -47,16 +62,21 @@ type RoundEvent struct {
 
 func eventFromRound(r metrics.Round) RoundEvent {
 	return RoundEvent{
-		Round:          r.Round,
-		TrainLoss:      r.TrainLoss,
-		Perplexity:     r.ValPPL,
-		Clients:        r.Clients,
-		CommBytes:      r.CommBytes,
-		UpdateNorm:     r.UpdateNorm,
-		SimSeconds:     r.SimSeconds,
-		Joins:          r.Joins,
-		Evictions:      r.Evictions,
-		Stragglers:     r.Stragglers,
-		HeartbeatRTTMs: r.HeartbeatRTTMs,
+		Round:            r.Round,
+		TrainLoss:        r.TrainLoss,
+		Perplexity:       r.ValPPL,
+		Clients:          r.Clients,
+		CommBytes:        r.CommBytes,
+		WireSentBytes:    r.WireSentBytes,
+		WireRecvBytes:    r.WireRecvBytes,
+		CompressionRatio: r.CompressionRatio,
+		EncodeMs:         r.EncodeMs,
+		DecodeMs:         r.DecodeMs,
+		UpdateNorm:       r.UpdateNorm,
+		SimSeconds:       r.SimSeconds,
+		Joins:            r.Joins,
+		Evictions:        r.Evictions,
+		Stragglers:       r.Stragglers,
+		HeartbeatRTTMs:   r.HeartbeatRTTMs,
 	}
 }

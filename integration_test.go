@@ -42,7 +42,7 @@ func TestTLSFederationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := link.ListenTLS("127.0.0.1:0", cert, true)
+	l, err := link.ListenTLS("127.0.0.1:0", cert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestTLSFederationEndToEnd(t *testing.T) {
 	const clients = 3
 	for i := 0; i < clients; i++ {
 		go func(i int) {
-			conn, err := link.DialTLS(l.Addr(), pool, true)
+			conn, err := link.DialTLS(l.Addr(), pool)
 			if err != nil {
 				return
 			}
@@ -91,7 +91,7 @@ func TestTLSFederationEndToEnd(t *testing.T) {
 // after the first round, and verifies the aggregator finishes the run with
 // partial updates from the survivors.
 func TestServerToleratesMidRunClientLoss(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestServerToleratesMidRunClientLoss(t *testing.T) {
 	// Two healthy clients.
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			conn, err := link.Dial(l.Addr(), false)
+			conn, err := link.Dial(l.Addr())
 			if err != nil {
 				return
 			}
@@ -110,25 +110,29 @@ func TestServerToleratesMidRunClientLoss(t *testing.T) {
 	}
 	// One client that answers round 1 and then disconnects.
 	go func() {
-		conn, err := link.Dial(l.Addr(), false)
+		conn, err := link.Dial(l.Addr())
 		if err != nil {
 			return
 		}
 		defer conn.Close()
-		if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "flaky"}); err != nil {
+		if _, err := fed.Handshake(conn, "flaky", ""); err != nil {
 			return
 		}
 		msg, err := conn.Recv()
 		if err != nil || msg.Type != link.MsgModel {
 			return
 		}
+		global, err := msg.Payload.Floats()
+		if err != nil {
+			return
+		}
 		c := netClient(t, "flaky", 5)
-		res, err := c.RunRound(context.Background(), msg.Payload, 0, netSpec())
+		res, err := c.RunRound(context.Background(), global, 0, netSpec())
 		if err != nil {
 			return
 		}
 		_ = conn.Send(&link.Message{Type: link.MsgUpdate, Round: msg.Round,
-			ClientID: "flaky", Meta: res.Metrics, Payload: res.Update})
+			ClientID: "flaky", Meta: res.Metrics, Payload: link.Dense(res.Update)})
 		// Vanish before round 2.
 	}()
 

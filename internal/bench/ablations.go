@@ -1,10 +1,10 @@
 package bench
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
@@ -153,11 +153,14 @@ func AblationOptState(ctx context.Context, w io.Writer, scale Scale) error {
 	return nil
 }
 
-// AblationCompression measures the Link codec with and without lossless
-// flate compression on realistic payloads: fresh model updates (near-
-// incompressible floats) and sparse/clipped updates (highly compressible).
+// AblationCompression measures every built-in wire codec on a realistic
+// payload — a fresh model update from one local round — reporting the
+// encoded wire cost, compression ratio versus dense float32, encode/decode
+// time, and the relative L2 reconstruction error lossy codecs introduce
+// (topk's first-round error is recovered over later rounds by its
+// error-feedback residual).
 func AblationCompression(ctx context.Context, w io.Writer, _ Scale) error {
-	fprintf(w, "Ablation: Link payload compression\n")
+	fprintf(w, "Ablation: Link wire codecs (one model-update payload)\n")
 	cfg := proxyCfg()
 	clients, err := federation(cfg, 1, 53)
 	if err != nil {
@@ -168,33 +171,92 @@ func AblationCompression(ctx context.Context, w io.Writer, _ Scale) error {
 	if err != nil {
 		return err
 	}
-	dense := res.Update
-	sparse := make([]float32, len(dense))
-	copy(sparse, dense)
-	for i := range sparse {
-		if i%10 != 0 {
-			sparse[i] = 0 // a 90%-sparsified update, as a pruning post-process would send
-		}
-	}
+	update := res.Update
 
-	headers := []string{"Payload", "Plain[B]", "Flate[B]", "Ratio", "EncTime"}
+	headers := []string{"Codec", "Bytes", "B/elem", "Ratio", "Enc", "Dec", "RelErr"}
 	var rows [][]string
-	for _, c := range []struct {
-		name    string
-		payload []float32
-	}{{"dense update", dense}, {"90%-sparse update", sparse}} {
-		m := &link.Message{Type: link.MsgUpdate, Payload: c.payload}
-		var plain, comp bytes.Buffer
-		if err := link.Encode(&plain, m, false); err != nil {
+	for _, name := range []string{"dense", "flate", "q8", "topk:0.1"} {
+		codec, err := link.NewCodec(name)
+		if err != nil {
 			return err
 		}
-		start := time.Now()
-		if err := link.Encode(&comp, m, true); err != nil {
+		encStart := time.Now()
+		enc, err := link.EncodeVector(codec, update)
+		encTime := time.Since(encStart)
+		if err != nil {
 			return err
 		}
-		rows = append(rows, []string{c.name,
-			fmt.Sprintf("%d", plain.Len()), fmt.Sprintf("%d", comp.Len()),
-			f2(float64(comp.Len()) / float64(plain.Len())), time.Since(start).Round(time.Microsecond).String()})
+		decStart := time.Now()
+		dec, err := link.DecodePayload(codec, enc)
+		decTime := time.Since(decStart)
+		if err != nil {
+			return err
+		}
+		var errSq, refSq float64
+		for i := range update {
+			d := float64(update[i] - dec[i])
+			errSq += d * d
+			refSq += float64(update[i]) * float64(update[i])
+		}
+		relErr := 0.0
+		if refSq > 0 {
+			relErr = math.Sqrt(errSq / refSq)
+		}
+		denseBytes := 4 * len(update)
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%d", enc.WireBytes()),
+			f2(float64(enc.WireBytes()) / float64(len(update))),
+			f2(float64(enc.WireBytes()) / float64(denseBytes)),
+			encTime.Round(time.Microsecond).String(),
+			decTime.Round(time.Microsecond).String(),
+			f3(relErr)})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}
+
+// AblationCodecConvergence trains the same federation under each wire
+// codec and reports final perplexity next to the measured per-round
+// communication cost, the trade-off the codec API exists to expose: q8
+// should track dense at ~1/4 the bytes, and topk at 10% density must not
+// diverge thanks to error feedback.
+func AblationCodecConvergence(ctx context.Context, w io.Writer, scale Scale) error {
+	rounds, tau, n := 16, 16, 2
+	if scale == Quick {
+		rounds = 6
+	}
+	cfg := proxyCfg()
+	fprintf(w, "Ablation: convergence under wire codecs (N=%d, τ=%d, %d rounds)\n", n, tau, rounds)
+	headers := []string{"Codec", "FinalPPL", "MB/round", "Ratio"}
+	var rows [][]string
+	for _, name := range []string{"dense", "flate", "q8", "topk:0.1"} {
+		clients, err := federation(cfg, n, 61)
+		if err != nil {
+			return err
+		}
+		res, err := fed.Run(ctx, fed.RunConfig{
+			ModelConfig:     cfg,
+			Seed:            61,
+			Rounds:          rounds,
+			ClientsPerRound: n,
+			Clients:         clients,
+			Outer:           photonOuter(),
+			Spec:            proxySpec(tau, proxyLR),
+			Validation:      validation(cfg),
+			EvalEvery:       rounds,
+			Codec:           name,
+		})
+		if err != nil {
+			return err
+		}
+		var bytesSum, ratioSum float64
+		for _, r := range res.History.Rounds {
+			bytesSum += float64(r.CommBytes)
+			ratioSum += r.CompressionRatio
+		}
+		nr := float64(res.History.Len())
+		rows = append(rows, []string{name, f2(res.History.FinalPPL()),
+			f2(bytesSum / nr / 1e6), f2(ratioSum / nr)})
 	}
 	fprintf(w, "%s", metrics.Table(headers, rows))
 	return nil

@@ -36,7 +36,8 @@ func Registry() []Experiment {
 		{"ablation-outeropt", "Ablation: outer optimizer", AblationOuterOpt},
 		{"ablation-recipe", "Ablation: small-batch high-LR recipe", AblationRecipe},
 		{"ablation-optstate", "Ablation: stateless vs stateful ClientOpt", AblationOptState},
-		{"ablation-compression", "Ablation: Link compression", AblationCompression},
+		{"ablation-compression", "Ablation: Link wire codecs", AblationCompression},
+		{"ablation-codec-convergence", "Ablation: convergence under lossy wire codecs", AblationCodecConvergence},
 		{"ablation-subfed", "Ablation: sub-federation", AblationSubFed},
 		{"ablation-ddp", "Ablation: DDP vs large-batch equivalence", AblationDDPBaseline},
 	}

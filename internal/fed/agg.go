@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"photon/internal/ckpt"
 	"photon/internal/data"
@@ -60,6 +61,16 @@ type RunConfig struct {
 
 	// Post is the update post-processing pipeline (Algorithm 1 line 27).
 	Post link.Pipeline
+
+	// Codec, when non-empty, routes every model broadcast and client
+	// update through the named wire codec exactly as the networked path
+	// does: payloads are encoded, their encoded size is charged to the
+	// round's communication accounting, and training continues from the
+	// decoded (for lossy codecs, perturbed) values. Each client holds its
+	// own codec instance across rounds, so error-feedback codecs (topk)
+	// accumulate residuals per client. Empty skips codec simulation and
+	// keeps the raw dense exchange with element-count byte estimates.
+	Codec string
 
 	// DropoutProb injects client failure: each sampled client independently
 	// fails to return its update with this probability. The aggregator
@@ -153,6 +164,29 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 	if sampler == nil {
 		sampler = UniformSampler{}
 	}
+	// Codec simulation state: the model-broadcast encoder is shared (one
+	// encode per round), while each client index keeps its own update
+	// codec so error-feedback residuals accumulate per client exactly as
+	// they would on real client processes.
+	var modelCodec link.Codec
+	var clientCodecs []link.Codec
+	if cfg.Codec != "" {
+		c, err := link.NewCodec(cfg.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		modelCodec = link.ModelCodec(c)
+		clientCodecs = make([]link.Codec, len(cfg.Clients))
+	}
+	clientCodec := func(i int) (link.Codec, error) {
+		if clientCodecs[i] == nil {
+			var err error
+			if clientCodecs[i], err = link.NewCodec(cfg.Codec); err != nil {
+				return nil, err
+			}
+		}
+		return clientCodecs[i], nil
+	}
 	var writer *ckpt.AsyncWriter
 	if cfg.CheckpointPath != "" {
 		writer = ckpt.NewAsyncWriter(cfg.CheckpointPath)
@@ -180,6 +214,29 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 			dropped[i] = cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb
 		}
 
+		// Under a codec, clients train from the decoded broadcast — for a
+		// lossy codec the same perturbed parameters a real remote client
+		// would receive — and the encoded size is what the round pays for.
+		trainGlobal := global
+		var wire roundWire
+		var downBytes, upBytes int64
+		if modelCodec != nil {
+			encStart := time.Now()
+			encModel, err := link.EncodeVector(modelCodec, global)
+			wire.encNs += time.Since(encStart).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("fed: round %d: %w", round, err)
+			}
+			decStart := time.Now()
+			if trainGlobal, err = link.DecodePayload(modelCodec, encModel); err != nil {
+				return nil, fmt.Errorf("fed: round %d: %w", round, err)
+			}
+			wire.decNs += time.Since(decStart).Nanoseconds()
+			downBytes = int64(len(cohortIdx)) * int64(encModel.WireBytes())
+			wire.payloadBytes += downBytes
+			wire.denseBytes += int64(len(cohortIdx)) * int64(len(global)) * 4
+		}
+
 		type outcome struct {
 			res RoundResult
 			err error
@@ -195,7 +252,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 			wg.Add(1)
 			go func(i int, c *Client) {
 				defer wg.Done()
-				res, err := c.RunRound(ctx, global, stepBase, cfg.Spec)
+				res, err := c.RunRound(ctx, trainGlobal, stepBase, cfg.Spec)
 				outcomes[i] = outcome{res: res, err: err, ok: err == nil}
 			}(i, cfg.Clients[ci])
 		}
@@ -228,6 +285,26 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 					continue
 				}
 			}
+			if modelCodec != nil {
+				codec, err := clientCodec(cohortIdx[i])
+				if err != nil {
+					return nil, fmt.Errorf("fed: round %d: %w", round, err)
+				}
+				encStart := time.Now()
+				encUpd, err := link.EncodeVector(codec, upd)
+				wire.encNs += time.Since(encStart).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("fed: round %d client %s: %w", round, cfg.Clients[cohortIdx[i]].ID, err)
+				}
+				decStart := time.Now()
+				if upd, err = link.DecodePayload(codec, encUpd); err != nil {
+					return nil, fmt.Errorf("fed: round %d client %s: %w", round, cfg.Clients[cohortIdx[i]].ID, err)
+				}
+				wire.decNs += time.Since(decStart).Nanoseconds()
+				upBytes += int64(encUpd.WireBytes())
+				wire.payloadBytes += int64(encUpd.WireBytes())
+				wire.denseBytes += int64(encUpd.Elems) * 4
+			}
 			updates = append(updates, upd)
 			clientMetrics = append(clientMetrics, o.res.Metrics)
 			if lossAware != nil {
@@ -241,6 +318,19 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 			Clients: len(updates),
 			// Model broadcast to the sampled cohort plus surviving uploads.
 			CommBytes: int64(len(cohortIdx))*paramBytes + int64(len(updates))*paramBytes,
+		}
+		if modelCodec != nil {
+			// Codec accounting: the round pays for encoded payload bytes
+			// (headerless — the simulator has no frames), split into the
+			// aggregator's send (broadcasts) and receive (uploads) sides.
+			rec.CommBytes = wire.payloadBytes
+			rec.WireSentBytes = downBytes
+			rec.WireRecvBytes = upBytes
+			rec.EncodeMs = float64(wire.encNs) / 1e6
+			rec.DecodeMs = float64(wire.decNs) / 1e6
+			if wire.denseBytes > 0 {
+				rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
+			}
 		}
 		if len(updates) > 0 {
 			var delta []float32

@@ -77,6 +77,18 @@ func NewClient(id string, cfg nn.Config, stream data.Stream, optimizer opt.Optim
 	}
 }
 
+// NumParams returns the client's model parameter count — its local replica
+// or, for a DDP client, the first intra-silo replica — and 0 when unknown.
+func (c *Client) NumParams() int {
+	if c.Model != nil {
+		return c.Model.NumParams()
+	}
+	if c.ddp != nil && len(c.ddp.replicas) > 0 {
+		return c.ddp.replicas[0].NumParams()
+	}
+	return 0
+}
+
 // RoundResult is what an LLM-C returns to the aggregator.
 type RoundResult struct {
 	// Update is the pseudo-gradient contribution θt − θt_k.

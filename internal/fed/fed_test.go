@@ -8,10 +8,12 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"photon/internal/ckpt"
 	"photon/internal/data"
 	"photon/internal/link"
+	"photon/internal/metrics"
 	"photon/internal/nn"
 	"photon/internal/opt"
 	"photon/internal/topo"
@@ -367,7 +369,7 @@ func TestUniformSamplerProperties(t *testing.T) {
 
 func TestNetworkedFederation(t *testing.T) {
 	cfg := tinyCfg()
-	l, err := link.Listen("127.0.0.1:0", true)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +379,7 @@ func TestNetworkedFederation(t *testing.T) {
 	clients := makeClients(t, cfg, 3)
 	for _, c := range clients {
 		go func(c *Client) {
-			conn, err := link.Dial(l.Addr(), true)
+			conn, err := link.Dial(l.Addr())
 			if err != nil {
 				return
 			}
@@ -412,7 +414,7 @@ func TestNetworkedFederation(t *testing.T) {
 }
 
 func TestServeRejectsBadConfig(t *testing.T) {
-	l, err := link.Listen("127.0.0.1:0", false)
+	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,4 +429,77 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestServeDropsMisSizedUpdate: a member whose update declares an element
+// count different from the model is evicted before its payload can drive a
+// decode-time allocation or reach MeanDelta — the round aggregates the
+// well-behaved survivors and the run completes.
+func TestServeDropsMisSizedUpdate(t *testing.T) {
+	cfg := tinyCfg()
+	l, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	spec := tinySpec()
+	for _, c := range makeClients(t, cfg, 2) {
+		go func(c *Client) {
+			conn, err := link.Dial(l.Addr())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = ServeClient(ctx, conn, c, spec)
+		}(c)
+	}
+	// The liar: joins correctly, then answers every model broadcast with a
+	// 3-element "update".
+	go func() {
+		conn, err := link.Dial(l.Addr())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := Handshake(conn, "liar", ""); err != nil {
+			return
+		}
+		for {
+			msg, err := conn.Recv()
+			if err != nil || msg.Type == link.MsgShutdown {
+				return
+			}
+			if msg.Type == link.MsgModel {
+				conn.Send(&link.Message{Type: link.MsgUpdate, Round: msg.Round,
+					ClientID: "liar", Payload: link.Dense([]float32{1, 2, 3})})
+			}
+		}
+	}()
+
+	var evictions int
+	res, err := Serve(ctx, l, ServerConfig{
+		ModelConfig:   cfg,
+		Seed:          13,
+		Rounds:        2,
+		ExpectClients: 3,
+		Outer:         FedAvg{},
+		OnRound:       func(r metrics.Round) { evictions += r.Evictions },
+	})
+	if err != nil {
+		t.Fatalf("mis-sized update aborted the run: %v", err)
+	}
+	if res.History.Len() != 2 {
+		t.Fatalf("completed %d rounds, want 2", res.History.Len())
+	}
+	for _, r := range res.History.Rounds {
+		if r.Clients != 2 {
+			t.Fatalf("round %d aggregated %d clients, want the 2 honest ones", r.Round, r.Clients)
+		}
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want the liar dropped once", evictions)
+	}
 }

@@ -31,6 +31,13 @@ type ReconnectConfig struct {
 	// local replica (for generation or inspection) across a crash, plus
 	// the recorded round for logs.
 	CheckpointPath string
+
+	// Codec, when non-empty, requires the aggregator to announce exactly
+	// this wire codec; empty accepts whatever the aggregator announces.
+	// Either way the codec instance lives on the session, not the
+	// connection, so error-feedback state (the topk residual) survives
+	// reconnects and dropped coordinates still reach later rounds.
+	Codec string
 }
 
 func (rc *ReconnectConfig) fill() {
@@ -89,8 +96,9 @@ func RunResilientClient(ctx context.Context, dial func(context.Context) (*link.C
 	if err != nil {
 		return err
 	}
+	session := &Session{Client: client, Spec: spec, Codec: rc.Codec}
 	for {
-		err := ServeClient(ctx, conn, client, spec, onRound...)
+		err := session.ServeConn(ctx, conn, onRound...)
 		conn.Close()
 		if err == nil || ctx.Err() != nil {
 			return err // clean shutdown, or cancellation

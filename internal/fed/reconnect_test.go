@@ -27,17 +27,33 @@ func reconSpec() LocalSpec {
 	return LocalSpec{Steps: 2, BatchSize: 2, SeqLen: 16, Schedule: opt.Constant(3e-3)}
 }
 
-// fakeAggregator answers one ServeClient session over a pipe: it consumes
-// the join, serves `rounds` model/update exchanges, and shuts down.
+// announceDense performs the aggregator half of the codec handshake for
+// hand-rolled test aggregators: announce the dense codec, then consume the
+// client's join/ack. It returns the join message.
+func announceDense(conn *link.Conn) (*link.Message, error) {
+	err := conn.Send(&link.Message{
+		Type:     link.MsgCodecAnnounce,
+		ClientID: "dense",
+		Meta:     map[string]float64{link.CodecIDKey: float64(link.CodecWireID("dense"))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conn.Recv()
+}
+
+// fakeAggregator answers one ServeClient session over a pipe: it announces
+// the codec, consumes the join/ack, serves `rounds` model/update exchanges,
+// and shuts down.
 func fakeAggregator(t *testing.T, conn *link.Conn, rounds int) {
 	t.Helper()
-	if msg, err := conn.Recv(); err != nil || msg.Type != link.MsgJoin {
+	if msg, err := announceDense(conn); err != nil || msg.Type != link.MsgJoin {
 		t.Errorf("expected join, got %v (%v)", msg, err)
 		return
 	}
 	params := make([]float32, reconClient("x").Model.NumParams())
 	for r := 1; r <= rounds; r++ {
-		if err := conn.Send(&link.Message{Type: link.MsgModel, Round: int32(r), Payload: params}); err != nil {
+		if err := conn.Send(&link.Message{Type: link.MsgModel, Round: int32(r), Payload: link.Dense(params)}); err != nil {
 			t.Errorf("send model: %v", err)
 			return
 		}
@@ -82,10 +98,10 @@ func TestResilientClientZeroAttemptsDisablesReconnect(t *testing.T) {
 	var dials atomic.Int32
 	dial := func(context.Context) (*link.Conn, error) {
 		dials.Add(1)
-		a, b := link.Pipe(false)
+		a, b := link.Pipe()
 		go func() {
-			b.Recv() // join
-			b.Close()
+			announceDense(b) // session established...
+			b.Close()        // ...then the "network" dies
 		}()
 		return a, nil
 	}
@@ -105,15 +121,15 @@ func TestResilientClientZeroAttemptsDisablesReconnect(t *testing.T) {
 func TestResilientClientReconnectsThroughPipe(t *testing.T) {
 	var dials atomic.Int32
 	dial := func(context.Context) (*link.Conn, error) {
-		a, b := link.Pipe(false)
+		a, b := link.Pipe()
 		if dials.Add(1) == 1 {
 			go func() { // first session: one round, then the "network" dies
-				if msg, _ := b.Recv(); msg == nil || msg.Type != link.MsgJoin {
+				if msg, _ := announceDense(b); msg == nil || msg.Type != link.MsgJoin {
 					b.Close()
 					return
 				}
 				params := make([]float32, reconClient("x").Model.NumParams())
-				b.Send(&link.Message{Type: link.MsgModel, Round: 1, Payload: params})
+				b.Send(&link.Message{Type: link.MsgModel, Round: 1, Payload: link.Dense(params)})
 				b.Recv() // the update
 				b.Close()
 			}()
@@ -145,9 +161,9 @@ func TestResilientClientDoesNotRetryProtocolErrors(t *testing.T) {
 	var dials atomic.Int32
 	dial := func(context.Context) (*link.Conn, error) {
 		dials.Add(1)
-		a, b := link.Pipe(false)
+		a, b := link.Pipe()
 		go func() {
-			b.Recv() // join
+			announceDense(b)
 			b.Send(&link.Message{Type: link.MsgMetrics})
 			b.Recv() // wait for the client to hang up
 			b.Close()
@@ -170,9 +186,9 @@ func TestResilientClientExhaustsAttempts(t *testing.T) {
 	var dials atomic.Int32
 	dial := func(context.Context) (*link.Conn, error) {
 		if dials.Add(1) == 1 {
-			a, b := link.Pipe(false)
+			a, b := link.Pipe()
 			go func() {
-				b.Recv()
+				announceDense(b)
 				b.Close()
 			}()
 			return a, nil
@@ -194,7 +210,7 @@ func TestResilientClientExhaustsAttempts(t *testing.T) {
 func TestResilientClientCheckpointRoundTrip(t *testing.T) {
 	path := t.TempDir() + "/client.ckpt"
 	dial := func(context.Context) (*link.Conn, error) {
-		a, b := link.Pipe(false)
+		a, b := link.Pipe()
 		go fakeAggregator(t, b, 2)
 		return a, nil
 	}
@@ -219,9 +235,9 @@ func TestResilientClientCheckpointRoundTrip(t *testing.T) {
 	// A fresh client under the same path warm-starts from the snapshot.
 	c2 := reconClient("c")
 	dial2 := func(context.Context) (*link.Conn, error) {
-		a, b := link.Pipe(false)
+		a, b := link.Pipe()
 		go func() {
-			b.Recv() // join
+			announceDense(b)
 			b.Send(&link.Message{Type: link.MsgShutdown})
 			for {
 				if _, err := b.Recv(); err != nil {

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photon/internal/cluster"
@@ -19,6 +21,11 @@ import (
 // stray connection that never sends MsgJoin is dropped without ever
 // counting toward the membership.
 const joinTimeout = 10 * time.Second
+
+// handshakeTimeout bounds the client's wait for the aggregator's codec
+// announcement; a pre-codec aggregator never announces, so waiting past
+// this is a configuration error, not a transient.
+const handshakeTimeout = 10 * time.Second
 
 // ServerConfig configures a networked aggregator (the Agg component) that
 // coordinates real LLM-C processes over the link protocol.
@@ -60,6 +67,15 @@ type ServerConfig struct {
 	// still collects about K updates. Zero disables over-provisioning.
 	OverProvision float64
 
+	// Codec names the wire codec for parameter payloads ("dense", "flate",
+	// "q8", "topk:<keep>", or anything added via link.RegisterCodec; empty
+	// → "dense"). The aggregator announces it on every fresh connection
+	// and clients ack by echoing its wire ID in their join, so a mixed
+	// fleet fails fast at join time instead of corrupting rounds. Model
+	// broadcasts under an update-only codec (topk) fall back to lossless
+	// flate.
+	Codec string
+
 	Outer      OuterOpt
 	Validation *data.ValidationSet
 	EvalEvery  int
@@ -83,6 +99,21 @@ type memberConn struct {
 type server struct {
 	cfg ServerConfig
 	reg *cluster.Registry
+
+	// Negotiated wire codec: the configured name and wire ID announced to
+	// every joiner, the session codec updates decode through, and the
+	// model-broadcast encoder (the session codec, or its lossless fallback
+	// for update-only codecs).
+	codecName string
+	codecID   uint8
+	codec     link.Codec
+	modelEnc  link.Codec
+
+	// meter sums real wire bytes over every member connection; per-round
+	// deltas ground the round records' communication cost in measured
+	// traffic (headers and heartbeats included) rather than element-count
+	// estimates.
+	meter *link.Meter
 
 	mu    sync.Mutex
 	conns map[string]*memberConn
@@ -121,9 +152,22 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	if minClients < 1 {
 		minClients = 1
 	}
+	codecName := cfg.Codec
+	if codecName == "" {
+		codecName = "dense"
+	}
+	sessionCodec, err := link.NewCodec(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("fed: server codec: %w", err)
+	}
 
 	s := &server{
-		cfg: cfg,
+		cfg:       cfg,
+		codecName: codecName,
+		codecID:   link.CodecWireID(codecName),
+		codec:     sessionCodec,
+		modelEnc:  link.ModelCodec(sessionCodec),
+		meter:     &link.Meter{},
 		reg: cluster.New(cluster.Config{
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			MissedBeats:       cfg.MissedBeats,
@@ -236,6 +280,12 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	const maxEmptyRounds = 3
 	emptyRounds := 0
 
+	// Wire-accounting windows tile the run with no gaps: each round's
+	// window starts where the previous one ended, so traffic between
+	// exchanges (heartbeats during aggregation and evaluation, rejoin
+	// waits) is attributed to the next recorded round rather than lost,
+	// and the per-round sums add up to the meter's cumulative totals.
+	sentPrev, recvPrev := s.meter.Totals()
 	var runErr error
 	for round := 1; round <= cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -270,22 +320,37 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			continue
 		}
 
-		updates, clientMetrics, interrupted := s.exchangeRound(ctx, round, global, cohort)
+		updates, clientMetrics, wire, interrupted, err := s.exchangeRound(ctx, round, global, cohort)
+		if err != nil {
+			return finish(fmt.Errorf("fed: round %d: %w", round, err))
+		}
 		if interrupted {
 			runErr = ctx.Err()
 			break
 		}
+		sentAfter, recvAfter := s.meter.Totals()
+		sentRound, recvRound := sentAfter-sentPrev, recvAfter-recvPrev
+		sentPrev, recvPrev = sentAfter, recvAfter
 
-		paramBytes := int64(len(global)) * 4
 		churn := s.reg.RoundDelta()
 		rec := metrics.Round{
-			Round:          round,
-			Clients:        len(updates),
-			CommBytes:      int64(len(cohort))*paramBytes + int64(len(updates))*paramBytes,
+			Round:   round,
+			Clients: len(updates),
+			// Real wire traffic measured over the round's window, frame
+			// headers and heartbeats included — not an element-count
+			// estimate.
+			WireSentBytes:  sentRound,
+			WireRecvBytes:  recvRound,
+			CommBytes:      sentRound + recvRound,
+			EncodeMs:       float64(wire.encNs) / 1e6,
+			DecodeMs:       float64(wire.decNs) / 1e6,
 			Joins:          churn.Joins + churn.Rejoins,
 			Evictions:      churn.Evictions,
 			Stragglers:     churn.Stragglers,
 			HeartbeatRTTMs: churn.HeartbeatRTTMs,
+		}
+		if wire.denseBytes > 0 {
+			rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
 		}
 		if len(updates) > 0 {
 			delta, err := MeanDelta(updates)
@@ -336,9 +401,12 @@ func (s *server) acceptLoop(ctx context.Context, l *link.Listener) {
 	}
 }
 
-// handshake performs the bounded join exchange on a fresh connection. Only
-// a completed MsgJoin admits the connection into the membership; anything
-// else closes it without side effects.
+// handshake performs the bounded join exchange on a fresh connection: the
+// server announces its wire codec, and only a MsgJoin that acks the
+// announcement by echoing the codec's wire ID admits the connection into
+// the membership. Anything else — a stray connection, a legacy client that
+// joined blind, a client configured for a different codec — closes without
+// side effects, so a mixed fleet can never corrupt a round.
 func (s *server) handshake(ctx context.Context, conn *link.Conn) {
 	// Unblock the bounded Recv early if the server is shutting down.
 	done := make(chan struct{})
@@ -350,8 +418,21 @@ func (s *server) handshake(ctx context.Context, conn *link.Conn) {
 		case <-done:
 		}
 	}()
+	announce := &link.Message{
+		Type:     link.MsgCodecAnnounce,
+		ClientID: s.codecName,
+		Meta:     map[string]float64{link.CodecIDKey: float64(s.codecID)},
+	}
+	if err := conn.SendTimeout(announce, joinTimeout); err != nil {
+		conn.Close()
+		return
+	}
 	msg, err := conn.RecvTimeout(joinTimeout)
 	if err != nil || msg.Type != link.MsgJoin || msg.ClientID == "" {
+		conn.Close()
+		return
+	}
+	if echo, ok := msg.Meta[link.CodecIDKey]; !ok || uint8(echo) != s.codecID {
 		conn.Close()
 		return
 	}
@@ -367,6 +448,7 @@ func (s *server) admit(id string, conn *link.Conn) {
 		updates: make(chan *link.Message, 1),
 		dead:    make(chan struct{}),
 	}
+	conn.SetMeter(s.meter)
 	s.mu.Lock()
 	old := s.conns[id]
 	s.conns[id] = mc
@@ -450,19 +532,42 @@ func (s *server) livenessLoop(ctx context.Context) {
 	}
 }
 
-// exchangeRound broadcasts the global model to the cohort and collects
-// updates until every member answers or fails, the round deadline expires,
-// or ctx is cancelled (interrupted=true discards the round).
-func (s *server) exchangeRound(ctx context.Context, round int, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, interrupted bool) {
+// roundWire is one round's codec accounting: encode/decode wall time and
+// the encoded-vs-dense payload volume the compression ratio is derived
+// from.
+type roundWire struct {
+	encNs        int64
+	decNs        int64
+	payloadBytes int64 // codec-encoded payload bytes exchanged
+	denseBytes   int64 // what the same payloads would cost as dense float32
+}
+
+// exchangeRound encodes the global model once with the negotiated codec,
+// broadcasts it to the cohort, and collects codec-decoded updates until
+// every member answers or fails, the round deadline expires, or ctx is
+// cancelled (interrupted=true discards the round). A member whose update
+// fails to decode is dropped — a codec disagreement must never silently
+// poison the aggregate. err is only non-nil for a server-side encode
+// failure (a broken codec), which aborts the run.
+func (s *server) exchangeRound(ctx context.Context, round int, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, wire roundWire, interrupted bool, err error) {
+	encStart := time.Now()
+	encModel, err := link.EncodeVector(s.modelEnc, global)
+	if err != nil {
+		return nil, nil, wire, false, err
+	}
+	wire.encNs = time.Since(encStart).Nanoseconds()
+
 	type reply struct {
 		mc      *memberConn
-		msg     *link.Message // nil when the member failed
+		update  []float32 // nil when the member failed
+		meta    map[string]float64
 		latency time.Duration
 	}
 	results := make(chan reply, len(cohort))
 	stop := make(chan struct{})
 	defer close(stop)
 
+	var decNs, payloadBytes, denseBytes atomic.Int64
 	for _, mc := range cohort {
 		go func(mc *memberConn) {
 			// Drain any stale straggler update from a previous round.
@@ -474,7 +579,7 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 			err := mc.conn.SendTimeout(&link.Message{
 				Type:    link.MsgModel,
 				Round:   int32(round),
-				Payload: global,
+				Payload: encModel,
 			}, s.cfg.RoundDeadline)
 			if err != nil {
 				s.drop(mc, "model send failed")
@@ -482,13 +587,36 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 				results <- reply{mc: mc}
 				return
 			}
+			payloadBytes.Add(int64(encModel.WireBytes()))
+			denseBytes.Add(int64(len(global)) * 4)
 			for {
 				select {
 				case msg := <-mc.updates:
 					if msg.Round != int32(round) {
 						continue // late reply from an earlier round
 					}
-					results <- reply{mc: mc, msg: msg, latency: time.Since(start)}
+					// The declared element count must match the model
+					// before any codec allocates for it: a mis-sized
+					// update can neither OOM the aggregator nor poison
+					// MeanDelta — the member is dropped instead.
+					if msg.Payload.Elems != len(global) {
+						s.drop(mc, "update size mismatch")
+						mc.conn.Close()
+						results <- reply{mc: mc}
+						return
+					}
+					decStart := time.Now()
+					vec, derr := link.DecodePayload(s.codec, msg.Payload)
+					decNs.Add(time.Since(decStart).Nanoseconds())
+					if derr != nil || len(vec) != len(global) {
+						s.drop(mc, "update decode failed")
+						mc.conn.Close()
+						results <- reply{mc: mc}
+						return
+					}
+					payloadBytes.Add(int64(msg.Payload.WireBytes()))
+					denseBytes.Add(int64(msg.Payload.Elems) * 4)
+					results <- reply{mc: mc, update: vec, meta: msg.Meta, latency: time.Since(start)}
 					return
 				case <-mc.dead:
 					results <- reply{mc: mc}
@@ -506,14 +634,19 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 		defer timer.Stop()
 		deadlineC = timer.C
 	}
+	collect := func() {
+		wire.decNs = decNs.Load()
+		wire.payloadBytes = payloadBytes.Load()
+		wire.denseBytes = denseBytes.Load()
+	}
 	responded := make(map[string]bool, len(cohort))
 	for len(responded) < len(cohort) {
 		select {
 		case r := <-results:
 			responded[r.mc.id] = true
-			if r.msg != nil {
-				updates = append(updates, r.msg.Payload)
-				clientMetrics = append(clientMetrics, r.msg.Meta)
+			if r.update != nil {
+				updates = append(updates, r.update)
+				clientMetrics = append(clientMetrics, r.meta)
 				s.reg.ObserveRound(r.mc.id, r.latency, cluster.OutcomeOK)
 			}
 		case <-deadlineC:
@@ -524,12 +657,14 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 					s.reg.ObserveRound(mc.id, s.cfg.RoundDeadline, cluster.OutcomeStraggler)
 				}
 			}
-			return updates, clientMetrics, false
+			collect()
+			return updates, clientMetrics, wire, false, nil
 		case <-ctx.Done():
-			return nil, nil, true
+			return nil, nil, wire, true, nil
 		}
 	}
-	return updates, clientMetrics, false
+	collect()
+	return updates, clientMetrics, wire, false, nil
 }
 
 // waitAlive blocks until at least n members are alive. grace > 0 bounds the
@@ -608,17 +743,77 @@ func (s *server) snapshot() []*memberConn {
 // training errors are deterministic and not worth retrying.
 var ErrSessionLost = errors.New("fed: session lost")
 
-// ServeClient runs an LLM-C against a connected aggregator: it joins with
-// the client's ID and then answers MsgModel rounds with MsgUpdate replies
-// until MsgShutdown (or connection loss). Heartbeat pings are echoed
-// immediately — even while a round is training, thanks to the dedicated
-// reader goroutine — so a slow client is seen as alive-but-straggling
-// rather than dead. stepBase for the shared schedule is derived from the
-// round number, which also makes a rejoining client resume at the
-// aggregator's current round. Cancelling ctx closes the connection to
-// unblock a pending receive and returns ctx.Err(). onRound observers, if
-// any, see one record per completed round (client-side loss, no PPL).
-func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec LocalSpec, onRound ...func(metrics.Round)) error {
+// Handshake performs the client half of the join protocol on a fresh
+// connection: wait for the aggregator's codec announcement, verify the
+// codec is locally available (and equals require, when non-empty), and ack
+// by sending MsgJoin with the announced wire ID echoed. It returns the
+// negotiated codec name. Codec disagreements return descriptive permanent
+// errors; transport failures are wrapped in ErrSessionLost so resilient
+// clients know a retry is worthwhile.
+func Handshake(conn *link.Conn, clientID, require string) (string, error) {
+	msg, err := conn.RecvTimeout(handshakeTimeout)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return "", fmt.Errorf("fed: no codec announcement from aggregator within %v (pre-codec aggregator?)", handshakeTimeout)
+		}
+		return "", fmt.Errorf("fed: handshake: %w: %w", ErrSessionLost, err)
+	}
+	if msg.Type != link.MsgCodecAnnounce {
+		return "", fmt.Errorf("fed: handshake: aggregator sent message type %d before its codec announcement", msg.Type)
+	}
+	name := msg.ClientID
+	announcedID := uint8(msg.Meta[link.CodecIDKey])
+	if require != "" && require != name {
+		return "", fmt.Errorf("fed: codec mismatch: aggregator announced %q, client requires %q", name, require)
+	}
+	if _, err := link.NewCodec(name); err != nil {
+		return "", fmt.Errorf("fed: aggregator announced a codec this client cannot provide: %w", err)
+	}
+	if id := link.CodecWireID(name); id != announcedID {
+		return "", fmt.Errorf("fed: codec %q wire id disagreement: aggregator says %d, local registration says %d", name, announcedID, id)
+	}
+	join := &link.Message{
+		Type:     link.MsgJoin,
+		ClientID: clientID,
+		Meta:     map[string]float64{link.CodecIDKey: float64(announcedID)},
+	}
+	if err := conn.Send(join); err != nil {
+		return "", fmt.Errorf("fed: join: %w: %w", ErrSessionLost, err)
+	}
+	return name, nil
+}
+
+// Session is a client's long-lived attachment to an aggregator: the local
+// client, its training recipe, and the negotiated wire codec. The codec
+// instance — including any error-feedback state a lossy codec carries, such
+// as the topk residual — lives on the Session, so it survives connection
+// churn: a resilient client reuses one Session across reconnects and
+// dropped coordinates are still delivered in later rounds.
+type Session struct {
+	Client *Client
+	Spec   LocalSpec
+	// Codec, when non-empty, requires the aggregator to announce exactly
+	// this codec name; empty accepts whatever the aggregator announces
+	// (negotiation is server-driven).
+	Codec string
+
+	enc     link.Codec
+	encName string
+}
+
+// ServeConn runs one connection's worth of the session: handshake, then
+// answer MsgModel rounds with codec-encoded MsgUpdate replies until
+// MsgShutdown (or connection loss). Heartbeat pings are echoed immediately
+// — even while a round is training, thanks to the dedicated reader
+// goroutine — so a slow client is seen as alive-but-straggling rather than
+// dead. stepBase for the shared schedule is derived from the round number,
+// which also makes a rejoining client resume at the aggregator's current
+// round. Cancelling ctx closes the connection to unblock a pending receive
+// and returns ctx.Err(). onRound observers, if any, see one record per
+// completed round (client-side loss and measured wire bytes, no PPL).
+func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...func(metrics.Round)) error {
+	client, spec := s.Client, s.Spec
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -631,8 +826,19 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 		case <-watchDone:
 		}
 	}()
-	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: client.ID}); err != nil {
-		return fmt.Errorf("fed: join: %w: %w", ErrSessionLost, err)
+	name, err := Handshake(conn, client.ID, s.Codec)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if s.enc == nil || s.encName != name {
+		codec, err := link.NewCodec(name) // validated by Handshake
+		if err != nil {
+			return err
+		}
+		s.enc, s.encName = codec, name
 	}
 
 	// The reader answers heartbeats inline — even while a round is training
@@ -679,6 +885,7 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 		}
 	}()
 
+	prevStats := conn.Stats()
 	for {
 		var msg *link.Message
 		// A pending control message (shutdown) takes priority over a
@@ -702,20 +909,39 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 		case link.MsgShutdown:
 			return nil
 		case link.MsgModel:
+			// Size-check before decoding so a corrupt or hostile element
+			// count can never drive a model-sized allocation past the
+			// local replica's actual parameter count.
+			if want := client.NumParams(); want > 0 && msg.Payload.Elems != want {
+				return fmt.Errorf("fed: client %s round %d: model payload carries %d elems, want %d",
+					client.ID, msg.Round, msg.Payload.Elems, want)
+			}
+			decStart := time.Now()
+			global, err := link.DecodePayload(s.enc, msg.Payload)
+			decNs := time.Since(decStart).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("fed: client %s round %d model: %w", client.ID, msg.Round, err)
+			}
 			stepBase := (int(msg.Round) - 1) * spec.Steps
-			res, err := client.RunRound(ctx, msg.Payload, stepBase, spec)
+			res, err := client.RunRound(ctx, global, stepBase, spec)
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
 				return fmt.Errorf("fed: client %s round %d: %w", client.ID, msg.Round, err)
 			}
+			encStart := time.Now()
+			encUpd, err := link.EncodeVector(s.enc, res.Update)
+			encNs := time.Since(encStart).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("fed: client %s round %d update: %w", client.ID, msg.Round, err)
+			}
 			err = conn.Send(&link.Message{
 				Type:     link.MsgUpdate,
 				Round:    msg.Round,
 				ClientID: client.ID,
 				Meta:     res.Metrics,
-				Payload:  res.Update,
+				Payload:  encUpd,
 			})
 			if err != nil {
 				if ctx.Err() != nil {
@@ -723,13 +949,24 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 				}
 				return fmt.Errorf("fed: client %s send: %w: %w", client.ID, ErrSessionLost, err)
 			}
-			paramBytes := int64(len(msg.Payload)) * 4
+			cur := conn.Stats()
 			rec := metrics.Round{
 				Round:     int(msg.Round),
 				TrainLoss: res.Metrics["loss"],
 				Clients:   1,
-				CommBytes: 2 * paramBytes, // model down + update up
+				// Measured wire traffic since the previous record: this
+				// round's model down and update up, plus interleaved
+				// heartbeats (round 1 absorbs the handshake).
+				WireSentBytes: cur.SentBytes - prevStats.SentBytes,
+				WireRecvBytes: cur.RecvBytes - prevStats.RecvBytes,
+				CommBytes:     (cur.SentBytes - prevStats.SentBytes) + (cur.RecvBytes - prevStats.RecvBytes),
+				EncodeMs:      float64(encNs) / 1e6,
+				DecodeMs:      float64(decNs) / 1e6,
 			}
+			if dense := int64(msg.Payload.Elems+len(res.Update)) * 4; dense > 0 {
+				rec.CompressionRatio = float64(msg.Payload.WireBytes()+encUpd.WireBytes()) / float64(dense)
+			}
+			prevStats = cur
 			for _, fn := range onRound {
 				fn(rec)
 			}
@@ -737,4 +974,13 @@ func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec Loca
 			return fmt.Errorf("fed: client %s: unexpected message type %d", client.ID, msg.Type)
 		}
 	}
+}
+
+// ServeClient runs an LLM-C against a connected aggregator under a
+// single-connection Session that accepts whatever codec the aggregator
+// announces. See Session.ServeConn for the protocol; resilient clients
+// that must keep codec state across reconnects build a Session directly.
+func ServeClient(ctx context.Context, conn *link.Conn, client *Client, spec LocalSpec, onRound ...func(metrics.Round)) error {
+	s := &Session{Client: client, Spec: spec}
+	return s.ServeConn(ctx, conn, onRound...)
 }

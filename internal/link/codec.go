@@ -1,0 +1,634 @@
+package link
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// EncodedPayload is a wire codec's native representation of a parameter
+// vector: the codec that produced it, the logical element count of the
+// decoded vector, and the codec-native bytes that actually cross the wire.
+// The zero value is the canonical empty payload (control messages carry it).
+type EncodedPayload struct {
+	// CodecID identifies the producing codec on the wire (CodecDense,
+	// CodecFlate, ... or a registered custom codec's derived ID).
+	CodecID uint8
+	// Elems is the decoded vector's length.
+	Elems int
+	// Data is the codec-native byte representation.
+	Data []byte
+}
+
+// IsZero reports whether the payload is empty (no parameters carried).
+func (p EncodedPayload) IsZero() bool { return p.Elems == 0 && len(p.Data) == 0 }
+
+// WireBytes returns the number of payload bytes that cross the wire.
+func (p EncodedPayload) WireBytes() int { return len(p.Data) }
+
+// Floats decodes the payload with a fresh instance of the codec named by
+// its CodecID — the convenience path for consumers outside a negotiated
+// session (tools, tests). Session code should decode through its negotiated
+// codec instance (DecodePayload) so stateful custom codecs keep their state.
+//
+// Decoding allocates the declared Elems-sized vector, so a payload from an
+// untrusted peer must have its Elems checked against the expected vector
+// length first — a sparse frame of a few bytes may legitimately declare a
+// model-sized vector. The fed layer performs this check on every network
+// path before decoding.
+func (p EncodedPayload) Floats() ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	name := CodecNameByID(p.CodecID)
+	if name == "" {
+		return nil, fmt.Errorf("link: unknown codec id %d in payload", p.CodecID)
+	}
+	c, err := NewCodec(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(p)
+}
+
+// Codec converts between float32 parameter vectors and their wire-native
+// encoded form. Encode and Decode must round-trip the element count exactly;
+// lossy codecs (q8, topk) may perturb values. A codec instance may carry
+// per-session state (the topk codec accumulates an error-feedback residual
+// across Encode calls), so every connection/session uses its own instance.
+type Codec interface {
+	// Encode converts v to its wire representation. Implementations may
+	// leave CodecID zero; EncodeVector stamps the registered ID.
+	Encode(v []float32) (EncodedPayload, error)
+	// Decode reverses Encode. It must validate the payload's internal
+	// consistency and reject malformed data with an error rather than
+	// panicking; it allocates the Elems-sized output, so callers handling
+	// untrusted input validate Elems against the expected vector length
+	// before invoking it (the fed layer does on every network path).
+	// Decode must be stateless with respect to the instance and safe for
+	// concurrent use; per-session encode state (error-feedback residuals)
+	// is fine.
+	Decode(p EncodedPayload) ([]float32, error)
+	// Name identifies the codec family ("dense", "q8", ...).
+	Name() string
+}
+
+// Parameterized is implemented by codecs that accept a configuration
+// argument in their wire name ("topk:0.05", "q8:128"). NewCodec calls
+// Configure with the text after the colon.
+type Parameterized interface {
+	Configure(param string) error
+}
+
+// updateOnly is implemented by codecs that are only meaningful for sparse
+// or residual-corrected update vectors, never for full model broadcasts.
+type updateOnly interface {
+	UpdateOnly() bool
+}
+
+// IsUpdateOnly reports whether c refuses full-model broadcasts (topk: a
+// model with 90% of its weights dropped is not a model). Model frames for
+// such codecs fall back to the lossless flate codec — see ModelCodec.
+func IsUpdateOnly(c Codec) bool {
+	u, ok := c.(updateOnly)
+	return ok && u.UpdateOnly()
+}
+
+// ModelCodec returns the codec to use for full-model broadcasts under a
+// negotiated session codec: c itself, unless c is update-only, in which
+// case the lossless flate codec stands in.
+func ModelCodec(c Codec) Codec {
+	if IsUpdateOnly(c) {
+		return FlateCodec{}
+	}
+	return c
+}
+
+// Built-in codec wire IDs. ID 0 is reserved for the empty payload; custom
+// codecs registered via RegisterCodec get a stable name-derived ID in
+// [customIDBase, 255].
+const (
+	CodecDense uint8 = 1
+	CodecFlate uint8 = 2
+	CodecQ8    uint8 = 3
+	CodecTopK  uint8 = 4
+
+	customIDBase = 16
+)
+
+// ---- registry ----
+
+var (
+	codecMu        sync.RWMutex
+	codecFactories = map[string]func() Codec{}
+	codecIDByName  = map[string]uint8{}
+	codecNameByID  = map[uint8]string{}
+)
+
+func init() {
+	registerCodecWithID("dense", CodecDense, func() Codec { return DenseCodec{} })
+	registerCodecWithID("flate", CodecFlate, func() Codec { return FlateCodec{} })
+	registerCodecWithID("q8", CodecQ8, func() Codec { return &Q8Codec{} })
+	registerCodecWithID("topk", CodecTopK, func() Codec { return &TopKCodec{} })
+}
+
+func registerCodecWithID(name string, id uint8, factory func() Codec) {
+	codecFactories[name] = factory
+	codecIDByName[name] = id
+	codecNameByID[id] = name
+}
+
+// RegisterCodec makes a wire codec available under name (negotiated at join
+// time, selected via the Job API's WithCodec). The factory is invoked once
+// per connection/session so stateful codecs (error feedback) stay
+// per-client. The codec's wire ID is derived deterministically from the
+// name, so independently started aggregators and clients agree on it; a
+// hash collision with a previously registered codec panics with instructions
+// to rename. Registering an existing name replaces its factory (the wire ID
+// is kept). The built-ins "dense", "flate", "q8", and "topk" are
+// pre-registered on fixed IDs.
+func RegisterCodec(name string, factory func() Codec) {
+	if name == "" || factory == nil {
+		panic("link: RegisterCodec requires a name and a factory")
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, ok := codecIDByName[name]; ok {
+		codecFactories[name] = factory // re-registration keeps the wire ID
+		return
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	id := customIDBase + uint8(h.Sum32()%(256-customIDBase))
+	if holder, taken := codecNameByID[id]; taken {
+		panic(fmt.Sprintf("link: codec %q wire id %d collides with %q; rename one of them", name, id, holder))
+	}
+	registerCodecWithID(name, id, factory)
+}
+
+// Codecs lists the registered codec names, sorted.
+func Codecs() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	names := make([]string, 0, len(codecFactories))
+	for n := range codecFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// baseCodecName strips an optional ":param" suffix from a codec name.
+func baseCodecName(name string) (base, param string, hasParam bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return name, "", false
+}
+
+// NewCodec instantiates a fresh codec by name. Names may carry a
+// configuration parameter after a colon — "topk:0.05" keeps 5% of
+// coordinates, "q8:128" quantizes in blocks of 128 — when the codec
+// implements Parameterized.
+func NewCodec(name string) (Codec, error) {
+	base, param, hasParam := baseCodecName(name)
+	codecMu.RLock()
+	factory, ok := codecFactories[base]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("link: unknown codec %q (registered: %v)", name, Codecs())
+	}
+	c := factory()
+	if hasParam {
+		p, ok := c.(Parameterized)
+		if !ok {
+			return nil, fmt.Errorf("link: codec %q takes no parameter (got %q)", base, name)
+		}
+		if err := p.Configure(param); err != nil {
+			return nil, fmt.Errorf("link: codec %q: %w", name, err)
+		}
+	}
+	return c, nil
+}
+
+// CodecWireID resolves a (possibly parameterized) codec name to its wire ID,
+// or 0 when the name is unknown.
+func CodecWireID(name string) uint8 {
+	base, _, _ := baseCodecName(name)
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	return codecIDByName[base]
+}
+
+// CodecNameByID resolves a wire ID to its registered codec name, or "".
+func CodecNameByID(id uint8) string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	return codecNameByID[id]
+}
+
+// EncodeVector encodes v with c and stamps the codec's registered wire ID
+// when the codec left it unset. Every producer of Message.Payload goes
+// through here so frames always carry a resolvable codec ID.
+func EncodeVector(c Codec, v []float32) (EncodedPayload, error) {
+	p, err := c.Encode(v)
+	if err != nil {
+		return EncodedPayload{}, fmt.Errorf("link: codec %s encode: %w", c.Name(), err)
+	}
+	if p.CodecID == 0 && !p.IsZero() {
+		if p.CodecID = CodecWireID(c.Name()); p.CodecID == 0 {
+			return EncodedPayload{}, fmt.Errorf("link: codec %q is not registered; RegisterCodec it before use", c.Name())
+		}
+	}
+	return p, nil
+}
+
+// DecodePayload decodes a received payload inside a negotiated session:
+// frames produced by the session codec decode through the (possibly
+// stateful) session instance, the lossless built-ins dense and flate are
+// always accepted (model-broadcast fallback for update-only codecs, and
+// legacy pre-codec frames), and anything else is a codec mismatch — the
+// fail-fast half of the join-time negotiation, catching a peer that changed
+// codecs mid-stream.
+func DecodePayload(session Codec, p EncodedPayload) ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	if session != nil && p.CodecID == CodecWireID(session.Name()) {
+		return session.Decode(p)
+	}
+	switch p.CodecID {
+	case CodecDense:
+		return DenseCodec{}.Decode(p)
+	case CodecFlate:
+		return FlateCodec{}.Decode(p)
+	}
+	got := CodecNameByID(p.CodecID)
+	if got == "" {
+		got = fmt.Sprintf("id %d", p.CodecID)
+	}
+	want := "dense"
+	if session != nil {
+		want = session.Name()
+	}
+	return nil, fmt.Errorf("link: payload codec mismatch: frame carries %s, session negotiated %s", got, want)
+}
+
+// Dense wraps v in the dense codec's encoding. It never fails and is the
+// natural way to build payloads outside a negotiated session (tests,
+// hand-rolled protocol drivers).
+func Dense(v []float32) EncodedPayload {
+	p, _ := DenseCodec{}.Encode(v)
+	return p
+}
+
+// ---- dense ----
+
+// DenseCodec is the identity codec: 4 bytes per element, lossless.
+type DenseCodec struct{}
+
+// Name implements Codec.
+func (DenseCodec) Name() string { return "dense" }
+
+// Encode implements Codec.
+func (DenseCodec) Encode(v []float32) (EncodedPayload, error) {
+	if len(v) == 0 {
+		return EncodedPayload{}, nil
+	}
+	return EncodedPayload{CodecID: CodecDense, Elems: len(v), Data: payloadBytes(v)}, nil
+}
+
+// Decode implements Codec.
+func (DenseCodec) Decode(p EncodedPayload) ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	if len(p.Data) != p.Elems*4 {
+		return nil, fmt.Errorf("link: dense payload %d bytes for %d elems", len(p.Data), p.Elems)
+	}
+	return floatsFromBytes(p.Data), nil
+}
+
+// ---- flate ----
+
+// FlateCodec flate-compresses the dense representation, keeping whichever
+// form is smaller — incompressible payloads fall back to a dense encoding,
+// so the codec never grows the wire. Lossless.
+type FlateCodec struct{}
+
+// Name implements Codec.
+func (FlateCodec) Name() string { return "flate" }
+
+// Encode implements Codec.
+func (FlateCodec) Encode(v []float32) (EncodedPayload, error) {
+	if len(v) == 0 {
+		return EncodedPayload{}, nil
+	}
+	raw := payloadBytes(v)
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return EncodedPayload{}, fmt.Errorf("flate init: %w", err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return EncodedPayload{}, fmt.Errorf("flate write: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return EncodedPayload{}, fmt.Errorf("flate close: %w", err)
+	}
+	if buf.Len() >= len(raw) {
+		return EncodedPayload{CodecID: CodecDense, Elems: len(v), Data: raw}, nil
+	}
+	return EncodedPayload{CodecID: CodecFlate, Elems: len(v), Data: buf.Bytes()}, nil
+}
+
+// Decode implements Codec.
+func (FlateCodec) Decode(p EncodedPayload) ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	if p.CodecID == CodecDense {
+		return DenseCodec{}.Decode(p)
+	}
+	fr := flate.NewReader(bytes.NewReader(p.Data))
+	raw, err := io.ReadAll(io.LimitReader(fr, int64(p.Elems)*4+1))
+	if err != nil {
+		return nil, fmt.Errorf("link: flate payload: %w", err)
+	}
+	if len(raw) != p.Elems*4 {
+		return nil, fmt.Errorf("link: flate payload inflates to %d bytes for %d elems", len(raw), p.Elems)
+	}
+	return floatsFromBytes(raw), nil
+}
+
+// ---- q8 ----
+
+// Q8Codec transmits int8 block-quantized values: one signed byte per
+// element plus one float32 absmax scale per block — ~1.016 bytes/element at
+// the default block size of 256, a 3.9x wire reduction. Lossy: the
+// per-coordinate error is bounded by half a quantization step
+// (blockAbsMax/254). Safe for both update and full-model payloads.
+type Q8Codec struct {
+	BlockSize int // 0 → 256
+}
+
+// Name implements Codec.
+func (*Q8Codec) Name() string { return "q8" }
+
+// Configure implements Parameterized: "q8:<blockSize>".
+func (q *Q8Codec) Configure(param string) error {
+	bs, err := strconv.Atoi(param)
+	if err != nil || bs < 1 {
+		return fmt.Errorf("block size %q must be a positive integer", param)
+	}
+	q.BlockSize = bs
+	return nil
+}
+
+func (q *Q8Codec) blockSize() int {
+	if q.BlockSize <= 0 {
+		return 256
+	}
+	return q.BlockSize
+}
+
+// Encode implements Codec. Layout: u32 blockSize | nBlocks×f32 scales |
+// elems×int8 codes.
+func (q *Q8Codec) Encode(v []float32) (EncodedPayload, error) {
+	if len(v) == 0 {
+		return EncodedPayload{}, nil
+	}
+	bs := q.blockSize()
+	codes, scales, err := QuantizeInt8(v, bs)
+	if err != nil {
+		return EncodedPayload{}, err
+	}
+	data := make([]byte, 4+4*len(scales)+len(codes))
+	binary.LittleEndian.PutUint32(data, uint32(bs))
+	for i, s := range scales {
+		binary.LittleEndian.PutUint32(data[4+4*i:], math.Float32bits(s))
+	}
+	for i, c := range codes {
+		data[4+4*len(scales)+i] = byte(c)
+	}
+	return EncodedPayload{CodecID: CodecQ8, Elems: len(v), Data: data}, nil
+}
+
+// Decode implements Codec.
+func (q *Q8Codec) Decode(p EncodedPayload) ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	if len(p.Data) < 4 {
+		return nil, fmt.Errorf("link: q8 payload truncated (%d bytes)", len(p.Data))
+	}
+	bs := int(binary.LittleEndian.Uint32(p.Data))
+	if bs < 1 || bs > MaxPayloadElems {
+		return nil, fmt.Errorf("link: q8 block size %d out of range", bs)
+	}
+	nBlocks := (p.Elems + bs - 1) / bs
+	want := 4 + 4*nBlocks + p.Elems
+	if len(p.Data) != want {
+		return nil, fmt.Errorf("link: q8 payload %d bytes for %d elems at block %d (want %d)", len(p.Data), p.Elems, bs, want)
+	}
+	scales := make([]float32, nBlocks)
+	for i := range scales {
+		scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(p.Data[4+4*i:]))
+	}
+	codes := make([]int8, p.Elems)
+	for i := range codes {
+		codes[i] = int8(p.Data[4+4*nBlocks+i])
+	}
+	return DequantizeInt8(codes, scales, bs)
+}
+
+// ---- topk ----
+
+// TopKCodec transmits only the Keep-fraction of largest-magnitude
+// coordinates as (index, value) pairs — 8 bytes per kept element, so 10%
+// density costs ~0.8 bytes/element, a 5x wire reduction. Dropped
+// coordinates accumulate in a client-side error-feedback residual that is
+// added to the next Encode, so sparsification delays rather than discards
+// small updates. The residual lives in the codec instance: one instance per
+// client session, reused across reconnects. Update-only — model broadcasts
+// under a topk session use the flate fallback (see ModelCodec).
+type TopKCodec struct {
+	Keep float64 // fraction of coordinates kept; 0 → 0.1
+
+	residual []float32
+}
+
+// Name implements Codec.
+func (*TopKCodec) Name() string { return "topk" }
+
+// UpdateOnly marks the codec unusable for full-model broadcasts.
+func (*TopKCodec) UpdateOnly() bool { return true }
+
+// Configure implements Parameterized: "topk:<keepFraction>".
+func (t *TopKCodec) Configure(param string) error {
+	keep, err := strconv.ParseFloat(param, 64)
+	if err != nil || keep <= 0 || keep > 1 {
+		return fmt.Errorf("keep fraction %q must be in (0,1]", param)
+	}
+	t.Keep = keep
+	return nil
+}
+
+func (t *TopKCodec) keep() float64 {
+	if t.Keep == 0 {
+		return 0.1
+	}
+	return t.Keep
+}
+
+// Encode implements Codec. Layout: kept-count×(u32 index | f32 value).
+func (t *TopKCodec) Encode(v []float32) (EncodedPayload, error) {
+	keep := t.keep()
+	if keep <= 0 || keep > 1 {
+		return EncodedPayload{}, fmt.Errorf("keep fraction %v out of (0,1]", keep)
+	}
+	if len(v) == 0 {
+		return EncodedPayload{}, nil
+	}
+	if t.residual == nil {
+		t.residual = make([]float32, len(v))
+	}
+	if len(t.residual) != len(v) {
+		return EncodedPayload{}, fmt.Errorf("update size changed: %d vs residual %d", len(v), len(t.residual))
+	}
+	// Error feedback: compensate with what previous rounds dropped.
+	work := make([]float32, len(v))
+	for i := range v {
+		work[i] = v[i] + t.residual[i]
+	}
+	k := int(math.Ceil(keep * float64(len(work))))
+	if k > len(work) {
+		k = len(work)
+	}
+	mags := make([]float32, len(work))
+	for i, x := range work {
+		mags[i] = float32(math.Abs(float64(x)))
+	}
+	thresh := kthLargest(mags, k)
+	// Everything strictly above the threshold is always transmitted; only
+	// ties at exactly the threshold compete for the remaining slots, so
+	// density stays exact even for heavily quantized magnitude
+	// distributions without ever dropping a larger coordinate in favor of
+	// an earlier tie.
+	tieBudget := k
+	for _, m := range mags {
+		if m > thresh {
+			tieBudget--
+		}
+	}
+
+	data := make([]byte, 0, 8*k)
+	var idx [8]byte
+	for i, x := range work {
+		keepIt := mags[i] > thresh
+		if !keepIt && mags[i] == thresh && tieBudget > 0 {
+			keepIt = true
+			tieBudget--
+		}
+		if keepIt {
+			binary.LittleEndian.PutUint32(idx[0:], uint32(i))
+			binary.LittleEndian.PutUint32(idx[4:], math.Float32bits(x))
+			data = append(data, idx[:]...)
+			t.residual[i] = 0
+		} else {
+			t.residual[i] = x
+		}
+	}
+	return EncodedPayload{CodecID: CodecTopK, Elems: len(v), Data: data}, nil
+}
+
+// kthLargest returns the k-th largest element of v (1-based, k in
+// [1,len(v)]) by quickselect over a scratch copy — expected O(n), versus
+// the O(n log n) full sort that would otherwise dominate every topk encode.
+func kthLargest(v []float32, k int) float32 {
+	s := append([]float32(nil), v...)
+	target := k - 1 // index in descending order
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted and constant inputs.
+		mid := lo + (hi-lo)/2
+		p := medianOf3(s[lo], s[mid], s[hi])
+		i, j := lo, hi
+		for i <= j {
+			for s[i] > p {
+				i++
+			}
+			for s[j] < p {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return s[target]
+		}
+	}
+	return s[target]
+}
+
+func medianOf3(a, b, c float32) float32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// Decode implements Codec: scatter the pairs into a zero vector.
+func (t *TopKCodec) Decode(p EncodedPayload) ([]float32, error) {
+	if p.IsZero() {
+		return nil, nil
+	}
+	if len(p.Data)%8 != 0 {
+		return nil, fmt.Errorf("link: topk payload %d bytes is not a pair multiple", len(p.Data))
+	}
+	pairs := len(p.Data) / 8
+	if pairs > p.Elems {
+		return nil, fmt.Errorf("link: topk payload carries %d pairs for %d elems", pairs, p.Elems)
+	}
+	out := make([]float32, p.Elems)
+	for i := 0; i < pairs; i++ {
+		idx := binary.LittleEndian.Uint32(p.Data[8*i:])
+		if int(idx) >= p.Elems {
+			return nil, fmt.Errorf("link: topk index %d out of range [0,%d)", idx, p.Elems)
+		}
+		out[idx] = math.Float32frombits(binary.LittleEndian.Uint32(p.Data[8*i+4:]))
+	}
+	return out, nil
+}
+
+// floatsFromBytes converts little-endian float32 bytes back to a vector.
+func floatsFromBytes(raw []byte) []float32 {
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}

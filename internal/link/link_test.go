@@ -19,97 +19,112 @@ func sampleMessage() *Message {
 		Round:    42,
 		ClientID: "client-07",
 		Meta:     map[string]float64{"loss": 3.14, "steps": 512, "lr": 6e-4},
-		Payload:  []float32{1.5, -2.25, 0, 3.375, float32(math.Pi)},
+		Payload:  Dense([]float32{1.5, -2.25, 0, 3.375, float32(math.Pi)}),
 	}
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	for _, compress := range []bool{false, true} {
-		var buf bytes.Buffer
-		m := sampleMessage()
-		if err := Encode(&buf, m, compress); err != nil {
-			t.Fatal(err)
-		}
-		got, err := Decode(&buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(m, got) {
-			t.Fatalf("compress=%v: round trip mismatch:\n  sent %+v\n  got  %+v", compress, m, got)
-		}
-	}
-}
-
-func TestEncodeDecodeEmptyFields(t *testing.T) {
 	var buf bytes.Buffer
-	m := &Message{Type: MsgShutdown}
-	if err := Encode(&buf, m, true); err != nil {
+	m := sampleMessage()
+	if err := Encode(&buf, m); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Decode(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Type != MsgShutdown || got.ClientID != "" || got.Payload != nil || got.Meta != nil {
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n  sent %+v\n  got  %+v", m, got)
+	}
+	vec, err := got.Payload.Floats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 5 || vec[1] != -2.25 {
+		t.Fatalf("decoded payload %v", vec)
+	}
+}
+
+func TestEncodeDecodeEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Type: MsgShutdown}
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgShutdown || got.ClientID != "" || !got.Payload.IsZero() || got.Meta != nil {
 		t.Fatalf("empty message mangled: %+v", got)
 	}
 }
 
-func TestCompressionShrinksRedundantPayload(t *testing.T) {
+func TestFlateCodecShrinksRedundantPayload(t *testing.T) {
 	payload := make([]float32, 50000) // all zeros: maximally compressible
-	m := &Message{Type: MsgModel, Payload: payload}
-	var plain, comp bytes.Buffer
-	if err := Encode(&plain, m, false); err != nil {
-		t.Fatal(err)
-	}
-	if err := Encode(&comp, m, true); err != nil {
-		t.Fatal(err)
-	}
-	if comp.Len() >= plain.Len()/10 {
-		t.Fatalf("compression ineffective: %d vs %d bytes", comp.Len(), plain.Len())
-	}
-	got, err := Decode(&comp)
+	plain, err := EncodeVector(DenseCodec{}, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Payload) != len(payload) {
+	comp, err := EncodeVector(FlateCodec{}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.WireBytes() >= plain.WireBytes()/10 {
+		t.Fatalf("compression ineffective: %d vs %d bytes", comp.WireBytes(), plain.WireBytes())
+	}
+	got, err := FlateCodec{}.Decode(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
 		t.Fatal("compressed payload length mismatch after decode")
 	}
 }
 
-func TestIncompressiblePayloadSkipsFlate(t *testing.T) {
+func TestIncompressiblePayloadFallsBackToDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	payload := make([]float32, 10000)
 	for i := range payload {
 		payload[i] = float32(rng.NormFloat64())
 	}
-	m := &Message{Type: MsgModel, Payload: payload}
-	var plain, comp bytes.Buffer
-	if err := Encode(&plain, m, false); err != nil {
+	// Random float payloads barely compress; the flate codec must never
+	// grow the wire beyond the dense form.
+	comp, err := EncodeVector(FlateCodec{}, payload)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Encode(&comp, m, true); err != nil {
-		t.Fatal(err)
+	if comp.WireBytes() > 4*len(payload) {
+		t.Fatalf("flate codec grew the payload: %d vs %d", comp.WireBytes(), 4*len(payload))
 	}
-	// Random float payloads barely compress; the encoder must keep the raw
-	// form rather than growing the message.
-	if comp.Len() > plain.Len() {
-		t.Fatalf("compressed form larger than plain: %d vs %d", comp.Len(), plain.Len())
-	}
-	got, err := Decode(&comp)
+	got, err := FlateCodec{}.Decode(comp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range payload {
-		if got.Payload[i] != payload[i] {
+		if got[i] != payload[i] {
 			t.Fatal("payload corrupted")
 		}
+	}
+
+	// Fully random bit patterns are genuinely incompressible: the codec
+	// must fall back to the dense representation (and mark it as such).
+	noise := make([]float32, 10000)
+	for i := range noise {
+		noise[i] = math.Float32frombits(rng.Uint32())
+	}
+	comp, err = EncodeVector(FlateCodec{}, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.CodecID != CodecDense || comp.WireBytes() != 4*len(noise) {
+		t.Fatalf("incompressible payload not dense: codec %d, %d bytes", comp.CodecID, comp.WireBytes())
 	}
 }
 
 func TestDecodeRejectsCorruption(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Encode(&buf, sampleMessage(), false); err != nil {
+	if err := Encode(&buf, sampleMessage()); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
@@ -135,13 +150,13 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 func TestEncodeRejectsOversize(t *testing.T) {
 	long := make([]byte, maxIDLen+1)
 	m := &Message{Type: MsgJoin, ClientID: string(long)}
-	if err := Encode(&bytes.Buffer{}, m, false); err == nil {
+	if err := Encode(&bytes.Buffer{}, m); err == nil {
 		t.Fatal("oversized client id accepted")
 	}
 }
 
 func TestPipeTransport(t *testing.T) {
-	a, b := Pipe(true)
+	a, b := Pipe()
 	defer a.Close()
 	defer b.Close()
 	want := sampleMessage()
@@ -157,14 +172,21 @@ func TestPipeTransport(t *testing.T) {
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("pipe transport mangled message")
 	}
-	sent, _, elems := a.Stats()
-	if sent != 1 || elems != int64(len(want.Payload)) {
-		t.Fatalf("stats: sent=%d elems=%d", sent, elems)
+	st := a.Stats()
+	if st.SentMsgs != 1 || st.SentElems != int64(want.Payload.Elems) {
+		t.Fatalf("stats: sent=%d elems=%d", st.SentMsgs, st.SentElems)
+	}
+	if st.SentBytes <= int64(want.Payload.WireBytes()) {
+		t.Fatalf("sent bytes %d do not cover the frame", st.SentBytes)
+	}
+	rst := b.Stats()
+	if rst.RecvMsgs != 1 || rst.RecvElems != st.SentElems || rst.RecvBytes != st.SentBytes {
+		t.Fatalf("receive stats not symmetric with send: %+v vs %+v", rst, st)
 	}
 }
 
 func TestTCPTransport(t *testing.T) {
-	l, err := Listen("127.0.0.1:0", false)
+	l, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +202,7 @@ func TestTCPTransport(t *testing.T) {
 		m, _ := c.Recv()
 		done <- m
 	}()
-	c, err := Dial(l.Addr(), false)
+	c, err := Dial(l.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +222,7 @@ func TestTLSTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := ListenTLS("127.0.0.1:0", cert, true)
+	l, err := ListenTLS("127.0.0.1:0", cert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +242,7 @@ func TestTLSTransport(t *testing.T) {
 	if !pool.AppendCertsFromPEM(certPEM) {
 		t.Fatal("bad PEM")
 	}
-	c, err := DialTLS(l.Addr(), pool, true)
+	c, err := DialTLS(l.Addr(), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +285,7 @@ func tcpPair(t *testing.T) (*Conn, *Conn) {
 		t.Fatal(a.err)
 	}
 	t.Cleanup(func() { dialed.Close(); a.c.Close() })
-	return NewConn(dialed, false), NewConn(a.c, false)
+	return NewConn(dialed), NewConn(a.c)
 }
 
 // TestSetDeadlineMidRecvReturnsPromptly covers the elastic aggregator's
@@ -500,33 +522,47 @@ func TestSumMaskedErrors(t *testing.T) {
 	}
 }
 
-// Property: codec round trip is exact for arbitrary payloads.
-func TestCodecRoundTripProperty(t *testing.T) {
-	f := func(seed int64, compress bool) bool {
+// Property: frame round trip is exact for arbitrary payloads under both
+// lossless codecs.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64, useFlate bool) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(200)
+		vec := make([]float32, n)
+		for i := range vec {
+			vec[i] = float32(rng.NormFloat64())
+		}
+		var codec Codec = DenseCodec{}
+		if useFlate {
+			codec = FlateCodec{}
+		}
+		enc, err := EncodeVector(codec, vec)
+		if err != nil {
+			return false
+		}
 		m := &Message{
 			Type:     MsgType(1 + rng.Intn(6)),
 			Round:    int32(rng.Intn(10000)),
 			ClientID: "c",
-			Payload:  make([]float32, n),
-		}
-		for i := range m.Payload {
-			m.Payload[i] = float32(rng.NormFloat64())
+			Payload:  enc,
 		}
 		var buf bytes.Buffer
-		if err := Encode(&buf, m, compress); err != nil {
+		if err := Encode(&buf, m); err != nil {
 			return false
 		}
 		got, err := Decode(&buf)
 		if err != nil {
 			return false
 		}
-		if got.Type != m.Type || got.Round != m.Round || len(got.Payload) != n {
+		if got.Type != m.Type || got.Round != m.Round || got.Payload.Elems != n {
 			return false
 		}
-		for i := range m.Payload {
-			if got.Payload[i] != m.Payload[i] {
+		dec, err := got.Payload.Floats()
+		if err != nil {
+			return false
+		}
+		for i := range vec {
+			if dec[i] != vec[i] {
 				return false
 			}
 		}

@@ -12,6 +12,11 @@ import (
 // zero, which the flate layer then compresses away). Residuals are
 // accumulated locally and added to the next update (error feedback), so
 // sparsification delays rather than discards small coordinates.
+//
+// Deprecated: the TopKCodec wire codec ("topk") carries the same
+// error-feedback sparsification in a sparse index/value wire format that
+// actually shrinks transmission; the post-processor only simulates it on
+// dense floats. It remains for dense-pipeline experiments.
 type TopK struct {
 	Keep float64 // fraction of coordinates kept (0 < Keep ≤ 1)
 
@@ -142,6 +147,10 @@ func DequantizeInt8(codes []int8, scales []float32, blockSize int) ([]float32, e
 // trip, simulating the 4x-smaller lossy wire format while keeping the
 // aggregation pipeline in float32. The introduced error is bounded by half
 // a quantization step per coordinate.
+//
+// Deprecated: the Q8Codec wire codec ("q8") transmits the int8 codes and
+// block scales themselves, so the 4x reduction reaches the wire instead of
+// being simulated. It remains for dense-pipeline experiments.
 type Quantize8 struct {
 	BlockSize int // 0 → 256
 }

@@ -1,18 +1,21 @@
 // Package link is Photon's communication module: the gateway between the
 // aggregator (Agg) and LLM clients (LLM-C).
 //
-// It provides a compact binary wire codec with CRC-32 integrity checking and
-// optional lossless flate compression of parameter payloads (the paper's
-// default post-processing), stream transports over any net.Conn (in-process
-// pipes, TCP, and TLS with self-signed certificate generation for the
-// cross-silo setting), and the extensible post-processing pipeline of
-// Section 4 — gradient clipping, compression, differential-privacy noise,
-// and additive-mask secure aggregation.
+// It provides a compact binary wire format with CRC-32 integrity checking
+// whose parameter payloads are produced by pluggable wire codecs — dense
+// float32, lossless flate, int8 block quantization, and error-feedback
+// top-k sparsification ship built in, and RegisterCodec adds more — stream
+// transports over any net.Conn (in-process pipes, TCP, and TLS with
+// self-signed certificate generation for the cross-silo setting), and the
+// extensible post-processing pipeline of Section 4 — gradient clipping,
+// differential-privacy noise, and additive-mask secure aggregation. Frames
+// carry the producing codec's ID next to the codec-native bytes, so lossy
+// compression actually shrinks the wire instead of being simulated on dense
+// floats.
 package link
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,7 +30,9 @@ type MsgType uint8
 
 // Message types exchanged between Agg and LLM-C.
 const (
-	// MsgJoin announces a client to the aggregator.
+	// MsgJoin announces a client to the aggregator. Under codec
+	// negotiation it acks the aggregator's MsgCodecAnnounce by echoing the
+	// announced wire ID in Meta[CodecIDKey].
 	MsgJoin MsgType = iota + 1
 	// MsgRoundStart carries round information and training instructions.
 	MsgRoundStart
@@ -44,26 +49,43 @@ const (
 	// echoes the message back unchanged so the aggregator can record both
 	// liveness and round-trip time. Heartbeats never carry parameters.
 	MsgHeartbeat
+	// MsgCodecAnnounce opens codec negotiation: the aggregator sends it
+	// first on every fresh connection, carrying its configured codec name
+	// in ClientID (the frame's only string field) and the codec's wire ID
+	// in Meta[CodecIDKey]. The client verifies it can instantiate that
+	// codec and acks by echoing the ID in its MsgJoin; any mismatch fails
+	// the join fast with a clear error on the client side.
+	MsgCodecAnnounce
 )
 
 // HeartbeatSentKey is the Meta key carrying the ping's send time in
 // nanoseconds since the Unix epoch, echoed back by the receiver.
 const HeartbeatSentKey = "hb_sent_ns"
 
+// CodecIDKey is the Meta key carrying a codec wire ID during the join
+// handshake (MsgCodecAnnounce announces it, MsgJoin echoes it back).
+const CodecIDKey = "codec_id"
+
 // Message is the unit of communication. Payload carries model parameters or
-// pseudo-gradients; Meta carries scalar metadata (losses, step counts,
-// instructions) keyed by name.
+// pseudo-gradients in their codec-encoded wire form; Meta carries scalar
+// metadata (losses, step counts, instructions) keyed by name.
 type Message struct {
 	Type     MsgType
 	Round    int32
 	ClientID string
 	Meta     map[string]float64
-	Payload  []float32
+	Payload  EncodedPayload
 }
 
 const (
-	magic       = 0x50484F54 // "PHOT"
-	flagFlate   = 1 << 0
+	magic = 0x50484F54 // "PHOT"
+	// flagFlate marks a legacy (pre-codec) frame whose payload bytes are
+	// flate-compressed dense floats. Decode-only: current frames always
+	// set flagCodec instead.
+	flagFlate = 1 << 0
+	// flagCodec marks the current payload section: codec ID + element
+	// count + codec-native bytes.
+	flagCodec   = 1 << 1
 	maxIDLen    = 1 << 10
 	maxMetaKeys = 1 << 12
 	// MaxPayloadElems bounds a single message's parameter payload (1B
@@ -71,43 +93,26 @@ const (
 	MaxPayloadElems = 1 << 30
 )
 
-// Encode serializes the message to the wire format. When compress is true
-// the payload bytes are flate-compressed; the smaller encoding wins, so
-// incompressible payloads carry no overhead beyond the flag byte.
-func Encode(w io.Writer, m *Message, compress bool) error {
+// Encode serializes the message to the wire format. The payload is written
+// verbatim in its codec-encoded form; producers choose the codec via
+// EncodeVector before building the message.
+func Encode(w io.Writer, m *Message) error {
 	if len(m.ClientID) > maxIDLen {
 		return fmt.Errorf("link: client id too long (%d bytes)", len(m.ClientID))
 	}
 	if len(m.Meta) > maxMetaKeys {
 		return fmt.Errorf("link: too many meta keys (%d)", len(m.Meta))
 	}
-	if len(m.Payload) > MaxPayloadElems {
-		return fmt.Errorf("link: payload too large (%d elems)", len(m.Payload))
+	if m.Payload.Elems > MaxPayloadElems {
+		return fmt.Errorf("link: payload too large (%d elems)", m.Payload.Elems)
 	}
-
-	payload := payloadBytes(m.Payload)
-	flags := byte(0)
-	if compress && len(payload) > 0 {
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-		if err != nil {
-			return fmt.Errorf("link: flate init: %w", err)
-		}
-		if _, err := fw.Write(payload); err != nil {
-			return fmt.Errorf("link: flate write: %w", err)
-		}
-		if err := fw.Close(); err != nil {
-			return fmt.Errorf("link: flate close: %w", err)
-		}
-		if buf.Len() < len(payload) {
-			payload = buf.Bytes()
-			flags |= flagFlate
-		}
+	if len(m.Payload.Data) > math.MaxUint32 {
+		return fmt.Errorf("link: payload too large (%d bytes)", len(m.Payload.Data))
 	}
 
 	var body bytes.Buffer
 	body.WriteByte(byte(m.Type))
-	body.WriteByte(flags)
+	body.WriteByte(flagCodec)
 	writeU32(&body, uint32(m.Round))
 	writeU32(&body, uint32(len(m.ClientID)))
 	body.WriteString(m.ClientID)
@@ -117,9 +122,10 @@ func Encode(w io.Writer, m *Message, compress bool) error {
 		body.WriteString(k)
 		writeU64(&body, math.Float64bits(m.Meta[k]))
 	}
-	writeU32(&body, uint32(len(m.Payload))) // element count (pre-compression)
-	writeU32(&body, uint32(len(payload)))   // byte count (post-compression)
-	body.Write(payload)
+	body.WriteByte(m.Payload.CodecID)
+	writeU32(&body, uint32(m.Payload.Elems))
+	writeU32(&body, uint32(len(m.Payload.Data)))
+	body.Write(m.Payload.Data)
 
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
@@ -137,7 +143,10 @@ func Encode(w io.Writer, m *Message, compress bool) error {
 // ErrBadFrame reports a corrupted or foreign frame on the wire.
 var ErrBadFrame = errors.New("link: bad frame")
 
-// Decode reads one message from the wire.
+// Decode reads one message from the wire. Both current (codec-tagged) and
+// legacy (dense/flate) payload sections are accepted; legacy payloads map
+// onto the dense and flate codec IDs, so one release of old peers and old
+// checkpoint streams stays readable.
 func Decode(r io.Reader) (*Message, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -148,7 +157,7 @@ func Decode(r io.Reader) (*Message, error) {
 	}
 	bodyLen := binary.LittleEndian.Uint32(hdr[4:])
 	wantCRC := binary.LittleEndian.Uint32(hdr[8:])
-	const maxBody = uint64(16 + maxIDLen + 24*maxMetaKeys + 4*MaxPayloadElems)
+	const maxBody = uint64(21 + maxIDLen + 24*maxMetaKeys + 8*MaxPayloadElems)
 	if uint64(bodyLen) > maxBody {
 		return nil, fmt.Errorf("%w: body length %d", ErrBadFrame, bodyLen)
 	}
@@ -216,6 +225,15 @@ func Decode(r io.Reader) (*Message, error) {
 		}
 		m.Meta[string(k)] = math.Float64frombits(v)
 	}
+
+	codecID := uint8(0)
+	if flags&flagCodec != 0 {
+		cid, err := b.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated codec id", ErrBadFrame)
+		}
+		codecID = cid
+	}
 	nElems, err := readU32(b)
 	if err != nil {
 		return nil, err
@@ -227,26 +245,30 @@ func Decode(r io.Reader) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bound the allocation by the bytes actually present in the frame — a
+	// corrupted length prefix must not allocate gigabytes before ReadFull
+	// can fail.
+	if int64(nBytes) > int64(b.Len()) {
+		return nil, fmt.Errorf("%w: payload length %d exceeds frame", ErrBadFrame, nBytes)
+	}
 	raw := make([]byte, nBytes)
 	if _, err := io.ReadFull(b, raw); err != nil {
 		return nil, fmt.Errorf("%w: truncated payload", ErrBadFrame)
 	}
-	if flags&flagFlate != 0 {
-		fr := flate.NewReader(bytes.NewReader(raw))
-		raw, err = io.ReadAll(io.LimitReader(fr, int64(nElems)*4+1))
-		if err != nil {
-			return nil, fmt.Errorf("%w: flate: %v", ErrBadFrame, err)
+	if nElems == 0 && nBytes == 0 {
+		return m, nil // canonical empty payload
+	}
+	if flags&flagCodec == 0 {
+		// Legacy pre-codec frame: raw dense floats, optionally
+		// flate-compressed. Map onto the matching built-in codec.
+		codecID = CodecDense
+		if flags&flagFlate != 0 {
+			codecID = CodecFlate
+		} else if uint32(len(raw)) != nElems*4 {
+			return nil, fmt.Errorf("%w: payload size %d for %d elems", ErrBadFrame, len(raw), nElems)
 		}
 	}
-	if uint32(len(raw)) != nElems*4 {
-		return nil, fmt.Errorf("%w: payload size %d for %d elems", ErrBadFrame, len(raw), nElems)
-	}
-	if nElems > 0 {
-		m.Payload = make([]float32, nElems)
-		for i := range m.Payload {
-			m.Payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
-		}
-	}
+	m.Payload = EncodedPayload{CodecID: codecID, Elems: int(nElems), Data: raw}
 	return m, nil
 }
 

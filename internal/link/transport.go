@@ -11,38 +11,101 @@ import (
 	"crypto/x509/pkix"
 	"encoding/pem"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// ConnStats is a connection's cumulative wire accounting, symmetric in both
+// directions: message counts, logical payload elements, and real frame
+// bytes (headers included) as they crossed the wire.
+type ConnStats struct {
+	SentMsgs  int
+	RecvMsgs  int
+	SentElems int64
+	RecvElems int64
+	SentBytes int64
+	RecvBytes int64
+}
+
+// Meter accumulates wire-byte totals across a set of connections — the
+// aggregator attaches one to every member connection so per-round
+// communication cost is grounded in measured bytes rather than
+// element-count estimates.
+type Meter struct {
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
+}
+
+// Totals returns the bytes sent and received across all attached
+// connections so far.
+func (m *Meter) Totals() (sent, recv int64) {
+	return m.sentBytes.Load(), m.recvBytes.Load()
+}
+
+// countingWriter counts bytes as Encode emits them, before buffering.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes as Decode consumes them, after buffering, so
+// the count reflects exactly the frames delivered (not read-ahead).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // Conn is a message-oriented connection between Agg and LLM-C. It is safe
-// for one concurrent sender and one concurrent receiver.
+// for one concurrent sender and one concurrent receiver. Payloads travel in
+// their codec-encoded form; the negotiated codec is session state owned by
+// the fed layer, not the transport.
 type Conn struct {
-	raw      net.Conn
-	r        *bufio.Reader
-	w        *bufio.Writer
-	compress bool
+	raw net.Conn
+	bw  *bufio.Writer
+	cw  *countingWriter
+	cr  *countingReader
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 
-	statMu    sync.Mutex
-	sentMsgs  int
-	recvMsgs  int
-	sentElems int64
+	statMu sync.Mutex
+	stats  ConnStats
+	meter  *Meter
 }
 
-// NewConn wraps a net.Conn in the Photon wire protocol. When compress is
-// true, parameter payloads are flate-compressed on send.
-func NewConn(raw net.Conn, compress bool) *Conn {
+// NewConn wraps a net.Conn in the Photon wire protocol.
+func NewConn(raw net.Conn) *Conn {
+	bw := bufio.NewWriterSize(raw, 1<<16)
 	return &Conn{
-		raw:      raw,
-		r:        bufio.NewReaderSize(raw, 1<<16),
-		w:        bufio.NewWriterSize(raw, 1<<16),
-		compress: compress,
+		raw: raw,
+		bw:  bw,
+		cw:  &countingWriter{w: bw},
+		cr:  &countingReader{r: bufio.NewReaderSize(raw, 1<<16)},
 	}
+}
+
+// SetMeter attaches a shared byte meter; subsequent sends and receives add
+// their frame bytes to it. Attach before concurrent use.
+func (c *Conn) SetMeter(m *Meter) {
+	c.statMu.Lock()
+	c.meter = m
+	c.statMu.Unlock()
 }
 
 // Send encodes and flushes one message.
@@ -53,16 +116,23 @@ func (c *Conn) Send(m *Message) error {
 }
 
 func (c *Conn) sendLocked(m *Message) error {
-	if err := Encode(c.w, m, c.compress); err != nil {
+	before := c.cw.n
+	if err := Encode(c.cw, m); err != nil {
 		return err
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("link: flush: %w", err)
 	}
+	frameBytes := c.cw.n - before
 	c.statMu.Lock()
-	c.sentMsgs++
-	c.sentElems += int64(len(m.Payload))
+	c.stats.SentMsgs++
+	c.stats.SentElems += int64(m.Payload.Elems)
+	c.stats.SentBytes += frameBytes
+	meter := c.meter
 	c.statMu.Unlock()
+	if meter != nil {
+		meter.sentBytes.Add(frameBytes)
+	}
 	return nil
 }
 
@@ -74,13 +144,21 @@ func (c *Conn) Recv() (*Message, error) {
 }
 
 func (c *Conn) recvLocked() (*Message, error) {
-	m, err := Decode(c.r)
+	before := c.cr.n
+	m, err := Decode(c.cr)
 	if err != nil {
 		return nil, err
 	}
+	frameBytes := c.cr.n - before
 	c.statMu.Lock()
-	c.recvMsgs++
+	c.stats.RecvMsgs++
+	c.stats.RecvElems += int64(m.Payload.Elems)
+	c.stats.RecvBytes += frameBytes
+	meter := c.meter
 	c.statMu.Unlock()
+	if meter != nil {
+		meter.recvBytes.Add(frameBytes)
+	}
 	return m, nil
 }
 
@@ -127,42 +205,41 @@ func (c *Conn) RecvTimeout(d time.Duration) (*Message, error) {
 	return c.recvLocked()
 }
 
-// Stats returns (messages sent, messages received, payload elements sent).
-func (c *Conn) Stats() (sent, recvd int, elems int64) {
+// Stats returns the connection's cumulative wire accounting.
+func (c *Conn) Stats() ConnStats {
 	c.statMu.Lock()
 	defer c.statMu.Unlock()
-	return c.sentMsgs, c.recvMsgs, c.sentElems
+	return c.stats
 }
 
 // Pipe returns a connected in-process Conn pair running the full wire
 // protocol over net.Pipe, used by the single-process simulator and tests.
-func Pipe(compress bool) (*Conn, *Conn) {
+func Pipe() (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return NewConn(a, compress), NewConn(b, compress)
+	return NewConn(a), NewConn(b)
 }
 
 // Listener accepts Photon connections over TCP or TLS.
 type Listener struct {
-	l        net.Listener
-	compress bool
+	l net.Listener
 }
 
 // Listen starts a plain-TCP listener on addr ("host:port", empty host OK).
-func Listen(addr string, compress bool) (*Listener, error) {
+func Listen(addr string) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("link: listen: %w", err)
 	}
-	return &Listener{l: l, compress: compress}, nil
+	return &Listener{l: l}, nil
 }
 
 // ListenTLS starts a TLS listener with the given certificate.
-func ListenTLS(addr string, cert tls.Certificate, compress bool) (*Listener, error) {
+func ListenTLS(addr string, cert tls.Certificate) (*Listener, error) {
 	l, err := tls.Listen("tcp", addr, &tls.Config{Certificates: []tls.Certificate{cert}})
 	if err != nil {
 		return nil, fmt.Errorf("link: tls listen: %w", err)
 	}
-	return &Listener{l: l, compress: compress}, nil
+	return &Listener{l: l}, nil
 }
 
 // Accept blocks for the next inbound connection.
@@ -171,7 +248,7 @@ func (l *Listener) Accept() (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(c, l.compress), nil
+	return NewConn(c), nil
 }
 
 // AcceptContext blocks for the next inbound connection or until ctx is
@@ -210,32 +287,32 @@ func (l *Listener) Addr() string { return l.l.Addr().String() }
 func (l *Listener) Close() error { return l.l.Close() }
 
 // Dial connects to a plain-TCP aggregator.
-func Dial(addr string, compress bool) (*Conn, error) {
-	return DialContext(context.Background(), addr, compress)
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
 }
 
 // DialContext connects to a plain-TCP aggregator, honoring ctx cancellation
 // and deadline during connection establishment (a 10s fallback timeout
 // applies when ctx carries no deadline).
-func DialContext(ctx context.Context, addr string, compress bool) (*Conn, error) {
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
 	d := net.Dialer{Timeout: 10 * time.Second}
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("link: dial: %w", err)
 	}
-	return NewConn(c, compress), nil
+	return NewConn(c), nil
 }
 
 // DialTLS connects over TLS. rootCAs nil skips verification (self-signed
 // development certificates); production deployments pass a pinned pool.
-func DialTLS(addr string, rootCAs *x509.CertPool, compress bool) (*Conn, error) {
-	return DialTLSContext(context.Background(), addr, rootCAs, compress)
+func DialTLS(addr string, rootCAs *x509.CertPool) (*Conn, error) {
+	return DialTLSContext(context.Background(), addr, rootCAs)
 }
 
 // DialTLSContext connects over TLS honoring ctx during dial and handshake.
 // rootCAs nil skips verification (self-signed development certificates);
 // production deployments pass a pinned pool.
-func DialTLSContext(ctx context.Context, addr string, rootCAs *x509.CertPool, compress bool) (*Conn, error) {
+func DialTLSContext(ctx context.Context, addr string, rootCAs *x509.CertPool) (*Conn, error) {
 	cfg := &tls.Config{RootCAs: rootCAs}
 	if rootCAs == nil {
 		cfg.InsecureSkipVerify = true
@@ -245,7 +322,7 @@ func DialTLSContext(ctx context.Context, addr string, rootCAs *x509.CertPool, co
 	if err != nil {
 		return nil, fmt.Errorf("link: tls dial: %w", err)
 	}
-	return NewConn(c, compress), nil
+	return NewConn(c), nil
 }
 
 // SelfSignedCert generates an ephemeral ECDSA P-256 certificate for the

@@ -21,6 +21,16 @@ type Round struct {
 	Clients    int     // participating clients
 	CommBytes  int64   // model/update bytes exchanged this round (down + up)
 
+	// Wire-codec accounting. For the networked backends the byte counts
+	// are measured on the wire (frame headers and heartbeats included);
+	// the in-process simulator counts encoded payload bytes. Zero when the
+	// backend predates codec accounting.
+	WireSentBytes    int64   // bytes sent during the round's window
+	WireRecvBytes    int64   // bytes received during the round's window
+	CompressionRatio float64 // encoded payload bytes / dense float32 bytes (1 = dense, 0 = unknown)
+	EncodeMs         float64 // payload encode wall time this round, milliseconds
+	DecodeMs         float64 // payload decode wall time this round, milliseconds
+
 	// Elastic-membership churn attributed to this round (networked
 	// aggregator only; zero for the in-process backends). Churn is
 	// windowed between recorded rounds, so the initial cohort's joins

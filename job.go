@@ -99,6 +99,9 @@ func newResult(model *nn.Model, hist *metrics.History) *Result {
 			out.Stats = append(out.Stats, RoundStat{
 				Round: r.Round, TrainLoss: r.TrainLoss, Perplexity: r.ValPPL,
 				Clients: r.Clients, CommBytes: r.CommBytes,
+				WireSentBytes: r.WireSentBytes, WireRecvBytes: r.WireRecvBytes,
+				CompressionRatio: r.CompressionRatio,
+				EncodeMs:         r.EncodeMs, DecodeMs: r.DecodeMs,
 				Joins: r.Joins, Evictions: r.Evictions, Stragglers: r.Stragglers,
 				HeartbeatRTTMs: r.HeartbeatRTTMs,
 			})
@@ -182,6 +185,7 @@ func (j *Job) runFederated(ctx context.Context) (*Result, error) {
 		Validation:     data.NewValidationSet(valSrc, 16, cfg.SeqLen, 987654),
 		EvalEvery:      c.evalEvery,
 		Post:           post,
+		Codec:          c.codec,
 		DropoutProb:    c.dropoutProb,
 		CheckpointPath: c.checkpointPath,
 		InitParams:     initParams,
@@ -245,7 +249,7 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := link.Listen(c.addr, c.compress)
+	l, err := link.Listen(c.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +266,7 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 		HeartbeatInterval: c.heartbeat,
 		RoundDeadline:     c.roundDeadline,
 		OverProvision:     c.overProvision,
+		Codec:             c.codec,
 		Outer:             outer,
 		Validation:        data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
 		EvalEvery:         c.evalEvery,
@@ -295,8 +300,15 @@ func (j *Job) runClient(ctx context.Context) (*Result, error) {
 	// and then survives aggregator connection churn: a dropped connection
 	// is redialed with exponential backoff and the client rejoins under
 	// its ID, resuming at the aggregator's current round.
+	// Codec negotiation is server-driven: an explicit WithCodec on the
+	// client is a strict requirement against the aggregator's
+	// announcement, while the default accepts whatever is announced.
+	requireCodec := ""
+	if c.codecSet {
+		requireCodec = c.codec
+	}
 	err = fed.RunResilientClient(ctx, func(ctx context.Context) (*link.Conn, error) {
-		return link.DialContext(ctx, c.addr, c.compress)
+		return link.DialContext(ctx, c.addr)
 	}, client, fed.LocalSpec{
 		Steps:     c.localSteps,
 		BatchSize: c.batchSize,
@@ -306,6 +318,7 @@ func (j *Job) runClient(ctx context.Context) (*Result, error) {
 	}, fed.ReconnectConfig{
 		MaxAttempts:    c.reconnect,
 		CheckpointPath: c.checkpointPath,
+		Codec:          requireCodec,
 	}, func(r metrics.Round) {
 		hist.Append(r)
 		j.emit(r)

@@ -53,6 +53,8 @@ type jobConfig struct {
 	expectClients int
 	clientID      string
 	shard         int
+	codec         string
+	codecSet      bool
 	compress      bool
 
 	heartbeat     time.Duration
@@ -155,8 +157,25 @@ func WithClientID(id string) JobOption { return func(c *jobConfig) { c.clientID 
 // WithShard sets which of the 64 corpus shards the client backend holds.
 func WithShard(shard int) JobOption { return func(c *jobConfig) { c.shard = shard } }
 
+// WithCodec selects the wire codec parameter payloads travel in: "dense"
+// (raw float32, the default), "flate" (lossless compression), "q8" (int8
+// block quantization, ~4x smaller, lossy), "topk" (error-feedback sparse
+// top-k, update-only; "topk:0.05" keeps 5%), or any codec added via
+// RegisterCodec. The federated backend routes all exchanged payloads
+// through the codec; the aggregator backend announces it at join time and
+// clients ack, so mixed fleets fail fast. On the client backend a set
+// codec is a requirement check against the aggregator's announcement —
+// leave it unset to accept whatever the aggregator runs.
+func WithCodec(name string) JobOption {
+	return func(c *jobConfig) { c.codec = name; c.codecSet = true }
+}
+
 // WithCompression flate-compresses parameter payloads on the wire
 // (networked backends).
+//
+// Deprecated: use WithCodec("flate"); WithCompression(true) is now exactly
+// that, and WithCodec also unlocks the lossy q8/topk codecs. An explicit
+// WithCodec wins when both are given.
 func WithCompression(on bool) JobOption { return func(c *jobConfig) { c.compress = on } }
 
 // WithHeartbeat enables heartbeat liveness tracking on the aggregator
@@ -223,6 +242,15 @@ func (c *jobConfig) fill() {
 	}
 	if c.localSteps == 0 {
 		c.localSteps = 16
+	}
+	if c.codec == "" {
+		// Honor the deprecated WithCompression flag: it was the only way
+		// to shrink the wire before codecs existed.
+		if c.compress {
+			c.codec = "flate"
+		} else {
+			c.codec = "dense"
+		}
 	}
 	switch c.backend {
 	case BackendCentralized:

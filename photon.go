@@ -15,8 +15,12 @@
 //     BackendAggregator/BackendClient (real networked federation over the
 //     Photon wire protocol, as used by the photon-agg and photon-client
 //     commands).
-//   - RegisterServerOptimizer and RegisterDataSource plug new aggregation
-//     rules and corpora into every backend without touching core.
+//   - RegisterServerOptimizer, RegisterDataSource, and RegisterCodec plug
+//     new aggregation rules, corpora, and wire codecs into every backend
+//     without touching core. WithCodec selects how parameter payloads
+//     travel: dense, lossless flate, int8 block quantization (q8), or
+//     error-feedback top-k sparsification (topk) — lossy codecs shrink
+//     the measured wire, not just a simulation.
 //   - PlanDeployment evaluates the Appendix B.1 wall-time model over a
 //     bandwidth topology, choosing the cheapest admissible aggregation
 //     topology for a deployment.
@@ -160,6 +164,14 @@ type RoundStat struct {
 	Perplexity float64 // 0 when the round was not evaluated
 	Clients    int
 	CommBytes  int64 // model/update bytes exchanged during the round
+
+	// Wire-codec accounting: measured bytes by direction, the encoded-vs-
+	// dense payload ratio (1 = dense, ~0.25 = q8), and codec wall times.
+	WireSentBytes    int64
+	WireRecvBytes    int64
+	CompressionRatio float64
+	EncodeMs         float64
+	DecodeMs         float64
 
 	// Elastic-membership churn attributed to the round (networked
 	// aggregator backend only): joins/rejoins (round 1 includes the

@@ -8,6 +8,7 @@ import (
 
 	"photon/internal/data"
 	"photon/internal/fed"
+	"photon/internal/link"
 )
 
 // OuterOptimizer is the server-side (outer) optimizer contract: it consumes
@@ -32,6 +33,19 @@ type Source interface {
 	// using rng for all randomness.
 	Sample(rng *rand.Rand, out []int)
 }
+
+// Codec is the wire-codec contract behind RegisterCodec: Encode turns a
+// float32 parameter vector into its codec-native wire form (EncodedPayload)
+// and Decode reverses it. Encode may keep per-session state (error
+// feedback); Decode must be stateless and safe for concurrent use. One
+// instance is created per connection/session, so state never leaks across
+// clients.
+type Codec = link.Codec
+
+// EncodedPayload is a codec's wire-native representation of a parameter
+// vector: codec ID, decoded element count, and the bytes that cross the
+// wire.
+type EncodedPayload = link.EncodedPayload
 
 var (
 	registryMu       sync.RWMutex
@@ -68,6 +82,22 @@ func RegisterDataSource(name string, factory func(vocab int) []Source) {
 	defer registryMu.Unlock()
 	dataSources[name] = factory
 }
+
+// RegisterCodec makes a wire codec available to jobs under name (selected
+// via WithCodec and negotiated at join time on the networked backends).
+// The factory is invoked once per connection/session so stateful codecs
+// (error-feedback residuals) stay per-client. The codec's wire ID is
+// derived deterministically from the name — register the same codecs on
+// every process of a fleet. Registering an existing name replaces it; the
+// built-ins "dense", "flate", "q8", and "topk" are pre-registered, and
+// parameterized variants ("topk:0.05", "q8:128") resolve through their
+// base name.
+func RegisterCodec(name string, factory func() Codec) {
+	link.RegisterCodec(name, factory)
+}
+
+// Codecs lists the registered wire codec names, sorted.
+func Codecs() []string { return link.Codecs() }
 
 // ServerOptimizers lists the registered server optimizer names, sorted.
 func ServerOptimizers() []string {
