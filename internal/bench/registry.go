@@ -40,6 +40,7 @@ func Registry() []Experiment {
 		{"ablation-codec-convergence", "Ablation: convergence under lossy wire codecs", AblationCodecConvergence},
 		{"ablation-subfed", "Ablation: sub-federation", AblationSubFed},
 		{"ablation-ddp", "Ablation: DDP vs large-batch equivalence", AblationDDPBaseline},
+		{"train-throughput", "Local-compute training throughput (tokens/s, allocs/step)", TrainThroughput},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -111,6 +111,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	hist := &metrics.History{}
 	simTime := 0.0
+	// Per-step scratch is hoisted out of the loop and every model owns a
+	// scratch workspace, so the steady-state step loop below performs no
+	// heap allocations: with many in-process workers the GC would otherwise
+	// dominate the simulation.
 	losses := make([]float64, cfg.Workers)
 	grads := make([][]float32, cfg.Workers)
 

@@ -63,6 +63,14 @@ type Client struct {
 	// parallelism across the silo's well-connected GPUs (lines 16–18);
 	// built via NewDDPClient or BuildClient.
 	ddp *ddpGroup
+
+	// Round scratch, reused across rounds so long-running simulations with
+	// many clients do not reallocate two model-size vectors per client per
+	// round. The returned RoundResult.Update aliases updateBuf: it is valid
+	// until this client's next RunRound, which is exactly the aggregation
+	// window (updates are folded into the round delta before the next round
+	// starts).
+	localBuf, updateBuf []float32
 }
 
 // NewClient builds an LLM-C with its own model replica (weights are
@@ -139,10 +147,13 @@ func (c *Client) RunRound(ctx context.Context, global []float32, stepBase int, s
 		c.Optimizer.Step(c.Model.Params(), lastLR)
 	}
 
-	local := c.Model.Params().Flatten(nil)
-	update := make([]float32, len(global))
+	c.localBuf = c.Model.Params().Flatten(c.localBuf)
+	if len(c.updateBuf) != len(global) {
+		c.updateBuf = make([]float32, len(global))
+	}
+	update := c.updateBuf
 	copy(update, global)
-	tensor.Sub(update, local) // θt − θt_k
+	tensor.Sub(update, c.localBuf) // θt − θt_k
 	return RoundResult{
 		Update: update,
 		Metrics: map[string]float64{

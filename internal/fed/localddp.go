@@ -24,6 +24,10 @@ type ddpGroup struct {
 	replicas []*nn.Model
 	streams  []data.Stream
 	opts     []opt.Optimizer
+
+	// Step/round scratch reused across rounds (see Client.localBuf).
+	grads               [][]float32
+	localBuf, updateBuf []float32
 }
 
 // NewDDPClient builds an LLM-C whose local pipeline is synchronous data
@@ -56,7 +60,10 @@ func (c *Client) runDDP(ctx context.Context, global []float32, stepBase int, spe
 		}
 	}
 
-	grads := make([][]float32, n)
+	if len(g.grads) != n {
+		g.grads = make([][]float32, n)
+	}
+	grads := g.grads
 	losses := make([]float64, n)
 	var lossSum float64
 	lastLR := 0.0
@@ -92,10 +99,13 @@ func (c *Client) runDDP(ctx context.Context, global []float32, stepBase int, spe
 		}
 	}
 
-	local := g.replicas[0].Params().Flatten(nil)
-	update := make([]float32, len(global))
+	g.localBuf = g.replicas[0].Params().Flatten(g.localBuf)
+	if len(g.updateBuf) != len(global) {
+		g.updateBuf = make([]float32, len(global))
+	}
+	update := g.updateBuf
 	copy(update, global)
-	tensor.Sub(update, local)
+	tensor.Sub(update, g.localBuf)
 	return RoundResult{
 		Update: update,
 		Metrics: map[string]float64{

@@ -10,17 +10,24 @@ import (
 // Attention implements multi-head causal self-attention with ALiBi
 // positional biases (the MPT positional scheme): score(i,j) gets an additive
 // bias slope_h·(j−i) for j ≤ i, and −∞ for j > i.
+//
+// The hot path is expressed entirely in batched, cache-blocked kernels: the
+// fused QKV activation is re-materialized into contiguous per-head [T, d]
+// panels, and scores / softmax / context become three batched matrix products
+// per (batch × head) work item dispatched across the tensor worker pool —
+// instead of the former triple scalar loops on one goroutine. Every
+// intermediate lives in the model's workspace, so a warm step allocates
+// nothing.
 type Attention struct {
 	Dim, Heads, HeadDim int
 
-	QKV    *Linear // fused projection Dim -> 3·Dim
-	Out    *Linear // output projection Dim -> Dim
-	sl     []float32
-	negInf float32
+	QKV *Linear // fused projection Dim -> 3·Dim
+	Out *Linear // output projection Dim -> Dim
+	sl  []float32
 
-	// caches for backward
-	qkv        *tensor.Matrix // [N, 3D]
-	probs      []float32      // [B, H, T, T] attention probabilities
+	// caches for backward (workspace lifetime: valid until the next Reset)
+	q, k, v    *tensor.Matrix // per-head panels [B·H·T, d]
+	probs      *tensor.Matrix // attention probabilities [B·H·T, T]
 	batch, seq int
 }
 
@@ -28,10 +35,9 @@ type Attention struct {
 func NewAttention(name string, dim, heads int, std float64, rng *rand.Rand) *Attention {
 	return &Attention{
 		Dim: dim, Heads: heads, HeadDim: dim / heads,
-		QKV:    NewLinear(name+".qkv", dim, 3*dim, false, std, rng),
-		Out:    NewLinear(name+".out", dim, dim, false, std, rng),
-		sl:     AlibiSlopes(heads),
-		negInf: float32(math.Inf(-1)),
+		QKV: NewLinear(name+".qkv", dim, 3*dim, false, std, rng),
+		Out: NewLinear(name+".out", dim, dim, false, std, rng),
+		sl:  AlibiSlopes(heads),
 	}
 }
 
@@ -40,123 +46,122 @@ func (a *Attention) Params() ParamSet {
 	return append(a.QKV.Params(), a.Out.Params()...)
 }
 
-// qOff/kOff/vOff index into a fused QKV row for head h, channel j.
-func (a *Attention) qOff(h, j int) int { return h*a.HeadDim + j }
-func (a *Attention) kOff(h, j int) int { return a.Dim + h*a.HeadDim + j }
-func (a *Attention) vOff(h, j int) int { return 2*a.Dim + h*a.HeadDim + j }
-
-// Forward runs attention over x laid out as [B·T, D] with the given batch
-// and sequence dimensions.
-func (a *Attention) Forward(x *tensor.Matrix, batch, seq int) *tensor.Matrix {
-	a.batch, a.seq = batch, seq
-	a.qkv = a.QKV.Forward(x)
-	n := batch * seq
-	need := batch * a.Heads * seq * seq
-	if cap(a.probs) < need {
-		a.probs = make([]float32, need)
-	}
-	a.probs = a.probs[:need]
-
-	ctx := tensor.NewMatrix(n, a.Dim) // concatenated head outputs
-	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+// gatherPanels re-materializes the fused QKV activation [B·T, 3D] into three
+// contiguous per-head panels [B·H·T, d] so the batched kernels stream unit-
+// stride rows instead of striding across the fused layout.
+func (a *Attention) gatherPanels(qkv, q, k, v *tensor.Matrix, batch, seq int) {
 	hd := a.HeadDim
-	row := func(b, t int) []float32 { return a.qkv.Row(b*seq + t) }
-
 	for b := 0; b < batch; b++ {
 		for h := 0; h < a.Heads; h++ {
-			slope := a.sl[h]
-			base := ((b * a.Heads) + h) * seq * seq
-			for i := 0; i < seq; i++ {
-				qi := row(b, i)
-				p := a.probs[base+i*seq : base+(i+1)*seq]
-				for j := 0; j <= i; j++ {
-					kj := row(b, j)
-					var s float32
-					for c := 0; c < hd; c++ {
-						s += qi[a.qOff(h, c)] * kj[a.kOff(h, c)]
-					}
-					p[j] = s*scale + slope*float32(j-i)
-				}
-				for j := i + 1; j < seq; j++ {
-					p[j] = a.negInf
-				}
-				tensor.SoftmaxRow(p[:i+1])
-				for j := i + 1; j < seq; j++ {
-					p[j] = 0
-				}
-				// Context: ctx_i[h] = Σ_j p_j · V_j[h].
-				out := ctx.Row(b*seq + i)[h*hd : (h+1)*hd]
-				for j := 0; j <= i; j++ {
-					pj := p[j]
-					if pj == 0 {
-						continue
-					}
-					vj := row(b, j)
-					for c := 0; c < hd; c++ {
-						out[c] += pj * vj[a.vOff(h, c)]
-					}
-				}
+			base := (b*a.Heads + h) * seq
+			qo, ko, vo := h*hd, a.Dim+h*hd, 2*a.Dim+h*hd
+			for t := 0; t < seq; t++ {
+				src := qkv.Row(b*seq + t)
+				copy(q.Row(base+t), src[qo:qo+hd])
+				copy(k.Row(base+t), src[ko:ko+hd])
+				copy(v.Row(base+t), src[vo:vo+hd])
 			}
 		}
 	}
-	return a.Out.Forward(ctx)
+}
+
+// scatterPanels is the inverse of gatherPanels for the gradient side: it
+// writes per-head dQ/dK/dV panels back into the fused dQKV layout.
+func (a *Attention) scatterPanels(dqkv, dq, dk, dv *tensor.Matrix, batch, seq int) {
+	hd := a.HeadDim
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			base := (b*a.Heads + h) * seq
+			qo, ko, vo := h*hd, a.Dim+h*hd, 2*a.Dim+h*hd
+			for t := 0; t < seq; t++ {
+				dst := dqkv.Row(b*seq + t)
+				copy(dst[qo:qo+hd], dq.Row(base+t))
+				copy(dst[ko:ko+hd], dk.Row(base+t))
+				copy(dst[vo:vo+hd], dv.Row(base+t))
+			}
+		}
+	}
+}
+
+// gatherCtx copies the interleaved-head matrix [B·T, D] into per-head panels
+// [B·H·T, d]; scatterCtx is its inverse.
+func (a *Attention) gatherCtx(panels, x *tensor.Matrix, batch, seq int) {
+	hd := a.HeadDim
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			base := (b*a.Heads + h) * seq
+			off := h * hd
+			for t := 0; t < seq; t++ {
+				copy(panels.Row(base+t), x.Row(b*seq + t)[off:off+hd])
+			}
+		}
+	}
+}
+
+func (a *Attention) scatterCtx(x, panels *tensor.Matrix, batch, seq int) {
+	hd := a.HeadDim
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			base := (b*a.Heads + h) * seq
+			off := h * hd
+			for t := 0; t < seq; t++ {
+				copy(x.Row(b*seq + t)[off:off+hd], panels.Row(base+t))
+			}
+		}
+	}
+}
+
+// Forward runs attention over x laid out as [B·T, D] with the given batch
+// and sequence dimensions.
+func (a *Attention) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *tensor.Matrix {
+	a.batch, a.seq = batch, seq
+	items := batch * a.Heads
+	n, hd := batch*seq, a.HeadDim
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	qkv := a.QKV.Forward(ws, x) // [N, 3D]
+	a.q, a.k, a.v = ws.Take(items*seq, hd), ws.Take(items*seq, hd), ws.Take(items*seq, hd)
+	a.gatherPanels(qkv, a.q, a.k, a.v, batch, seq)
+
+	// Scores, mask+softmax, context: three batched kernels per head item.
+	a.probs = ws.Take(items*seq, seq)
+	tensor.BatchMatMulTransBCausal(a.probs, a.q, a.k, items)
+	tensor.CausalSoftmaxRows(a.probs, batch, a.Heads, a.sl, scale)
+	ctxP := ws.Take(items*seq, hd)
+	tensor.BatchMatMulCausal(ctxP, a.probs, a.v, items)
+
+	ctx := ws.Take(n, a.Dim) // concatenated head outputs
+	a.scatterCtx(ctx, ctxP, batch, seq)
+	return a.Out.Forward(ws, ctx)
 }
 
 // Backward propagates gradients through the attention sublayer and returns
 // dX. Parameter gradients accumulate into the projection layers.
-func (a *Attention) Backward(dy *tensor.Matrix) *tensor.Matrix {
+func (a *Attention) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	batch, seq, hd := a.batch, a.seq, a.HeadDim
-	dctx := a.Out.Backward(dy) // [N, D]
-	dqkv := tensor.NewMatrix(batch*seq, 3*a.Dim)
+	items := batch * a.Heads
 	scale := float32(1 / math.Sqrt(float64(hd)))
-	row := func(b, t int) []float32 { return a.qkv.Row(b*seq + t) }
-	drow := func(b, t int) []float32 { return dqkv.Row(b*seq + t) }
 
-	// Scratch for per-row score gradients.
-	ds := make([]float32, seq)
-	for b := 0; b < batch; b++ {
-		for h := 0; h < a.Heads; h++ {
-			base := ((b * a.Heads) + h) * seq * seq
-			for i := 0; i < seq; i++ {
-				p := a.probs[base+i*seq : base+(i+1)*seq]
-				dOut := dctx.Row(b*seq + i)[h*hd : (h+1)*hd]
-				// dP_ij = dOut·V_j ; dV_j += P_ij·dOut.
-				var dot float32 // Σ_j P_ij·dP_ij for the softmax Jacobian
-				for j := 0; j <= i; j++ {
-					vj := row(b, j)
-					dvj := drow(b, j)
-					var dp float32
-					for c := 0; c < hd; c++ {
-						dp += dOut[c] * vj[a.vOff(h, c)]
-					}
-					pj := p[j]
-					for c := 0; c < hd; c++ {
-						dvj[a.vOff(h, c)] += pj * dOut[c]
-					}
-					ds[j] = dp
-					dot += pj * dp
-				}
-				// Softmax backward: dS_ij = P_ij·(dP_ij − Σ_k P_ik·dP_ik).
-				for j := 0; j <= i; j++ {
-					ds[j] = p[j] * (ds[j] - dot)
-				}
-				// dQ_i += Σ_j dS_ij·K_j·scale ; dK_j += dS_ij·Q_i·scale.
-				qi := row(b, i)
-				dqi := drow(b, i)
-				for j := 0; j <= i; j++ {
-					g := ds[j] * scale
-					if g == 0 {
-						continue
-					}
-					kj := row(b, j)
-					dkj := drow(b, j)
-					for c := 0; c < hd; c++ {
-						dqi[a.qOff(h, c)] += g * kj[a.kOff(h, c)]
-						dkj[a.kOff(h, c)] += g * qi[a.qOff(h, c)]
-					}
-				}
-			}
-		}
-	}
-	return a.QKV.Backward(dqkv)
+	dctx := a.Out.Backward(ws, dy) // [N, D]
+	dctxP := ws.Take(items*seq, hd)
+	a.gatherCtx(dctxP, dctx, batch, seq)
+
+	// dP = dCtx·Vᵀ on the causal support; dV = Pᵀ·dCtx.
+	dp := ws.Take(items*seq, seq)
+	tensor.BatchMatMulTransBCausal(dp, dctxP, a.v, items)
+	dv := ws.Take(items*seq, hd)
+	tensor.BatchMatMulTransA(dv, a.probs, dctxP, items)
+
+	// Softmax backward (score scale folded in): dp becomes dS.
+	tensor.CausalSoftmaxGradRows(dp, a.probs, batch, a.Heads, scale)
+
+	// dQ = dS·K ; dK = dSᵀ·Q.
+	dq := ws.Take(items*seq, hd)
+	tensor.BatchMatMulCausal(dq, dp, a.k, items)
+	dk := ws.Take(items*seq, hd)
+	tensor.BatchMatMulTransA(dk, dp, a.q, items)
+
+	dqkv := ws.Take(batch*seq, 3*a.Dim)
+	a.scatterPanels(dqkv, dq, dk, dv, batch, seq)
+	return a.QKV.Backward(ws, dqkv)
 }

@@ -22,13 +22,16 @@ func (m *Model) Generate(rng *rand.Rand, prompt []int, n int, temperature float6
 		if len(ctx) > m.Cfg.SeqLen {
 			ctx = ctx[len(ctx)-m.Cfg.SeqLen:]
 		}
-		logits := m.Logits([][]int{ctx})
+		logits := m.logitsScratch([][]int{ctx})
 		row := logits.Row(len(ctx) - 1)
 		var next int
 		if temperature <= 0 {
 			next = tensor.ArgMax(row)
 		} else {
-			probs := make([]float32, len(row))
+			// Reuse the sampling buffer across tokens (cap-grow pattern):
+			// the per-token allocation dominated long generations.
+			m.genProbs = growF32(m.genProbs, len(row))
+			probs := m.genProbs
 			for j, v := range row {
 				probs[j] = float32(float64(v) / temperature)
 			}
@@ -55,7 +58,7 @@ func (m *Model) SequenceLogProb(seq []int) float64 {
 	if len(seq) < 2 {
 		return 0
 	}
-	logits := m.Logits([][]int{seq[:len(seq)-1]})
+	logits := m.logitsScratch([][]int{seq[:len(seq)-1]})
 	var lp float64
 	for t := 0; t < len(seq)-1; t++ {
 		row := logits.Row(t)

@@ -15,7 +15,10 @@ type Linear struct {
 	W       *Param
 	B       *Param // nil when the layer has no bias (MPT style)
 
-	x *tensor.Matrix // cached input for backward
+	x *tensor.Matrix // cached input for backward (workspace lifetime)
+	// Persistent matrix headers over W.Data/W.Grad: wrapping them per call
+	// would heap-allocate a header on every forward/backward.
+	wMat, dwMat tensor.Matrix
 }
 
 // NewLinear creates a Linear layer with N(0, std²) weight init.
@@ -25,6 +28,8 @@ func NewLinear(name string, in, out int, bias bool, std float64, rng *rand.Rand)
 	if bias {
 		l.B = newParam(name+".b", out)
 	}
+	l.wMat = tensor.Matrix{Rows: in, Cols: out, Data: l.W.Data}
+	l.dwMat = tensor.Matrix{Rows: in, Cols: out, Data: l.W.Grad}
 	return l
 }
 
@@ -36,11 +41,12 @@ func (l *Linear) Params() ParamSet {
 	return ParamSet{l.W}
 }
 
-// Forward computes Y = X·W (+ b), caching X for backward.
-func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+// Forward computes Y = X·W (+ b) into a workspace matrix, caching X for
+// backward.
+func (l *Linear) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
-	y := tensor.NewMatrix(x.Rows, l.Out)
-	tensor.MatMul(y, x, tensor.FromSlice(l.In, l.Out, l.W.Data))
+	y := ws.Take(x.Rows, l.Out)
+	tensor.MatMul(y, x, &l.wMat)
 	if l.B != nil {
 		for i := 0; i < y.Rows; i++ {
 			tensor.Add(y.Row(i), l.B.Data)
@@ -50,17 +56,15 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates dW (and db) and returns dX.
-func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
-	dw := tensor.FromSlice(l.In, l.Out, l.W.Grad)
-	tensor.MatMulTransAAccum(dw, l.x, dy) // dW += Xᵀ·dY
+func (l *Linear) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
+	tensor.MatMulTransAAccum(&l.dwMat, l.x, dy) // dW += Xᵀ·dY
 	if l.B != nil {
 		for i := 0; i < dy.Rows; i++ {
 			tensor.Add(l.B.Grad, dy.Row(i))
 		}
 	}
-	dx := tensor.NewMatrix(l.x.Rows, l.In)
-	tensor.MatMulTransB(dx, dy, w) // dX = dY·Wᵀ
+	dx := ws.Take(l.x.Rows, l.In)
+	tensor.MatMulTransB(dx, dy, &l.wMat) // dX = dY·Wᵀ
 	return dx
 }
 
@@ -70,8 +74,8 @@ type LayerNorm struct {
 	Dim  int
 	G, B *Param
 
-	xhat *tensor.Matrix // cached normalized input
-	rstd []float32      // cached reciprocal std per row
+	xhat *tensor.Matrix // cached normalized input (workspace lifetime)
+	rstd []float32      // cached reciprocal std per row (cap-grow)
 }
 
 // NewLayerNorm creates a LayerNorm with gain 1 and bias 0.
@@ -87,13 +91,10 @@ func (ln *LayerNorm) Params() ParamSet { return ParamSet{ln.G, ln.B} }
 const lnEps = 1e-5
 
 // Forward normalizes each row of x.
-func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.NewMatrix(x.Rows, x.Cols)
-	ln.xhat = tensor.NewMatrix(x.Rows, x.Cols)
-	if cap(ln.rstd) < x.Rows {
-		ln.rstd = make([]float32, x.Rows)
-	}
-	ln.rstd = ln.rstd[:x.Rows]
+func (ln *LayerNorm) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
+	y := ws.Take(x.Rows, x.Cols)
+	ln.xhat = ws.Take(x.Rows, x.Cols)
+	ln.rstd = growF32(ln.rstd, x.Rows)
 	d := float64(x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
@@ -122,8 +123,8 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates dG, dB and returns dX.
-func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.NewMatrix(dy.Rows, dy.Cols)
+func (ln *LayerNorm) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
+	dx := ws.Take(dy.Rows, dy.Cols)
 	d := float32(dy.Cols)
 	for i := 0; i < dy.Rows; i++ {
 		dyr := dy.Row(i)
@@ -154,16 +155,16 @@ func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 // geluCoef is √(2/π) for the tanh GELU approximation.
 const geluCoef = 0.7978845608028654
 
-// GELU applies the tanh-approximated Gaussian error linear unit in a fresh
-// matrix and caches the input for backward.
+// GELU applies the tanh-approximated Gaussian error linear unit into a
+// workspace matrix and caches the input for backward.
 type GELU struct {
 	x *tensor.Matrix
 }
 
 // Forward applies GELU element-wise.
-func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+func (g *GELU) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 	g.x = x
-	y := tensor.NewMatrix(x.Rows, x.Cols)
+	y := ws.Take(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = geluScalar(v)
 	}
@@ -171,8 +172,8 @@ func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward returns dX given dY.
-func (g *GELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.NewMatrix(dy.Rows, dy.Cols)
+func (g *GELU) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
+	dx := ws.Take(dy.Rows, dy.Cols)
 	for i, v := range g.x.Data {
 		dx.Data[i] = dy.Data[i] * geluGradScalar(v)
 	}
@@ -212,10 +213,11 @@ func NewEmbedding(name string, vocab, dim int, std float64, rng *rand.Rand) *Emb
 func (e *Embedding) Params() ParamSet { return ParamSet{e.W} }
 
 // Forward gathers rows for the given token ids. Panics on out-of-range ids —
-// that is a data-pipeline bug, not a recoverable condition.
-func (e *Embedding) Forward(tokens []int) *tensor.Matrix {
+// that is a data-pipeline bug, not a recoverable condition. tokens is
+// retained until the next Backward.
+func (e *Embedding) Forward(ws *Workspace, tokens []int) *tensor.Matrix {
 	e.tokens = tokens
-	y := tensor.NewMatrix(len(tokens), e.Dim)
+	y := ws.Take(len(tokens), e.Dim)
 	for i, id := range tokens {
 		if id < 0 || id >= e.Vocab {
 			panic("nn: token id out of vocabulary range")

@@ -51,21 +51,21 @@ func (b *Block) Params() ParamSet {
 }
 
 // Forward runs the block over x ([B·T, D]).
-func (b *Block) Forward(x *tensor.Matrix, batch, seq int) *tensor.Matrix {
-	h := b.Attn.Forward(b.LN1.Forward(x), batch, seq)
+func (b *Block) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *tensor.Matrix {
+	h := b.Attn.Forward(ws, b.LN1.Forward(ws, x), batch, seq)
 	tensor.Add(h.Data, x.Data) // residual 1; h = x + attn
-	m := b.FC2.Forward(b.Act.Forward(b.FC1.Forward(b.LN2.Forward(h))))
+	m := b.FC2.Forward(ws, b.Act.Forward(ws, b.FC1.Forward(ws, b.LN2.Forward(ws, h))))
 	tensor.Add(m.Data, h.Data) // residual 2
 	return m
 }
 
 // Backward propagates dY through the block and returns dX.
-func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
+func (b *Block) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	// Residual 2: gradient flows both into the MLP branch and straight through.
-	dh := b.LN2.Backward(b.FC1.Backward(b.Act.Backward(b.FC2.Backward(dy))))
+	dh := b.LN2.Backward(ws, b.FC1.Backward(ws, b.Act.Backward(ws, b.FC2.Backward(ws, dy))))
 	tensor.Add(dh.Data, dy.Data)
 	// Residual 1.
-	dx := b.LN1.Backward(b.Attn.Backward(dh))
+	dx := b.LN1.Backward(ws, b.Attn.Backward(ws, dh))
 	tensor.Add(dx.Data, dh.Data)
 	return dx
 }
@@ -80,6 +80,21 @@ type Model struct {
 	LNF    *LayerNorm
 
 	params ParamSet
+
+	// Reusable training-step scratch. ws is the activation arena (reset at
+	// the top of every Loss/ForwardBackward); the remaining fields are
+	// cap-grow buffers for the loss kernel and token flattening.
+	ws       *Workspace
+	embMat   tensor.Matrix // persistent header over Embed.W.Data (tied head)
+	dEmbMat  tensor.Matrix // persistent header over Embed.W.Grad
+	flat     []int         // flattened batch token ids
+	ceTgt    []int         // flattened targets
+	ceNLL    []float64
+	ceLogits *tensor.Matrix
+	ceDlog   *tensor.Matrix
+	ceInv    float32
+	ceFn     func(lo, hi int) // persistent closure for the parallel loss bands
+	genProbs []float32        // sampling distribution scratch (Generate)
 }
 
 // NewModel builds and initializes a model from cfg using rng. It panics on
@@ -105,6 +120,10 @@ func NewModel(cfg Config, rng *rand.Rand) *Model {
 		m.params = append(m.params, b.Params()...)
 	}
 	m.params = append(m.params, m.LNF.Params()...)
+	m.ws = NewWorkspace()
+	m.embMat = tensor.Matrix{Rows: cfg.VocabSize, Cols: cfg.Dim, Data: m.Embed.W.Data}
+	m.dEmbMat = tensor.Matrix{Rows: cfg.VocabSize, Cols: cfg.Dim, Data: m.Embed.W.Grad}
+	m.ceFn = m.ceBand
 	return m
 }
 
@@ -117,6 +136,15 @@ func (m *Model) Params() ParamSet { return m.params }
 
 // NumParams returns the total trainable parameter count.
 func (m *Model) NumParams() int { return m.params.NumElements() }
+
+// Workspace returns the model's scratch arena (created lazily), so callers
+// embedding a Model in their own step loop can reuse it for their scratch.
+func (m *Model) Workspace() *Workspace {
+	if m.ws == nil {
+		m.ws = NewWorkspace()
+	}
+	return m.ws
+}
 
 // Batch is one training micro-batch of token sequences. Targets[i][t] is the
 // next-token label for Inputs[i][t]; a negative target is ignored (padding).
@@ -145,97 +173,166 @@ func (b Batch) Tokens() int {
 func (m *Model) forward(inputs [][]int) (*tensor.Matrix, int, int) {
 	batch := len(inputs)
 	seq := len(inputs[0])
-	flat := make([]int, 0, batch*seq)
-	for _, row := range inputs {
+	ws := m.Workspace()
+	m.flat = growInt(m.flat, batch*seq)
+	for i, row := range inputs {
 		if len(row) != seq {
 			panic("nn: ragged batch")
 		}
-		flat = append(flat, row...)
+		copy(m.flat[i*seq:], row)
 	}
-	x := m.Embed.Forward(flat)
+	x := m.Embed.Forward(ws, m.flat)
 	for _, b := range m.Blocks {
-		x = b.Forward(x, batch, seq)
+		x = b.Forward(ws, x, batch, seq)
 	}
-	return m.LNF.Forward(x), batch, seq
+	return m.LNF.Forward(ws, x), batch, seq
 }
 
-// Logits computes next-token logits [B·T, V] for the batch inputs.
+// Logits computes next-token logits [B·T, V] for the batch inputs. The
+// caller owns the returned matrix.
 func (m *Model) Logits(inputs [][]int) *tensor.Matrix {
+	return m.logitsScratch(inputs).Clone()
+}
+
+// logitsScratch is the allocation-free logits path: the returned matrix
+// lives in the model's workspace and is valid until the next
+// Loss/Logits/ForwardBackward call on this model.
+func (m *Model) logitsScratch(inputs [][]int) *tensor.Matrix {
+	ws := m.Workspace()
+	ws.Reset()
 	h, _, _ := m.forward(inputs)
-	logits := tensor.NewMatrix(h.Rows, m.Cfg.VocabSize)
-	emb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Data)
-	tensor.MatMulTransB(logits, h, emb) // logits = H·Embᵀ (tied head)
+	logits := ws.Take(h.Rows, m.Cfg.VocabSize)
+	tensor.MatMulTransB(logits, h, &m.embMat) // logits = H·Embᵀ (tied head)
 	return logits
 }
 
 // Loss computes the mean cross-entropy (nats/token) of the batch without
 // touching gradients.
 func (m *Model) Loss(b Batch) float64 {
-	logits := m.Logits(b.Inputs)
-	return crossEntropy(logits, b.Targets, nil)
+	logits := m.logitsScratch(b.Inputs)
+	return m.crossEntropy(logits, b.Targets, nil)
 }
 
 // ForwardBackward computes the batch loss and accumulates parameter
 // gradients (it does not zero them first, enabling gradient accumulation).
 func (m *Model) ForwardBackward(b Batch) float64 {
-	h, batch, seq := m.forward(b.Inputs)
-	logits := tensor.NewMatrix(h.Rows, m.Cfg.VocabSize)
-	emb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Data)
-	tensor.MatMulTransB(logits, h, emb)
+	ws := m.Workspace()
+	ws.Reset()
+	h, _, _ := m.forward(b.Inputs)
+	logits := ws.Take(h.Rows, m.Cfg.VocabSize)
+	tensor.MatMulTransB(logits, h, &m.embMat)
 
-	dlogits := tensor.NewMatrix(logits.Rows, logits.Cols)
-	loss := crossEntropy(logits, b.Targets, dlogits)
+	dlogits := ws.Take(logits.Rows, logits.Cols)
+	loss := m.crossEntropy(logits, b.Targets, dlogits)
 
 	// Tied head backward: dH = dLogits·Emb ; dEmb += dLogitsᵀ·H.
-	dh := tensor.NewMatrix(h.Rows, m.Cfg.Dim)
-	tensor.MatMul(dh, dlogits, emb)
-	dEmb := tensor.FromSlice(m.Cfg.VocabSize, m.Cfg.Dim, m.Embed.W.Grad)
-	tensor.MatMulTransAAccum(dEmb, dlogits, h)
+	dh := ws.Take(h.Rows, m.Cfg.Dim)
+	tensor.MatMul(dh, dlogits, &m.embMat)
+	tensor.MatMulTransAAccum(&m.dEmbMat, dlogits, h)
 
-	dx := m.LNF.Backward(dh)
+	dx := m.LNF.Backward(ws, dh)
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
-		dx = m.Blocks[i].Backward(dx)
+		dx = m.Blocks[i].Backward(ws, dx)
 	}
-	_ = batch
-	_ = seq
 	m.Embed.Backward(dx)
 	return loss
 }
 
+// ceBand computes per-row NLL (and, when training, the dLogits rows) for
+// logit rows [lo, hi). It is the band body dispatched across the tensor
+// worker pool; all state rides in the model's ce* fields so the closure is
+// allocated once.
+func (m *Model) ceBand(lo, hi int) {
+	logits, dlogits := m.ceLogits, m.ceDlog
+	inv := m.ceInv
+	for r := lo; r < hi; r++ {
+		tgt := m.ceTgt[r]
+		if tgt < 0 {
+			m.ceNLL[r] = 0
+			if dlogits != nil {
+				drow := dlogits.Row(r)
+				for j := range drow {
+					drow[j] = 0
+				}
+			}
+			continue
+		}
+		lrow := logits.Row(r)
+		if dlogits == nil {
+			lse := tensor.LogSumExpRow(lrow)
+			m.ceNLL[r] = lse - float64(lrow[tgt])
+			continue
+		}
+		// Training path: one fused exp pass produces both the softmax
+		// gradient row and the log-sum-exp for the loss.
+		drow := dlogits.Row(r)
+		maxV := lrow[0]
+		for _, v := range lrow[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range lrow {
+			e := math.Exp(float64(v - maxV))
+			drow[j] = float32(e)
+			sum += e
+		}
+		m.ceNLL[r] = float64(maxV) + math.Log(sum) - float64(lrow[tgt])
+		scale := inv / float32(sum)
+		for j := range drow {
+			drow[j] *= scale
+		}
+		drow[tgt] -= inv
+	}
+}
+
 // crossEntropy returns mean NLL over non-negative targets; if dlogits is
-// non-nil it is filled with the gradient (softmax − onehot)/count.
-func crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *tensor.Matrix) float64 {
+// non-nil it is filled with the gradient (softmax − onehot)/count. Rows are
+// processed in parallel bands on the worker pool.
+func (m *Model) crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *tensor.Matrix) float64 {
+	rows := logits.Rows
+	m.ceTgt = growInt(m.ceTgt, rows)
+	if cap(m.ceNLL) < rows {
+		m.ceNLL = make([]float64, rows)
+	}
+	m.ceNLL = m.ceNLL[:rows]
+	// Default every row to padding first: a Targets that covers fewer rows
+	// than the logits (or none at all) must contribute zero loss and zero
+	// gradient for the uncovered rows, not whatever ids a previous batch
+	// left in the recycled buffer.
+	for i := range m.ceTgt {
+		m.ceTgt[i] = -1
+	}
 	count := 0
-	for _, row := range targets {
-		for _, t := range row {
-			if t >= 0 {
-				count++
+	if len(targets) > 0 {
+		seq := len(targets[0])
+		for bi, row := range targets {
+			for t, tgt := range row {
+				m.ceTgt[bi*seq+t] = tgt
+				if tgt >= 0 {
+					count++
+				}
 			}
 		}
 	}
 	if count == 0 {
+		if dlogits != nil {
+			dlogits.Zero()
+		}
 		return 0
 	}
+	m.ceLogits, m.ceDlog = logits, dlogits
+	m.ceInv = float32(1 / float64(count))
+	if m.ceFn == nil {
+		m.ceFn = m.ceBand
+	}
+	// ~32 flop-equivalents per logit column (exp + log dominate).
+	tensor.Parallel(rows, logits.Cols*32, m.ceFn)
+	m.ceLogits, m.ceDlog = nil, nil
 	var loss float64
-	seq := len(targets[0])
-	inv := float32(1 / float64(count))
-	for bi, row := range targets {
-		for t, tgt := range row {
-			r := bi*seq + t
-			lrow := logits.Row(r)
-			if tgt < 0 {
-				continue // padding: zero gradient row
-			}
-			lse := tensor.LogSumExpRow(lrow)
-			loss += lse - float64(lrow[tgt])
-			if dlogits != nil {
-				drow := dlogits.Row(r)
-				for j, v := range lrow {
-					drow[j] = float32(math.Exp(float64(v)-lse)) * inv
-				}
-				drow[tgt] -= inv
-			}
-		}
+	for _, v := range m.ceNLL {
+		loss += v
 	}
 	return loss / float64(count)
 }

@@ -362,3 +362,31 @@ func TestEmbeddingOutOfRangePanics(t *testing.T) {
 	}()
 	m.Logits([][]int{{cfg.VocabSize}})
 }
+
+// Regression: a Targets that covers fewer rows than Inputs (or none at all)
+// must behave as all-padding for the uncovered rows — zero loss, zero
+// gradient — and must not read stale target ids from the recycled scratch.
+func TestPartialTargetsTreatedAsPadding(t *testing.T) {
+	cfg := testConfig()
+	m := NewModel(cfg, rand.New(rand.NewSource(20)))
+	in := [][]int{{1, 2, 3, 4, 5, 6}, {2, 3, 4, 5, 6, 7}}
+	// Warm the scratch with a fully labeled batch first.
+	full := Batch{Inputs: in, Targets: [][]int{{2, 3, 4, 5, 6, 7}, {3, 4, 5, 6, 7, 8}}}
+	m.Loss(full)
+	// Empty targets: no labeled tokens anywhere.
+	if got := m.Loss(Batch{Inputs: in, Targets: [][]int{}}); got != 0 {
+		t.Fatalf("empty Targets: loss %v, want 0", got)
+	}
+	// One row of targets for two input rows: must equal a batch where the
+	// second row is explicitly padded.
+	partial := Batch{Inputs: in, Targets: [][]int{{2, 3, 4, 5, 6, 7}}}
+	padded := Batch{Inputs: in, Targets: [][]int{{2, 3, 4, 5, 6, 7}, {-1, -1, -1, -1, -1, -1}}}
+	if lp, lw := m.Loss(partial), m.Loss(padded); lp != lw {
+		t.Fatalf("partial Targets: loss %v, explicit padding %v", lp, lw)
+	}
+	m.Params().ZeroGrads()
+	m.ForwardBackward(Batch{Inputs: in, Targets: [][]int{}})
+	if n := m.Params().GradNorm(); n != 0 {
+		t.Fatalf("empty Targets produced nonzero grad norm %v", n)
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import "photon/internal/tensor"
+
+// Workspace is an arena of size-keyed scratch matrices that makes the
+// steady-state training step allocation-free. Every intermediate a forward or
+// backward pass needs — activations, gradients, per-head attention panels —
+// is taken from the workspace instead of the heap; Reset (called at the top
+// of each Loss / ForwardBackward) returns everything taken since the last
+// Reset to the free lists for reuse.
+//
+// Lifetime contract: a matrix obtained from Take is valid until the next
+// Reset of the same workspace. That is exactly the window a training step
+// needs — layers cache forward activations in workspace matrices and read
+// them during backward, and the next step's Reset recycles the lot. After
+// the first step every Take is served from a free list, so a warm step
+// performs zero heap allocations (asserted by TestTrainStepZeroAlloc).
+//
+// A Workspace is owned by a single Model and is not safe for concurrent use;
+// concurrent replicas (DDP workers, federated clients) each own their model
+// and therefore their workspace.
+type Workspace struct {
+	free map[int][]*tensor.Matrix // element count -> recycled matrices
+	used []*tensor.Matrix         // taken since the last Reset
+
+	// Retention bound. Fixed-shape training reuses the same size buckets
+	// every step, but variable-shape callers (Generate's per-token growing
+	// context) would otherwise strand a full activation set under every
+	// distinct sequence length forever. retained counts elements parked in
+	// free lists; when it exceeds evictFactor× the largest single step seen,
+	// the free lists are dropped wholesale and the GC reclaims them.
+	retained  int
+	stepElems int // elements returned by the current Reset
+	maxStep   int // largest step observed
+}
+
+// evictFactor bounds free-list retention at this multiple of the largest
+// single-step working set. Steady-state training retains exactly 1× and
+// never evicts (keeping the zero-allocation guarantee); shape-churning
+// callers are bounded instead of monotonic.
+const evictFactor = 3
+
+// NewWorkspace creates an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[int][]*tensor.Matrix)}
+}
+
+// Reset returns every matrix taken since the last Reset to the free lists,
+// invalidating all outstanding references from this workspace.
+func (w *Workspace) Reset() {
+	w.stepElems = 0
+	for i, m := range w.used {
+		n := cap(m.Data)
+		w.stepElems += n
+		w.free[n] = append(w.free[n], m)
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+	w.retained += w.stepElems
+	if w.stepElems > w.maxStep {
+		w.maxStep = w.stepElems
+	}
+	if w.retained > evictFactor*w.maxStep {
+		clear(w.free)
+		w.retained = 0
+	}
+}
+
+// Take returns a rows×cols matrix with unspecified contents, recycling a
+// buffer of the same element count when one is free.
+func (w *Workspace) Take(rows, cols int) *tensor.Matrix {
+	n := rows * cols
+	var m *tensor.Matrix
+	if bucket := w.free[n]; len(bucket) > 0 {
+		m = bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		w.free[n] = bucket[:len(bucket)-1]
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+		w.retained -= n
+	} else {
+		m = tensor.NewMatrix(rows, cols)
+	}
+	w.used = append(w.used, m)
+	return m
+}
+
+// TakeZero is Take with the contents cleared.
+func (w *Workspace) TakeZero(rows, cols int) *tensor.Matrix {
+	m := w.Take(rows, cols)
+	m.Zero()
+	return m
+}
+
+// growF32 is the cap-grow pattern for flat scratch vectors: reuse the backing
+// array when it is large enough, reallocate with 50% slack when it is not so
+// monotonically growing callers (Generate's per-token context) amortize
+// instead of reallocating every call.
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// growInt is growF32 for int slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// retainedElems reports the elements currently parked in free lists
+// (test hook for the retention bound).
+func (w *Workspace) retainedElems() int { return w.retained }

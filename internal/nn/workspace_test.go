@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The workspace must bound what it retains across variable shapes: Generate
+// runs a forward per token with a growing context, and an unbounded
+// size-keyed arena would strand a full activation set under every distinct
+// sequence length (O(T³) floats) for the model's lifetime.
+func TestWorkspaceBoundedRetention(t *testing.T) {
+	ws := NewWorkspace()
+	for tLen := 1; tLen <= 300; tLen++ {
+		ws.Take(tLen, 64)
+		ws.Take(tLen, tLen) // probs-like quadratic buffer
+		ws.Reset()
+		if ws.retainedElems() > evictFactor*ws.maxStep {
+			t.Fatalf("len %d: retained %d exceeds %d×maxStep %d",
+				tLen, ws.retainedElems(), evictFactor, ws.maxStep)
+		}
+	}
+	if ws.retainedElems() > evictFactor*300*(64+300) {
+		t.Fatalf("final retention %d not bounded by working-set multiple", ws.retainedElems())
+	}
+}
+
+// Generation must not grow the model's footprint monotonically, and training
+// after generation must return to the allocation-free steady state.
+func TestGenerateThenTrainStillZeroAlloc(t *testing.T) {
+	cfg := Config{Name: "gen", Blocks: 2, Dim: 32, Heads: 2, ExpRatio: 4,
+		VocabSize: 64, SeqLen: 48, Beta1: 0.9, Beta2: 0.95}
+	rng := rand.New(rand.NewSource(9))
+	m := NewModel(cfg, rng)
+	m.Generate(rng, []int{1, 2, 3}, 60, 0.8) // shape churn: contexts 3..48
+	batch := testBatch(rng, cfg, 2)
+	m.Params().ZeroGrads()
+	m.ForwardBackward(batch)
+	m.ForwardBackward(batch)
+	if allocs := testing.AllocsPerRun(10, func() {
+		m.Params().ZeroGrads()
+		m.ForwardBackward(batch)
+	}); allocs != 0 {
+		t.Fatalf("post-generate train step allocates %v, want 0", allocs)
+	}
+}

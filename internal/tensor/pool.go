@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared worker pool. All parallel kernels in this package — and any
+// caller using Parallel — dispatch band tasks to a fixed set of worker
+// goroutines instead of spawning goroutines per call. Tasks are plain structs
+// sent by value over a buffered channel and completion groups are recycled
+// through a free list, so a steady-state dispatch performs zero heap
+// allocations. That matters: the training loop calls these kernels thousands
+// of times per second and per-call goroutine + closure allocations would
+// dominate the GC profile the nn workspace is designed to eliminate.
+
+// kernelKind selects the band function a worker runs for a task. Kernel
+// operands travel in the task struct itself (matrix headers by value) so the
+// hot path never creates closures.
+type kernelKind uint8
+
+const (
+	kFn kernelKind = iota
+	kMatMul
+	kMatMulAccum
+	kMatMulTransAAccum
+	kMatMulTransB
+	kBatchMatMul
+	kBatchMatMulTransB
+	kBatchMatMulCausal
+	kBatchMatMulTransBCausal
+	kBatchMatMulTransA
+	kCausalSoftmax
+	kCausalSoftmaxGrad
+	kSoftmaxRows
+)
+
+// task is one band of work: run kernel `kind` over [lo, hi) of the outer
+// dimension (rows for flat kernels, items for batched kernels).
+type task struct {
+	kind    kernelKind
+	fn      func(lo, hi int) // kFn only; must be a persistent func value
+	c, a, b Matrix           // operand headers by value (no allocation)
+	scale   float32
+	sl      []float32 // ALiBi slopes for the softmax kernels
+	batch   int       // item count for batched kernels
+	heads   int       // slope period for the softmax kernels
+	lo, hi  int
+	g       *group
+}
+
+// group is a recycled completion latch: remaining counts outstanding bands
+// and done is signalled exactly once when the last band finishes.
+type group struct {
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+var groupFree = struct {
+	sync.Mutex
+	free []*group
+}{}
+
+func getGroup(n int32) *group {
+	groupFree.Lock()
+	var g *group
+	if k := len(groupFree.free); k > 0 {
+		g = groupFree.free[k-1]
+		groupFree.free = groupFree.free[:k-1]
+	}
+	groupFree.Unlock()
+	if g == nil {
+		g = &group{done: make(chan struct{}, 1)}
+	}
+	g.remaining.Store(n)
+	return g
+}
+
+func putGroup(g *group) {
+	groupFree.Lock()
+	groupFree.free = append(groupFree.free, g)
+	groupFree.Unlock()
+}
+
+var (
+	poolOnce sync.Once
+	poolSize int
+	taskCh   chan task
+)
+
+// ensurePool starts the worker goroutines on first parallel dispatch. The
+// pool is sized to the GOMAXPROCS observed at startup; dispatch still checks
+// the live GOMAXPROCS so a later GOMAXPROCS(1) (e.g. testing.AllocsPerRun)
+// degrades to inline execution.
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0)
+		taskCh = make(chan task, 4*poolSize+16)
+		for i := 0; i < poolSize; i++ {
+			go func() {
+				for t := range taskCh {
+					runTask(&t)
+					if t.g.remaining.Add(-1) == 0 {
+						t.g.done <- struct{}{}
+					}
+				}
+			}()
+		}
+	})
+}
+
+func runTask(t *task) {
+	switch t.kind {
+	case kFn:
+		t.fn(t.lo, t.hi)
+	case kMatMul:
+		bandMatMul(&t.c, &t.a, &t.b, t.lo, t.hi, false)
+	case kMatMulAccum:
+		bandMatMul(&t.c, &t.a, &t.b, t.lo, t.hi, true)
+	case kMatMulTransAAccum:
+		bandMatMulTransAAccum(&t.c, &t.a, &t.b, t.lo, t.hi)
+	case kMatMulTransB:
+		bandMatMulTransB(&t.c, &t.a, &t.b, t.lo, t.hi)
+	case kBatchMatMul:
+		bandBatchMatMul(&t.c, &t.a, &t.b, t.batch, t.lo, t.hi, false)
+	case kBatchMatMulTransB:
+		bandBatchMatMulTransB(&t.c, &t.a, &t.b, t.batch, t.lo, t.hi, false)
+	case kBatchMatMulCausal:
+		bandBatchMatMul(&t.c, &t.a, &t.b, t.batch, t.lo, t.hi, true)
+	case kBatchMatMulTransBCausal:
+		bandBatchMatMulTransB(&t.c, &t.a, &t.b, t.batch, t.lo, t.hi, true)
+	case kBatchMatMulTransA:
+		bandBatchMatMulTransA(&t.c, &t.a, &t.b, t.batch, t.lo, t.hi)
+	case kCausalSoftmax:
+		bandCausalSoftmax(&t.a, t.heads, t.sl, t.scale, t.lo, t.hi)
+	case kCausalSoftmaxGrad:
+		bandCausalSoftmaxGrad(&t.c, &t.a, t.scale, t.lo, t.hi)
+	case kSoftmaxRows:
+		bandSoftmaxRows(&t.a, t.lo, t.hi)
+	}
+}
+
+// maxInt is the saturation ceiling for volume-hint arithmetic.
+const maxInt = math.MaxInt
+
+// satMul returns a*b for non-negative operands, saturating at maxInt instead
+// of overflowing. Volume hints are products like rows·cols·cols which exceed
+// int64 for paper-scale shapes; the hint only gates the parallel/serial
+// decision so saturation is exactly the right semantics.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > maxInt/b {
+		return maxInt
+	}
+	return a * b
+}
+
+// dispatch splits [0, items) into bands and runs kernel t on the pool,
+// executing serially inline when the flop volume does not justify the
+// fan-out. The caller runs the first band itself so a dispatch never leaves
+// the calling core idle.
+func dispatch(items, volumePerItem int, t task) {
+	if items <= 0 {
+		return
+	}
+	if items < 2 || runtime.GOMAXPROCS(0) <= 1 || satMul(items, volumePerItem) < parallelThreshold {
+		t.lo, t.hi = 0, items
+		runTask(&t)
+		return
+	}
+	ensurePool()
+	bands := poolSize
+	if bands > items {
+		bands = items
+	}
+	step := (items + bands - 1) / bands
+	g := getGroup(int32((items + step - 1) / step))
+	for lo := step; lo < items; lo += step {
+		hi := lo + step
+		if hi > items {
+			hi = items
+		}
+		t.lo, t.hi, t.g = lo, hi, g
+		taskCh <- t
+	}
+	// Run the first band on the calling goroutine.
+	t.lo, t.hi = 0, step
+	if t.hi > items {
+		t.hi = items
+	}
+	runTask(&t)
+	if g.remaining.Add(-1) != 0 {
+		<-g.done
+	}
+	putGroup(g)
+}
+
+// Parallel runs fn over contiguous bands of [0, items) on the package worker
+// pool, or inline when items·volumePerItem is too small to amortize the
+// fan-out. fn must be safe for concurrent invocation on disjoint bands.
+// Callers on the training hot path should pass a persistent func value (one
+// stored in a struct field at construction) — a fresh closure per call heap-
+// allocates its capture block and defeats the zero-allocation step guarantee.
+func Parallel(items, volumePerItem int, fn func(lo, hi int)) {
+	dispatch(items, volumePerItem, task{kind: kFn, fn: fn})
+}

@@ -13,8 +13,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -65,9 +63,9 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// parallelThreshold is the number of multiply-adds above which MatMul fans
-// out across goroutines. Tuned for small-model training where many matmuls
-// are tiny and goroutine overhead dominates.
+// parallelThreshold is the number of multiply-adds above which a kernel fans
+// out across the worker pool. Tuned for small-model training where many
+// matmuls are tiny and dispatch overhead dominates.
 const parallelThreshold = 1 << 16
 
 // MatMul computes C = A·B where A is m×k, B is k×n, and C is m×n.
@@ -77,25 +75,7 @@ func MatMul(c, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
-	mulRows := func(lo, hi int) {
-		n, k := b.Cols, a.Cols
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			for x := range ci {
-				ci[x] = 0
-			}
-			ai := a.Data[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b.Data[p*n : (p+1)*n]
-				axpy(av, bp, ci)
-			}
-		}
-	}
-	parallelRows(a.Rows, a.Cols*b.Cols, mulRows)
+	dispatch(a.Rows, satMul(a.Cols, b.Cols), task{kind: kMatMul, c: *c, a: *a, b: *b})
 }
 
 // MatMulAccum computes C += A·B (same shapes as MatMul).
@@ -103,21 +83,7 @@ func MatMulAccum(c, a, b *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("tensor: MatMulAccum shape mismatch")
 	}
-	mulRows := func(lo, hi int) {
-		n, k := b.Cols, a.Cols
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			ai := a.Data[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				axpy(av, b.Data[p*n:(p+1)*n], ci)
-			}
-		}
-	}
-	parallelRows(a.Rows, a.Cols*b.Cols, mulRows)
+	dispatch(a.Rows, satMul(a.Cols, b.Cols), task{kind: kMatMulAccum, c: *c, a: *a, b: *b})
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
@@ -131,27 +97,13 @@ func MatMulTransA(c, a, b *Matrix) {
 }
 
 // MatMulTransAAccum computes C += Aᵀ·B (same shapes as MatMulTransA).
+// Parallelized over output rows (columns of A): each band owns its C rows so
+// no synchronization is needed.
 func MatMulTransAAccum(c, a, b *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: MatMulTransAAccum shape mismatch")
 	}
-	m, n, k := a.Cols, b.Cols, a.Rows
-	// Parallelize over output rows (columns of A). Each worker owns a band
-	// of C rows so no synchronization is needed.
-	work := func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			ap := a.Data[p*m : (p+1)*m]
-			bp := b.Data[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := ap[i]
-				if av == 0 {
-					continue
-				}
-				axpy(av, bp, c.Data[i*n:(i+1)*n])
-			}
-		}
-	}
-	parallelRows(m, n*k, work)
+	dispatch(a.Cols, satMul(b.Cols, a.Rows), task{kind: kMatMulTransAAccum, c: *c, a: *a, b: *b})
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
@@ -162,55 +114,21 @@ func MatMulTransB(c, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
-	work := func(lo, hi int) {
-		n, k := b.Rows, a.Cols
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				ci[j] = Dot(ai, b.Data[j*k:(j+1)*k])
-			}
-		}
-	}
-	parallelRows(a.Rows, a.Cols*b.Rows, work)
+	dispatch(a.Rows, satMul(a.Cols, b.Rows), task{kind: kMatMulTransB, c: *c, a: *a, b: *b})
 }
 
-// parallelRows splits [0, rows) into bands and runs work on each band,
-// using goroutines only when the total flop volume justifies it.
-func parallelRows(rows, volumePerRowHint int, work func(lo, hi int)) {
-	procs := runtime.GOMAXPROCS(0)
-	if rows == 0 {
-		return
-	}
-	if procs <= 1 || rows*volumePerRowHint < parallelThreshold || rows < 2 {
-		work(0, rows)
-		return
-	}
-	bands := procs
-	if bands > rows {
-		bands = rows
-	}
-	var wg sync.WaitGroup
-	step := (rows + bands - 1) / bands
-	for lo := 0; lo < rows; lo += step {
-		hi := lo + step
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			work(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// axpy computes y += a*x for equal-length slices.
+// axpy computes y += a*x for equal-length slices, 4x unrolled.
 func axpy(a float32, x, y []float32) {
-	_ = y[len(x)-1]
-	for i, xv := range x {
-		y[i] += a * xv
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
 	}
 }
 
@@ -225,12 +143,21 @@ func Axpy(a float32, x, y []float32) {
 	axpy(a, x, y)
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors, accumulated in
+// four independent lanes for instruction-level parallelism.
 func Dot(x, y []float32) float32 {
-	var s float32
-	_ = y[len(x)-1]
-	for i, xv := range x {
-		s += xv * y[i]
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
