@@ -66,6 +66,9 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-round deadline; late members become stragglers (0 waits forever)")
 		minClients = flag.Int("min-clients", 1, "mid-run participation floor: rounds wait for this many alive members")
 		over       = flag.Float64("over", 0, "cohort over-provision fraction (0.25 = sample 25% extra)")
+		parent     = flag.String("parent", "", "run as a relay: join the parent aggregator at this address while serving the local cohort (rounds become parent-driven)")
+		upCodec    = flag.String("up-codec", "", "relay: require the parent to announce exactly this codec (default: accept any)")
+		id         = flag.String("id", "", "relay identity presented to the parent (default: relay@<listen-addr>)")
 	)
 	flag.Parse()
 	resolveCodecFlag(codec, *compress)
@@ -73,7 +76,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	job := photon.NewJob(
+	opts := []photon.JobOption{
 		photon.WithBackend(photon.BackendAggregator),
 		photon.WithAddr(*addr),
 		photon.WithModel(photon.ModelSize(*size)),
@@ -86,7 +89,14 @@ func main() {
 		photon.WithRoundDeadline(*deadline),
 		photon.WithMinClients(*minClients),
 		photon.WithOverProvision(*over),
-	)
+	}
+	if *parent != "" {
+		opts = append(opts,
+			photon.WithParent(*parent),
+			photon.WithUpstreamCodec(*upCodec),
+			photon.WithClientID(*id))
+	}
+	job := photon.NewJob(opts...)
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -95,6 +105,9 @@ func main() {
 		for ev := range job.Events() {
 			line := fmt.Sprintf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB",
 				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
+			if ev.Tier > 0 {
+				line = fmt.Sprintf("tier%d ", ev.Tier) + line
+			}
 			if ev.CompressionRatio > 0 {
 				line += fmt.Sprintf(" ratio=%.2f", ev.CompressionRatio)
 			}
@@ -108,7 +121,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("listening on %s for %d clients", *addr, *clients)
+	if *parent != "" {
+		log.Printf("relay: serving %d cohort clients on %s, joining parent %s", *clients, *addr, *parent)
+	} else {
+		log.Printf("listening on %s for %d clients", *addr, *clients)
+	}
 	res, err := job.Run(ctx)
 	wg.Wait()
 	switch {

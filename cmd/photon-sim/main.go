@@ -35,6 +35,9 @@ func main() {
 		server  = flag.String("server", "fedavg", "server optimizer (see photon.ServerOptimizers)")
 		source  = flag.String("data", "c4", "data source (see photon.DataSources)")
 		codec   = flag.String("codec", "dense", "wire codec simulated for all exchanged payloads (dense, flate, q8, topk:<keep>, ...)")
+		tiers   = flag.Int("tiers", 1, "aggregation depth: 1 = flat, 2 = hierarchical (relay group means feed the server optimizer)")
+		relays  = flag.Int("relays", 2, "relay groups when -tiers 2")
+		upCodec = flag.String("up-codec", "", "relay->root tier codec when -tiers 2 (default: same as -codec)")
 		dropout = flag.Float64("dropout", 0, "per-round client dropout probability")
 		ckpt    = flag.String("ckpt", "", "checkpoint path for the global model")
 		resume  = flag.String("resume", "", "resume from a checkpoint written via -ckpt")
@@ -56,6 +59,9 @@ func main() {
 		photon.WithServerOptimizer(*server),
 		photon.WithDataSource(*source),
 		photon.WithCodec(*codec),
+		photon.WithTiers(*tiers),
+		photon.WithRelays(*relays),
+		photon.WithUpstreamCodec(*upCodec),
 		photon.WithDropout(*dropout),
 		photon.WithCheckpoint(*ckpt),
 		photon.WithResume(*resume),

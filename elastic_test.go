@@ -7,6 +7,7 @@ package photon
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -396,6 +397,214 @@ func TestClientReconnectsAfterConnectionLoss(t *testing.T) {
 	}
 	if maxRound < 3 {
 		t.Fatalf("flaky client never served a post-reconnect round (max round %d)", maxRound)
+	}
+}
+
+// TestRelayCrashCohortReconnects is the relay fault-tolerance scenario:
+// a relay is killed mid-run (its parent connection yanked, no goodbye), its
+// cohort's resilient clients must treat the loss as a transport failure and
+// redial, the parent must aggregate the partial rounds from the surviving
+// relay in the meantime, and a restarted relay under the same identity must
+// reassemble the cohort, rejoin the parent, and finish the run.
+func TestRelayCrashCohortReconnects(t *testing.T) {
+	cfg := tinyNetCfg()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	parentL, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parentL.Close()
+
+	// Healthy relay A with two plain cohort clients.
+	aL, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aL.Close()
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			conn, err := link.Dial(aL.Addr())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = fed.ServeClient(ctx, conn, netClient(t, string(rune('a'+i)), i), netSpec())
+		}(i)
+	}
+	relayADone := make(chan error, 1)
+	go func() {
+		_, err := fed.RunRelay(ctx, aL, func(ctx context.Context) (*link.Conn, error) {
+			return link.DialContext(ctx, parentL.Addr())
+		}, fed.RelayConfig{
+			ModelConfig:   cfg,
+			ID:            "relay-a",
+			ExpectClients: 2,
+			RoundDeadline: 30 * time.Second,
+		})
+		relayADone <- err
+	}()
+
+	// Victim relay B: its parent connection is captured so the test can
+	// kill it mid-run; its cohort clients are resilient and must survive
+	// the crash by reconnecting to the restarted relay.
+	bL, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := bL.Addr()
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			err := fed.RunResilientClient(ctx, func(ctx context.Context) (*link.Conn, error) {
+				return link.DialContext(ctx, bAddr)
+			}, netClient(t, string(rune('c'+i)), 2+i), netSpec(), fed.ReconnectConfig{
+				MaxAttempts:    40,
+				InitialBackoff: 50 * time.Millisecond,
+				MaxBackoff:     500 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("resilient cohort client %d: %v", i, err)
+			}
+		}(i)
+	}
+	var bParentConn atomic.Pointer[link.Conn]
+	bRounds := make(chan int, 64)
+	bCrashed := make(chan error, 1)
+	go func() {
+		_, err := fed.RunRelay(ctx, bL, func(ctx context.Context) (*link.Conn, error) {
+			conn, err := link.DialContext(ctx, parentL.Addr())
+			if err == nil {
+				bParentConn.Store(conn)
+			}
+			return conn, err
+		}, fed.RelayConfig{
+			ModelConfig:   cfg,
+			ID:            "relay-b",
+			ExpectClients: 2,
+			RoundDeadline: 30 * time.Second,
+			OnRound:       func(r metrics.Round) { bRounds <- r.Round },
+		})
+		bCrashed <- err
+	}()
+
+	// The parent's synchronous OnRound hook feeds an unbuffered channel,
+	// so the round loop cannot race ahead of the test's choreography: each
+	// round completes only when the test consumes its record.
+	const rounds = 12
+	parentRounds := make(chan metrics.Round)
+	errCh := make(chan error, 1)
+	resCh := make(chan *fed.Result, 1)
+	go func() {
+		res, err := fed.Serve(context.Background(), parentL, fed.ServerConfig{
+			ModelConfig:   cfg,
+			Seed:          61,
+			Rounds:        rounds,
+			ExpectClients: 2,
+			MinClients:    1,
+			RoundDeadline: 15 * time.Second,
+			Outer:         fed.FedAvg{},
+			OnRound:       func(r metrics.Round) { parentRounds <- r },
+		})
+		resCh <- res
+		errCh <- err
+	}()
+
+	// Round 1 must aggregate both relays.
+	r1 := <-parentRounds
+	if r1.Clients != 2 {
+		t.Fatalf("round 1 aggregated %d relays, want 2", r1.Clients)
+	}
+	if r1.Depth != 2 {
+		t.Fatalf("round 1 Depth=%d, want 2", r1.Depth)
+	}
+
+	// Kill relay B mid-run: yank its parent connection without a goodbye.
+	<-bRounds
+	if c := bParentConn.Load(); c != nil {
+		c.Close()
+	}
+	crashErr := <-bCrashed
+	if crashErr == nil || !errors.Is(crashErr, fed.ErrSessionLost) {
+		t.Fatalf("relay B did not die with a session-lost error: %v", crashErr)
+	}
+	bL.Close()
+
+	// The parent must aggregate the partial round(s) from relay A alone.
+	// The crash lands no later than round 3: round 2 may still have been
+	// mid-flight when the connection died.
+	round := 1
+	sawPartial := false
+	for !sawPartial {
+		r := <-parentRounds
+		round++
+		if round > 3 {
+			t.Fatalf("no partial round by round %d", round)
+		}
+		if r.Clients == 1 {
+			sawPartial = true
+		}
+	}
+
+	// Restart the relay on the same address under the same identity: the
+	// resilient cohort clients reconnect to it and it rejoins the parent
+	// mid-run.
+	bL2, err := link.Listen(bAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bL2.Close()
+	restartDone := make(chan error, 1)
+	go func() {
+		_, err := fed.RunRelay(ctx, bL2, func(ctx context.Context) (*link.Conn, error) {
+			return link.DialContext(ctx, parentL.Addr())
+		}, fed.RelayConfig{
+			ModelConfig:   cfg,
+			ID:            "relay-b",
+			ExpectClients: 2,
+			RoundDeadline: 30 * time.Second,
+		})
+		restartDone <- err
+	}()
+
+	// Drain the remaining rounds with a little spacing so the cohort
+	// reassembly and parent rejoin land between rounds; the tail of the
+	// run must be full two-relay rounds again.
+	fullAfterRestart := 0
+	var last metrics.Round
+	for round < rounds {
+		time.Sleep(150 * time.Millisecond)
+		last = <-parentRounds
+		round++
+		if last.Clients == 2 {
+			fullAfterRestart++
+		}
+	}
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if res.History.Len() != rounds {
+		t.Fatalf("parent completed %d rounds, want %d", res.History.Len(), rounds)
+	}
+	if err := <-restartDone; err != nil {
+		t.Fatalf("restarted relay: %v", err)
+	}
+	if err := <-relayADone; err != nil {
+		t.Fatalf("healthy relay: %v", err)
+	}
+	if fullAfterRestart < 1 {
+		t.Fatal("the restarted relay never contributed a full round")
+	}
+	if last.Clients != 2 {
+		t.Fatalf("final round aggregated %d relays, want both", last.Clients)
+	}
+	// Depth telemetry survives churn: once relays identified themselves in
+	// round 1, even partial (and would-be empty) rounds stay Depth 2.
+	for _, r := range res.History.Rounds {
+		if r.Depth != 2 {
+			t.Fatalf("round %d Depth=%d, want 2", r.Round, r.Depth)
+		}
 	}
 }
 

@@ -44,6 +44,17 @@ type RoundEvent struct {
 	// run carries a time model, 0 otherwise.
 	SimSeconds float64
 
+	// Tier is the emitting node's distance from the global aggregator: 0
+	// for the root (and the in-process backends), 1 for a relay job's own
+	// records (WithParent).
+	Tier int
+	// Depth is the number of aggregation tiers at or below the emitting
+	// node: 1 for a flat federation, 2 when the node's round members are
+	// themselves relays (a networked parent detects this from the cohort
+	// metadata relays stamp on their updates). 0 means not applicable
+	// (centralized and client backends).
+	Depth int
+
 	// Joins counts members that joined (or rejoined) the federation during
 	// this round — elastic membership telemetry from the networked
 	// aggregator backend, 0 elsewhere. Churn is windowed between recorded
@@ -74,6 +85,8 @@ func eventFromRound(r metrics.Round) RoundEvent {
 		DecodeMs:         r.DecodeMs,
 		UpdateNorm:       r.UpdateNorm,
 		SimSeconds:       r.SimSeconds,
+		Tier:             r.Tier,
+		Depth:            r.Depth,
 		Joins:            r.Joins,
 		Evictions:        r.Evictions,
 		Stragglers:       r.Stragglers,

@@ -33,6 +33,28 @@ func show(size photon.ModelSize, throughput float64, p2p, dropouts bool) {
 	}
 }
 
+func showHierarchy(size photon.ModelSize, upstreamCodec string) {
+	p, err := photon.PlanHierarchy(size, 500, 0, upstreamCodec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s hierarchy plan (Table 1 deployment, θ-congested Eq. 5/6):\n", size)
+	fmt.Printf("  flat star:   %8.1f s/round\n", p.FlatRoundSeconds)
+	fmt.Printf("  2-tier best: %8.1f s/round (upstream %s)\n", p.TieredRoundSeconds, p.UpstreamCodec)
+	if p.Tiers == 1 {
+		fmt.Println("  verdict: stay flat")
+		return
+	}
+	fmt.Printf("  verdict: %d relays pay off\n", len(p.Relays))
+	for _, r := range p.Relays {
+		fmt.Printf("    relay@%s <- %v\n", r.Region, r.Members)
+	}
+	fmt.Println("  dial graph (start these processes):")
+	for _, d := range p.Dials {
+		fmt.Printf("    tier %d: %s -> %s (%.1f Gbps, %s)\n", d.Tier, d.From, d.To, d.BandwidthGbps, d.Codec)
+	}
+}
+
 func main() {
 	fmt.Println("Photon topology planner over the Figure 2 world bandwidth graph")
 	// Paper throughputs (Appendix B.1): ν in batches/second.
@@ -40,4 +62,8 @@ func main() {
 	show(photon.Size7B, 0.032, true, false)
 	show(photon.Size7B, 0.032, false, false) // privacy-constrained: PS only
 	show(photon.Size7B, 0.032, true, true)   // dropouts: RAR excluded
+
+	// From analytic model to executable plan: where should relays sit?
+	showHierarchy(photon.Size125M, "q8")
+	showHierarchy(photon.Size7B, "topk:0.1")
 }

@@ -178,6 +178,49 @@ func TestShardsDisjointStreams(t *testing.T) {
 	}
 }
 
+// TestShardSeedNoAffineCollision is the regression for the old
+// baseSeed + shardID·1_000_003 shard seeding: corpora whose base seeds
+// differ by a multiple of 1,000,003 landed on byte-identical shard streams
+// at offset shard IDs. With mixed seeds, every (baseSeed, shardID) pair in
+// the old collision family must produce a distinct stream.
+func TestShardSeedNoAffineCollision(t *testing.T) {
+	src := C4Like(64)
+	draw := func(shardID int, baseSeed int64) []int {
+		return NewShard(src, shardID, baseSeed).NextBatch(1, 64).Inputs[0]
+	}
+	for _, tc := range []struct {
+		aShard int
+		aBase  int64
+		bShard int
+		bBase  int64
+	}{
+		{1, 5, 0, 5 + 1_000_003},
+		{3, 100, 1, 100 + 2*1_000_003},
+		{2, -1_000_003, 3, -2 * 1_000_003},
+	} {
+		a := draw(tc.aShard, tc.aBase)
+		b := draw(tc.bShard, tc.bBase)
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("shard(%d,%d) and shard(%d,%d) produced identical streams",
+				tc.aShard, tc.aBase, tc.bShard, tc.bBase)
+		}
+	}
+	// Determinism: the same pair still yields the same stream.
+	a, b := draw(1, 5), draw(1, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shard stream no longer deterministic for a fixed (baseSeed, shardID)")
+		}
+	}
+}
+
 func TestShardOutOfRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

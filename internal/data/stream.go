@@ -63,13 +63,31 @@ type Shard struct {
 	rng     *rand.Rand
 }
 
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix in which
+// every input bit affects every output bit.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shardSeed mixes (baseSeed, shardID) into a stream seed. The previous
+// affine form baseSeed + shardID·1_000_003 collided: two corpora whose base
+// seeds differ by a multiple of 1,000,003 produced byte-identical shard
+// streams at offset shard IDs. Mixing the base seed through splitmix64
+// before folding in the shard ID (and mixing again) leaves no affine
+// relation between inputs and outputs.
+func shardSeed(baseSeed int64, shardID int) int64 {
+	return int64(mix64(mix64(uint64(baseSeed)) + 0x9E3779B97F4A7C15*uint64(shardID)))
+}
+
 // NewShard creates shard shardID of the corpus identified by baseSeed.
 func NewShard(src Source, shardID int, baseSeed int64) *Shard {
 	if shardID < 0 || shardID >= NumShards {
 		panic("data: shard id out of range")
 	}
 	return &Shard{Src: src, ShardID: shardID,
-		rng: rand.New(rand.NewSource(baseSeed + int64(shardID)*1_000_003))}
+		rng: rand.New(rand.NewSource(shardSeed(baseSeed, shardID)))}
 }
 
 // NextBatch implements Stream.

@@ -12,6 +12,8 @@
 package eval
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -71,13 +73,29 @@ func Suite() []Task {
 // Chance returns the accuracy of random guessing on the task.
 func (t Task) Chance() float64 { return 1 / float64(t.Choices) }
 
+// distractorSeed derives the OtherSource distractor generator's seed from
+// the task name and the caller's evaluation seed. Every task used to share
+// the fixed seed 0xD157, which correlated the "independent" benchmarks:
+// two OtherSource tasks with the same continuation length drew identical
+// distractors. Hashing (name, seed) gives each task its own stream while
+// keeping evaluation deterministic for a fixed seed.
+func distractorSeed(name string, seed int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
 // Evaluate scores the model on the task using src as the truth distribution
 // and a deterministic instance stream from seed. It returns accuracy in
 // [0, 1]: the fraction of instances where the true continuation has the
-// highest length-normalized log-likelihood.
+// highest length-normalized log-likelihood. The distractor source is seeded
+// per (task, seed), so no two tasks share a distractor stream.
 func (t Task) Evaluate(m *nn.Model, src data.Source, seed int64) float64 {
 	rng := rand.New(rand.NewSource(seed))
-	distractorSrc := data.NewMarkovSource("distractor", src.Vocab(), 9, 0.9, 0xD157)
+	distractorSrc := data.NewMarkovSource("distractor", src.Vocab(), 9, 0.9, distractorSeed(t.Name, seed))
 	correct := 0
 	full := make([]int, t.PromptLen+t.ContLen)
 	for inst := 0; inst < t.Instances; inst++ {

@@ -112,6 +112,45 @@ func TestEvaluateDeterministic(t *testing.T) {
 	}
 }
 
+// TestTasksDoNotShareDistractorStreams is the regression for the fixed
+// 0xD157 distractor seed: two different tasks evaluated under the same
+// caller seed must draw from distinct distractor sources. With the shared
+// seed, equal-length draws from two tasks' sources were byte-identical.
+func TestTasksDoNotShareDistractorStreams(t *testing.T) {
+	const vocab, seed = 64, 9
+	sample := func(task string) []int {
+		src := data.NewMarkovSource("distractor", vocab, 9, 0.9, distractorSeed(task, seed))
+		rng := rand.New(rand.NewSource(1)) // same consumer randomness both times
+		out := make([]int, 256)
+		src.Sample(rng, out)
+		return out
+	}
+	a := sample("hellaswag")
+	b := sample("piqa")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two tasks drew an identical distractor stream; seeds are still correlated")
+	}
+	// Determinism must survive the fix: the same (task, seed) pair always
+	// yields the same stream.
+	c := sample("hellaswag")
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("distractor stream is no longer deterministic per (task, seed)")
+		}
+	}
+	// And distinct caller seeds must decorrelate even the same task.
+	if distractorSeed("mmlu", 1) == distractorSeed("mmlu", 2) {
+		t.Fatal("caller seed does not reach the distractor seed")
+	}
+}
+
 func TestDistractorKinds(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	other := data.NewMarkovSource("o", 64, 9, 0.9, 0xD157)

@@ -72,6 +72,23 @@ type RunConfig struct {
 	// keeps the raw dense exchange with element-count byte estimates.
 	Codec string
 
+	// Tiers selects the aggregation depth: 1 (or 0, the default) is the
+	// flat Algorithm 1 loop; 2 simulates hierarchical aggregation — the
+	// sampled cohort is split into Relays contiguous groups, each group's
+	// updates fold into a relay mean first, and the outer optimizer
+	// consumes the mean of relay means. Under FedAvg(ηs=1) with equal
+	// groups the two-tier mean equals the flat mean exactly; the point of
+	// the simulation is the wire accounting, which splits into a leaf tier
+	// (cohort×Codec) and a parent tier (Relays×UpstreamCodec).
+	Tiers int
+	// Relays is the number of relay groups when Tiers == 2 (≤ 0 defaults
+	// to 2).
+	Relays int
+	// UpstreamCodec names the relay→root tier's wire codec (per-relay
+	// instances, so error-feedback codecs accumulate residuals per relay).
+	// Empty inherits Codec.
+	UpstreamCodec string
+
 	// DropoutProb injects client failure: each sampled client independently
 	// fails to return its update with this probability. The aggregator
 	// applies a partial update from survivors (the PS/AR behavior).
@@ -121,8 +138,21 @@ func (c *RunConfig) validate() error {
 		return fmt.Errorf("fed: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
 	case c.Outer == nil:
 		return fmt.Errorf("fed: Outer optimizer must be set")
+	case c.Tiers < 0 || c.Tiers > 2:
+		return fmt.Errorf("fed: Tiers must be 1 (flat) or 2, got %d", c.Tiers)
+	case c.Tiers == 2 && c.effectiveRelays() > c.ClientsPerRound:
+		return fmt.Errorf("fed: %d relays cannot each hold a member of a %d-client cohort", c.effectiveRelays(), c.ClientsPerRound)
 	}
 	return nil
+}
+
+// effectiveRelays resolves the relay-group count (Relays ≤ 0 defaults to
+// 2), so validation and the run loop agree on the same value.
+func (c *RunConfig) effectiveRelays() int {
+	if c.Relays <= 0 {
+		return 2
+	}
+	return c.Relays
 }
 
 // Result bundles a finished run.
@@ -187,6 +217,39 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		}
 		return clientCodecs[i], nil
 	}
+
+	// Hierarchical simulation state: the parent tier's model-broadcast
+	// encoder plus one upstream codec instance per relay, so error-feedback
+	// codecs (topk) accumulate residuals per relay exactly as a networked
+	// fed.Relay does.
+	tiers := cfg.Tiers
+	if tiers <= 0 {
+		tiers = 1
+	}
+	relays := cfg.effectiveRelays()
+	var upModelCodec link.Codec
+	var relayCodecs []link.Codec
+	upName := cfg.UpstreamCodec
+	if upName == "" {
+		upName = cfg.Codec
+	}
+	if tiers == 2 && upName != "" {
+		c, err := link.NewCodec(upName)
+		if err != nil {
+			return nil, fmt.Errorf("fed: upstream codec: %w", err)
+		}
+		upModelCodec = link.ModelCodec(c)
+		relayCodecs = make([]link.Codec, relays)
+	}
+	relayCodec := func(g int) (link.Codec, error) {
+		if relayCodecs[g] == nil {
+			var err error
+			if relayCodecs[g], err = link.NewCodec(upName); err != nil {
+				return nil, err
+			}
+		}
+		return relayCodecs[g], nil
+	}
 	var writer *ckpt.AsyncWriter
 	if cfg.CheckpointPath != "" {
 		writer = ckpt.NewAsyncWriter(cfg.CheckpointPath)
@@ -217,12 +280,33 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		// Under a codec, clients train from the decoded broadcast — for a
 		// lossy codec the same perturbed parameters a real remote client
 		// would receive — and the encoded size is what the round pays for.
-		trainGlobal := global
+		// In a tiered simulation the broadcast chains through both tiers:
+		// root → relays under the upstream codec, relays → cohort under
+		// the leaf codec.
 		var wire roundWire
 		var downBytes, upBytes int64
+		var parentDown, parentUp int64
+		relayGlobal := global
+		if upModelCodec != nil {
+			encStart := time.Now()
+			encUp, err := link.EncodeVector(upModelCodec, global)
+			wire.encNs += time.Since(encStart).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("fed: round %d: %w", round, err)
+			}
+			decStart := time.Now()
+			if relayGlobal, err = link.DecodePayload(upModelCodec, encUp); err != nil {
+				return nil, fmt.Errorf("fed: round %d: %w", round, err)
+			}
+			wire.decNs += time.Since(decStart).Nanoseconds()
+			parentDown = int64(relays) * int64(encUp.WireBytes())
+			wire.payloadBytes += parentDown
+			wire.denseBytes += int64(relays) * int64(len(global)) * 4
+		}
+		trainGlobal := relayGlobal
 		if modelCodec != nil {
 			encStart := time.Now()
-			encModel, err := link.EncodeVector(modelCodec, global)
+			encModel, err := link.EncodeVector(modelCodec, relayGlobal)
 			wire.encNs += time.Since(encStart).Nanoseconds()
 			if err != nil {
 				return nil, fmt.Errorf("fed: round %d: %w", round, err)
@@ -266,6 +350,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 
 		var updates [][]float32
 		var clientMetrics []map[string]float64
+		var updGroups []int // tiered: surviving update → relay group
 		lossAware, _ := sampler.(LossAware)
 		for i := range outcomes {
 			o := outcomes[i]
@@ -307,8 +392,58 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 			}
 			updates = append(updates, upd)
 			clientMetrics = append(clientMetrics, o.res.Metrics)
+			if tiers == 2 {
+				// Static fleet partition: client index ci always belongs to
+				// relay ci·R/N, exactly like a deployment where each relay
+				// serves a fixed slice of the fleet — so per-relay
+				// error-feedback residuals stay with the same client set
+				// across rounds regardless of cohort sampling order.
+				updGroups = append(updGroups, cohortIdx[i]*relays/len(cfg.Clients))
+			}
 			if lossAware != nil {
 				lossAware.ObserveLoss(cohortIdx[i], o.res.Metrics["loss"])
+			}
+		}
+
+		// Hierarchical fold: each relay group's survivors fold into a
+		// group mean (optionally crossing the upstream codec, per-relay
+		// error feedback included), and the root aggregates relay means.
+		rootUpdates := updates
+		if tiers == 2 && len(updates) > 0 {
+			groups := make([][][]float32, relays)
+			for j, u := range updates {
+				groups[updGroups[j]] = append(groups[updGroups[j]], u)
+			}
+			rootUpdates = nil
+			for g := range groups {
+				if len(groups[g]) == 0 {
+					continue // an emptied cohort sends nothing upstream
+				}
+				mean, err := MeanDelta(groups[g])
+				if err != nil {
+					return nil, err
+				}
+				if upModelCodec != nil {
+					codec, err := relayCodec(g)
+					if err != nil {
+						return nil, fmt.Errorf("fed: round %d: %w", round, err)
+					}
+					encStart := time.Now()
+					encMean, err := link.EncodeVector(codec, mean)
+					wire.encNs += time.Since(encStart).Nanoseconds()
+					if err != nil {
+						return nil, fmt.Errorf("fed: round %d relay %d: %w", round, g, err)
+					}
+					decStart := time.Now()
+					if mean, err = link.DecodePayload(codec, encMean); err != nil {
+						return nil, fmt.Errorf("fed: round %d relay %d: %w", round, g, err)
+					}
+					wire.decNs += time.Since(decStart).Nanoseconds()
+					parentUp += int64(encMean.WireBytes())
+					wire.payloadBytes += int64(encMean.WireBytes())
+					wire.denseBytes += int64(encMean.Elems) * 4
+				}
+				rootUpdates = append(rootUpdates, mean)
 			}
 		}
 
@@ -316,29 +451,48 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		rec := metrics.Round{
 			Round:   round,
 			Clients: len(updates),
-			// Model broadcast to the sampled cohort plus surviving uploads.
+			Depth:   tiers,
+			// Model broadcast to the sampled cohort plus surviving uploads
+			// (plus, when tiered, the parent tier's relay exchanges).
 			CommBytes: int64(len(cohortIdx))*paramBytes + int64(len(updates))*paramBytes,
 		}
-		if modelCodec != nil {
+		if tiers == 2 && upModelCodec == nil {
+			rec.CommBytes += int64(relays+len(rootUpdates)) * paramBytes
+			rec.WireSentBytes = int64(relays) * paramBytes
+			rec.WireRecvBytes = int64(len(rootUpdates)) * paramBytes
+		}
+		if modelCodec != nil || upModelCodec != nil {
 			// Codec accounting: the round pays for encoded payload bytes
-			// (headerless — the simulator has no frames), split into the
-			// aggregator's send (broadcasts) and receive (uploads) sides.
+			// (headerless — the simulator has no frames). Flat runs split
+			// them into the aggregator's send/receive sides; tiered runs
+			// report the parent link's bytes there instead, which is what
+			// a relay deployment actually moves inter-region.
 			rec.CommBytes = wire.payloadBytes
+			if modelCodec == nil {
+				// Upstream-only codec: the leaf tier still moves raw dense
+				// vectors, so charge them at the element-count estimate —
+				// otherwise CommBytes would silently drop a whole tier.
+				rec.CommBytes += int64(len(cohortIdx))*paramBytes + int64(len(updates))*paramBytes
+			}
 			rec.WireSentBytes = downBytes
 			rec.WireRecvBytes = upBytes
+			if tiers == 2 {
+				rec.WireSentBytes = parentDown
+				rec.WireRecvBytes = parentUp
+			}
 			rec.EncodeMs = float64(wire.encNs) / 1e6
 			rec.DecodeMs = float64(wire.decNs) / 1e6
 			if wire.denseBytes > 0 {
 				rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
 			}
 		}
-		if len(updates) > 0 {
+		if len(rootUpdates) > 0 {
 			var delta []float32
 			var err error
 			if ca, ok := cfg.Outer.(CohortAggregator); ok {
-				delta, err = ca.Aggregate(updates)
+				delta, err = ca.Aggregate(rootUpdates)
 			} else {
-				delta, err = MeanDelta(updates)
+				delta, err = MeanDelta(rootUpdates)
 			}
 			if err != nil {
 				return nil, err

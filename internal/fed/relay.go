@@ -1,0 +1,471 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+)
+
+// RelayConfig configures a networked relay aggregator: a node that joins a
+// parent aggregator as an ordinary client while serving its own regional
+// cohort with the elastic membership machinery. Each parent round it
+// re-broadcasts the global model down, aggregates its cohort's updates
+// locally, and forwards one pseudo-gradient upward — the Algorithm 1
+// lines 19–25 sub-federation running over real links instead of inside one
+// process.
+type RelayConfig struct {
+	// ModelConfig sizes payload validation on both tiers; the relay never
+	// trains, it only moves and folds parameter vectors.
+	ModelConfig nn.Config
+	// ID is the identity the relay joins the parent under. Required — a
+	// restarted relay rejoining under the same ID resumes its membership.
+	ID string
+
+	Seed int64
+	// Rng, when non-nil, drives cohort sampling (nil seeds from Seed).
+	Rng *rand.Rand
+
+	// Cohort-tier membership, liveness, and pacing — the same knobs as
+	// ServerConfig, scoped to this tier. ExpectClients is how many cohort
+	// members must join before the relay dials its parent (the parent's
+	// round 1 therefore starts only when every relay's cohort is ready).
+	ExpectClients     int
+	ClientsPerRound   int // K within the cohort; 0 means full participation
+	MinClients        int
+	HeartbeatInterval time.Duration
+	MissedBeats       int
+	// RoundDeadline bounds the cohort tier's model/update exchange. With
+	// it set, a straggling cohort member costs this tier a partial round
+	// instead of stalling the parent's round; elasticity composes because
+	// each tier enforces its own deadline.
+	RoundDeadline time.Duration
+	OverProvision float64
+
+	// Codec is the cohort-tier wire codec the relay announces downstream
+	// (typically "dense" on LAN). The upstream codec is negotiated with
+	// the parent and pinned via Parent.Codec — the two tiers are
+	// independent, so a dense intra-region cohort can feed a q8 or topk
+	// inter-region uplink.
+	Codec string
+
+	// Outer folds the cohort's updates into the upstream pseudo-gradient:
+	// the relay applies it to a scratch copy of the broadcast parameters
+	// and forwards the resulting delta. Nil defaults to FedAvg(ηs=1),
+	// whose mean semantics make a two-tier mean of equal cohorts equal the
+	// flat mean exactly.
+	Outer OuterOpt
+
+	// Parent tunes the uplink's fault tolerance: MaxAttempts/backoff
+	// reconnect a lost parent session under the same ID (the upstream
+	// codec's error-feedback state survives, as it lives on the relay, not
+	// the connection), and Codec requires the parent to announce exactly
+	// that codec. CheckpointPath is ignored — a relay carries no model
+	// state worth snapshotting.
+	Parent ReconnectConfig
+
+	// OnRound observes this tier's round records (Tier 1, Depth 1).
+	OnRound func(metrics.Round)
+}
+
+func (c *RelayConfig) validate() error {
+	switch {
+	case c.ID == "":
+		return fmt.Errorf("fed: relay requires an ID")
+	case c.ExpectClients <= 0:
+		return fmt.Errorf("fed: relay ExpectClients must be positive, got %d", c.ExpectClients)
+	}
+	return c.ModelConfig.Validate()
+}
+
+// relay is the running state: the cohort-side server plus the parent-side
+// session (negotiated upstream codec, persistent across reconnects so
+// error-feedback codecs keep their residuals).
+type relay struct {
+	cfg   RelayConfig
+	srv   *server
+	outer OuterOpt
+	rng   *rand.Rand
+	want  int // model parameter count, for payload size checks
+
+	upEnc     link.Codec
+	upEncName string
+
+	hist      *metrics.History
+	global    []float32 // last decoded global broadcast
+	scratch   []float32 // outer-step scratch, reused across rounds
+	sentPrev  int64     // cohort meter windows (tile the run, no gaps)
+	recvPrev  int64
+	lastRound int32 // highest parent round served, skipped on stale redelivery
+}
+
+// RunRelay serves a relay aggregator until the parent ends the session:
+// wait for ExpectClients cohort joins on l, dial the parent, and bridge
+// parent rounds onto cohort rounds. The cohort side is fully elastic (late
+// joins, rejoins, heartbeat eviction, per-round deadline with partial
+// aggregation); a cohort that delivers zero updates for a round simply
+// sends nothing upstream, so the parent sees one straggler — not a dead
+// cohort. A parent connection loss is retried per cfg.Parent; when the
+// session is lost for good the cohort is dropped abruptly (no MsgShutdown),
+// so resilient cohort clients reconnect to a restarted relay instead of
+// exiting.
+//
+// The returned Result carries this tier's round history and the last
+// global parameters seen from the parent (loaded into FinalModel).
+func RunRelay(ctx context.Context, l *link.Listener, dial func(context.Context) (*link.Conn, error), cfg RelayConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	outer := cfg.Outer
+	if outer == nil {
+		outer = FedAvg{LR: 1}
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	srv, err := newServer(ServerConfig{
+		ModelConfig:       cfg.ModelConfig,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		MissedBeats:       cfg.MissedBeats,
+		RoundDeadline:     cfg.RoundDeadline,
+		Codec:             cfg.Codec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &relay{
+		cfg:   cfg,
+		srv:   srv,
+		outer: outer,
+		rng:   rng,
+		want:  int(cfg.ModelConfig.ParamCount()),
+		hist:  &metrics.History{},
+	}
+	r.cfg.Parent.fill()
+
+	stopLoops := srv.startLoops(ctx, l)
+	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
+	go func() {
+		defer close(watcherExited)
+		select {
+		case <-ctx.Done():
+			srv.expireMemberIO()
+		case <-watchDone:
+		}
+	}()
+	graceful := false
+	defer func() {
+		stopLoops()
+		close(watchDone)
+		<-watcherExited
+		srv.shutdownMembers(graceful)
+	}()
+
+	// The cohort assembles before the relay announces itself upstream.
+	if err := r.waitCohort(ctx); err != nil {
+		return nil, err
+	}
+
+	conn, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	finish := func(err error) (*Result, error) {
+		res := &Result{History: r.hist, Global: r.global}
+		if r.global != nil {
+			model := nn.NewModel(cfg.ModelConfig, rand.New(rand.NewSource(cfg.Seed)))
+			if lerr := model.Params().LoadFlat(r.global); lerr != nil {
+				return nil, lerr
+			}
+			res.FinalModel = model
+		}
+		return res, err
+	}
+	for {
+		err := r.serveParentConn(ctx, conn)
+		conn.Close()
+		if err == nil {
+			graceful = true
+			return finish(nil)
+		}
+		if ctx.Err() != nil {
+			graceful = true // operator-initiated stop, not a crash
+			return finish(ctx.Err())
+		}
+		if r.cfg.Parent.MaxAttempts <= 0 || !errors.Is(err, ErrSessionLost) {
+			return finish(err)
+		}
+		conn, err = redial(ctx, dial, cfg.ID, r.cfg.Parent, err)
+		if err != nil {
+			return finish(err)
+		}
+	}
+}
+
+// waitCohort blocks until ExpectClients cohort members joined.
+func (r *relay) waitCohort(ctx context.Context) error {
+	return r.srv.waitAlive(ctx, r.cfg.ExpectClients, 0)
+}
+
+// serveParentConn runs one parent connection's worth of the relay session:
+// handshake under the relay's ID, then serve parent rounds until
+// MsgShutdown or connection loss (wrapped in ErrSessionLost for the
+// reconnect loop).
+func (r *relay) serveParentConn(ctx context.Context, conn *link.Conn) error {
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+	name, err := Handshake(conn, r.cfg.ID, r.cfg.Parent.Codec)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	// The upstream codec lives on the relay, not the connection: a topk
+	// uplink's error-feedback residual survives parent reconnects, so
+	// coordinates dropped before a crash still reach later rounds.
+	if r.upEnc == nil || r.upEncName != name {
+		codec, err := link.NewCodec(name) // validated by Handshake
+		if err != nil {
+			return err
+		}
+		r.upEnc, r.upEncName = codec, name
+	}
+	// Round numbering is per parent RUN, not global: a restarted parent
+	// starts over at round 1, so the stale-redelivery guard resets with
+	// each fresh connection. Within one connection the models channel's
+	// latest-wins buffer already discards superseded broadcasts.
+	r.lastRound = 0
+
+	// Dedicated parent reader: heartbeats are echoed inline even while a
+	// cohort round is in flight, so a relay busy with a slow cohort reads
+	// as alive-but-straggling upstream rather than dead. Models are
+	// latest-wins — if the parent deadlined past rounds, the relay jumps
+	// to the current one.
+	models := make(chan *link.Message, 1)
+	ctrl := make(chan *link.Message, 4)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			switch msg.Type {
+			case link.MsgHeartbeat:
+				conn.Send(&link.Message{Type: link.MsgHeartbeat, Meta: msg.Meta})
+			case link.MsgModel:
+				select {
+				case models <- msg:
+				default:
+					select {
+					case <-models:
+					default:
+					}
+					select {
+					case models <- msg:
+					default:
+					}
+				}
+			default:
+				select {
+				case ctrl <- msg:
+				default:
+				}
+			}
+		}
+	}()
+
+	for {
+		var msg *link.Message
+		select {
+		case msg = <-ctrl:
+		default:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case err := <-readErr:
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("fed: relay %s recv: %w: %w", r.cfg.ID, ErrSessionLost, err)
+			case msg = <-ctrl:
+			case msg = <-models:
+			}
+		}
+		switch msg.Type {
+		case link.MsgShutdown:
+			return nil
+		case link.MsgModel:
+			if err := r.serveRound(ctx, conn, msg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fed: relay %s: unexpected message type %d", r.cfg.ID, msg.Type)
+		}
+	}
+}
+
+// serveRound bridges one parent round onto the cohort: decode the global
+// broadcast, run the cohort tier's exchange under its own deadline, fold
+// the surviving updates through the outer optimizer, and forward one
+// pseudo-gradient upstream. A round whose cohort delivered nothing sends
+// nothing — the parent's deadline counts the relay as a straggler and the
+// run moves on.
+func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Message) error {
+	round := msg.Round
+	if round <= r.lastRound {
+		return nil // stale redelivery after a reconnect
+	}
+	if r.want > 0 && msg.Payload.Elems != r.want {
+		return fmt.Errorf("fed: relay %s round %d: model payload carries %d elems, want %d",
+			r.cfg.ID, round, msg.Payload.Elems, r.want)
+	}
+	decStart := time.Now()
+	global, err := link.DecodePayload(r.upEnc, msg.Payload)
+	decNs := time.Since(decStart).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("fed: relay %s round %d model: %w", r.cfg.ID, round, err)
+	}
+	r.global = global
+
+	// Give an emptied cohort a rejoin window before running the round; if
+	// nobody comes back the round is simply skipped upstream.
+	minClients := r.cfg.MinClients
+	if minClients < 1 {
+		minClients = 1
+	}
+	grace := r.cfg.RoundDeadline
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	if err := r.srv.waitAlive(ctx, minClients, grace); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.record(int(round), nil, nil, roundWire{decNs: decNs}, 0)
+		r.lastRound = round
+		return nil
+	}
+
+	k := r.cfg.ClientsPerRound
+	if k <= 0 || k > r.cfg.ExpectClients {
+		k = r.cfg.ExpectClients
+	}
+	cohortInfos := r.srv.reg.SampleCohort(r.rng, k, r.cfg.OverProvision)
+	cohort := make([]*memberConn, 0, len(cohortInfos))
+	for _, info := range cohortInfos {
+		if mc := r.srv.get(info.ID); mc != nil {
+			cohort = append(cohort, mc)
+		}
+	}
+	updates, clientMetrics, wire, interrupted, err := r.srv.exchangeRound(ctx, int(round), global, cohort)
+	wire.decNs += decNs
+	if err != nil {
+		return err // server-side encode failure: deterministic, not retryable
+	}
+	if interrupted {
+		return ctx.Err()
+	}
+	r.lastRound = round
+
+	if len(updates) == 0 {
+		r.record(int(round), nil, nil, wire, 0)
+		return nil
+	}
+
+	delta, err := MeanDelta(updates)
+	if err != nil {
+		return err
+	}
+	// Reuse OuterOpt for the fold: apply it to a scratch copy of the
+	// broadcast parameters and forward θ_global − θ_local, computed in
+	// place on the scratch buffer (dead after the subtraction) so a
+	// long-running relay allocates nothing per round. Under the default
+	// FedAvg(ηs=1) this is exactly the cohort-mean pseudo-gradient, so a
+	// two-tier mean of equal cohorts equals the flat mean.
+	if len(r.scratch) != len(global) {
+		r.scratch = make([]float32, len(global))
+	}
+	copy(r.scratch, global)
+	r.outer.Step(r.scratch, delta, int(round))
+	for i := range r.scratch {
+		r.scratch[i] = global[i] - r.scratch[i]
+	}
+	upward := r.scratch
+
+	meta := metrics.AggMetrics(clientMetrics)
+	meta[link.CohortKey] = float64(len(updates))
+	encStart := time.Now()
+	encUpd, err := link.EncodeVector(r.upEnc, upward)
+	wire.encNs += time.Since(encStart).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("fed: relay %s round %d update: %w", r.cfg.ID, round, err)
+	}
+	err = conn.Send(&link.Message{
+		Type:     link.MsgUpdate,
+		Round:    round,
+		ClientID: r.cfg.ID,
+		Meta:     meta,
+		Payload:  encUpd,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("fed: relay %s send: %w: %w", r.cfg.ID, ErrSessionLost, err)
+	}
+	r.record(int(round), updates, clientMetrics, wire, norm2(upward))
+	return nil
+}
+
+// record stamps one relay-tier round onto the history: cohort-side wire
+// bytes over the round's meter window (tiling the run with no gaps), codec
+// wall times, churn, and the Tier/Depth position.
+func (r *relay) record(round int, updates [][]float32, clientMetrics []map[string]float64, wire roundWire, updateNorm float64) {
+	sent, recv := r.srv.meter.Totals()
+	sentRound, recvRound := sent-r.sentPrev, recv-r.recvPrev
+	r.sentPrev, r.recvPrev = sent, recv
+	churn := r.srv.reg.RoundDelta()
+	rec := metrics.Round{
+		Round:          round,
+		Clients:        len(updates),
+		Tier:           1,
+		Depth:          1,
+		UpdateNorm:     updateNorm,
+		WireSentBytes:  sentRound,
+		WireRecvBytes:  recvRound,
+		CommBytes:      sentRound + recvRound,
+		EncodeMs:       float64(wire.encNs) / 1e6,
+		DecodeMs:       float64(wire.decNs) / 1e6,
+		Joins:          churn.Joins + churn.Rejoins,
+		Evictions:      churn.Evictions,
+		Stragglers:     churn.Stragglers,
+		HeartbeatRTTMs: churn.HeartbeatRTTMs,
+	}
+	if wire.denseBytes > 0 {
+		rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
+	}
+	if len(clientMetrics) > 0 {
+		rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
+	}
+	r.hist.Append(rec)
+	if r.cfg.OnRound != nil {
+		r.cfg.OnRound(rec)
+	}
+}

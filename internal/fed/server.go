@@ -119,6 +119,107 @@ type server struct {
 	conns map[string]*memberConn
 }
 
+// newServer resolves the configured codec and builds the shared server
+// state behind both the root aggregator (Serve) and the relay tier
+// (RunRelay): the membership registry, the connection map, and the wire
+// meter.
+func newServer(cfg ServerConfig) (*server, error) {
+	codecName := cfg.Codec
+	if codecName == "" {
+		codecName = "dense"
+	}
+	sessionCodec, err := link.NewCodec(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("fed: server codec: %w", err)
+	}
+	return &server{
+		cfg:       cfg,
+		codecName: codecName,
+		codecID:   link.CodecWireID(codecName),
+		codec:     sessionCodec,
+		modelEnc:  link.ModelCodec(sessionCodec),
+		meter:     &link.Meter{},
+		reg: cluster.New(cluster.Config{
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			MissedBeats:       cfg.MissedBeats,
+		}),
+		conns: make(map[string]*memberConn),
+	}, nil
+}
+
+// startLoops launches the accept loop (and, when configured, the liveness
+// loop) and returns a stop function that cancels both and waits for them to
+// exit. The accept loop admits members for the whole run, so evicted or
+// crashed members can rejoin at any time.
+func (s *server) startLoops(ctx context.Context, l *link.Listener) (stop func()) {
+	loopCtx, cancel := context.WithCancel(ctx)
+	var loops sync.WaitGroup
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		s.acceptLoop(loopCtx, l)
+	}()
+	if s.cfg.HeartbeatInterval > 0 {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			s.livenessLoop(loopCtx)
+		}()
+	}
+	return func() {
+		cancel()
+		loops.Wait()
+	}
+}
+
+// expireMemberIO expires every member connection's pending I/O — the
+// cancellation path's way of breaking a round waiter out of an unbounded
+// Send so shutdown can proceed.
+func (s *server) expireMemberIO() {
+	for _, mc := range s.snapshot() {
+		mc.conn.SetDeadline(time.Now())
+	}
+}
+
+// shutdownMembers ends every member session. Graceful delivers MsgShutdown
+// with a bounded drain window so clients exit cleanly; abrupt just closes
+// the connections — the crash path a relay takes when it loses its parent,
+// so its cohort's resilient clients treat the loss as a transport failure
+// and reconnect to a restarted relay instead of terminating.
+func (s *server) shutdownMembers(graceful bool) {
+	var shut sync.WaitGroup
+	for _, mc := range s.snapshot() {
+		shut.Add(1)
+		go func(mc *memberConn) {
+			defer shut.Done()
+			if !graceful {
+				mc.conn.Close()
+				return
+			}
+			// SendTimeout installs a fresh write deadline once it holds
+			// the send mutex, overriding any expiry the cancellation
+			// watcher left behind.
+			mc.conn.SendTimeout(&link.Message{Type: link.MsgShutdown}, 3*time.Second)
+			select {
+			case <-mc.dead:
+				// The reader is gone; drain inbound for a bounded grace
+				// period ourselves — closing with an unread in-flight
+				// update would reset the connection and destroy the
+				// shutdown message before the client reads it.
+				mc.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+				for {
+					if _, err := mc.conn.Recv(); err != nil {
+						break
+					}
+				}
+			case <-time.After(3 * time.Second):
+			}
+			mc.conn.Close()
+		}(mc)
+	}
+	shut.Wait()
+}
+
 // Serve runs the elastic aggregator protocol on the listener: wait for
 // ExpectClients joins, then for each round sample a (possibly
 // over-provisioned) cohort from the alive membership, send the global
@@ -152,46 +253,15 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	if minClients < 1 {
 		minClients = 1
 	}
-	codecName := cfg.Codec
-	if codecName == "" {
-		codecName = "dense"
-	}
-	sessionCodec, err := link.NewCodec(codecName)
+	s, err := newServer(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("fed: server codec: %w", err)
-	}
-
-	s := &server{
-		cfg:       cfg,
-		codecName: codecName,
-		codecID:   link.CodecWireID(codecName),
-		codec:     sessionCodec,
-		modelEnc:  link.ModelCodec(sessionCodec),
-		meter:     &link.Meter{},
-		reg: cluster.New(cluster.Config{
-			HeartbeatInterval: cfg.HeartbeatInterval,
-			MissedBeats:       cfg.MissedBeats,
-		}),
-		conns: make(map[string]*memberConn),
+		return nil, err
 	}
 
 	// The accept loop admits members for the entire run. Handshakes run in
 	// their own goroutines so a stray connection that never sends MsgJoin
 	// can neither hold a membership slot nor stall other joiners.
-	acceptCtx, stopAccept := context.WithCancel(ctx)
-	var loops sync.WaitGroup
-	loops.Add(1)
-	go func() {
-		defer loops.Done()
-		s.acceptLoop(acceptCtx, l)
-	}()
-	if cfg.HeartbeatInterval > 0 {
-		loops.Add(1)
-		go func() {
-			defer loops.Done()
-			s.livenessLoop(acceptCtx)
-		}()
-	}
+	stopLoops := s.startLoops(ctx, l)
 
 	// On cancellation, expire in-flight member I/O via deadlines. Deadlines
 	// only — a round waiter stuck in an unbounded model Send holds the
@@ -203,9 +273,7 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		defer close(watcherExited)
 		select {
 		case <-ctx.Done():
-			for _, mc := range s.snapshot() {
-				mc.conn.SetDeadline(time.Now())
-			}
+			s.expireMemberIO()
 		case <-watchDone:
 		}
 	}()
@@ -214,37 +282,10 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	// still connected and give each a bounded grace period to read it
 	// before the connection is torn down.
 	defer func() {
-		stopAccept()
+		stopLoops()
 		close(watchDone)
 		<-watcherExited
-		loops.Wait()
-		var shut sync.WaitGroup
-		for _, mc := range s.snapshot() {
-			shut.Add(1)
-			go func(mc *memberConn) {
-				defer shut.Done()
-				// SendTimeout installs a fresh write deadline once it holds
-				// the send mutex, overriding any expiry the cancellation
-				// watcher left behind.
-				mc.conn.SendTimeout(&link.Message{Type: link.MsgShutdown}, 3*time.Second)
-				select {
-				case <-mc.dead:
-					// The reader is gone; drain inbound for a bounded grace
-					// period ourselves — closing with an unread in-flight
-					// update would reset the connection and destroy the
-					// shutdown message before the client reads it.
-					mc.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
-					for {
-						if _, err := mc.conn.Recv(); err != nil {
-							break
-						}
-					}
-				case <-time.After(3 * time.Second):
-				}
-				mc.conn.Close()
-			}(mc)
-		}
-		shut.Wait()
+		s.shutdownMembers(true)
 	}()
 
 	// Initial membership: wait (ctx-bounded) for the expected cohort.
@@ -286,6 +327,10 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	// waits) is attributed to the next recorded round rather than lost,
 	// and the per-round sums add up to the meter's cumulative totals.
 	sentPrev, recvPrev := s.meter.Totals()
+	// depth is the aggregation depth stamped on round records: 1 until a
+	// relay identifies itself, then sticky at 2 — an empty round (every
+	// relay straggled) does not mean the topology collapsed to flat.
+	depth := 1
 	var runErr error
 	for round := 1; round <= cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -332,10 +377,20 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		sentRound, recvRound := sentAfter-sentPrev, recvAfter-recvPrev
 		sentPrev, recvPrev = sentAfter, recvAfter
 
+		// Depth 2 once any member identifies itself as an aggregation
+		// tier (a relay stamps CohortKey on its upstream updates).
+		for _, m := range clientMetrics {
+			if _, ok := m[link.CohortKey]; ok {
+				depth = 2
+				break
+			}
+		}
+
 		churn := s.reg.RoundDelta()
 		rec := metrics.Round{
 			Round:   round,
 			Clients: len(updates),
+			Depth:   depth,
 			// Real wire traffic measured over the round's window, frame
 			// headers and heartbeats included — not an element-count
 			// estimate.

@@ -167,6 +167,26 @@ func TestTable1Deployments(t *testing.T) {
 	}
 }
 
+func TestRegionClientsMergesAndSorts(t *testing.T) {
+	d := Deployment{ModelName: "x", AggRegion: "England", Silos: []RegionSilo{
+		{Region: "Utah", Clients: 2, GPUsPerClient: 1},
+		{Region: "Texas", Clients: 1, GPUsPerClient: 1},
+		{Region: "Utah", Clients: 3, GPUsPerClient: 1}, // duplicate row merges
+		{Region: "Quebec", Clients: 0, GPUsPerClient: 1},
+	}}
+	rc := d.RegionClients()
+	if rc["Utah"] != 5 || rc["Texas"] != 1 {
+		t.Fatalf("RegionClients = %v, want Utah 5 / Texas 1", rc)
+	}
+	if _, ok := rc["Quebec"]; ok {
+		t.Fatal("zero-client region must be omitted")
+	}
+	regions := d.Regions()
+	if len(regions) != 2 || regions[0] != "Texas" || regions[1] != "Utah" {
+		t.Fatalf("Regions = %v, want sorted [Texas Utah]", regions)
+	}
+}
+
 func TestDeploymentFor(t *testing.T) {
 	if _, ok := DeploymentFor(nn.Config7B); !ok {
 		t.Fatal("7B deployment missing")

@@ -1,6 +1,10 @@
 package hw
 
-import "photon/internal/nn"
+import (
+	"sort"
+
+	"photon/internal/nn"
+)
 
 // RegionSilo is one row cell of the paper's Table 1: a region hosting some
 // number of clients, each holding a fixed number of GPUs.
@@ -34,6 +38,29 @@ func (d Deployment) TotalGPUs() int {
 		n += s.Clients * s.GPUsPerClient
 	}
 	return n
+}
+
+// RegionClients returns the number of clients hosted per region, merging
+// duplicate region rows. Regions with zero clients are omitted.
+func (d Deployment) RegionClients() map[string]int {
+	out := map[string]int{}
+	for _, s := range d.Silos {
+		if s.Clients > 0 {
+			out[s.Region] += s.Clients
+		}
+	}
+	return out
+}
+
+// Regions returns the sorted set of regions hosting at least one client.
+func (d Deployment) Regions() []string {
+	rc := d.RegionClients()
+	out := make([]string, 0, len(rc))
+	for r := range rc {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Table1Deployments reproduces the paper's Table 1 exactly: for each model

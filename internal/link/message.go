@@ -66,6 +66,12 @@ const HeartbeatSentKey = "hb_sent_ns"
 // handshake (MsgCodecAnnounce announces it, MsgJoin echoes it back).
 const CodecIDKey = "codec_id"
 
+// CohortKey is the Meta key a relay stamps on its upstream MsgUpdate with
+// the number of cohort updates folded into the payload. Its presence tells
+// the parent aggregator that the member is itself an aggregation tier, so
+// round records report Depth 2 instead of a flat cohort.
+const CohortKey = "cohort"
+
 // Message is the unit of communication. Payload carries model parameters or
 // pseudo-gradients in their codec-encoded wire form; Meta carries scalar
 // metadata (losses, step counts, instructions) keyed by name.

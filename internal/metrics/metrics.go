@@ -31,6 +31,15 @@ type Round struct {
 	EncodeMs         float64 // payload encode wall time this round, milliseconds
 	DecodeMs         float64 // payload decode wall time this round, milliseconds
 
+	// Hierarchical-aggregation position. Tier is the emitting node's
+	// distance from the global aggregator (0 = root, 1 = a relay's own
+	// records). Depth is the number of aggregation tiers at or below the
+	// emitting node: 1 for a flat aggregation, 2 when the node's children
+	// are themselves relays; 0 means the backend predates tier accounting
+	// (or it does not apply, e.g. centralized training).
+	Tier  int
+	Depth int
+
 	// Elastic-membership churn attributed to this round (networked
 	// aggregator only; zero for the in-process backends). Churn is
 	// windowed between recorded rounds, so the initial cohort's joins

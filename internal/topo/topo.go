@@ -4,11 +4,14 @@
 // The three aggregation variants of Section 4 — parameter server (PS),
 // AllReduce (AR), and Ring-AllReduce (RAR) — have the communication costs of
 // Eqs. 2–4; local compute time follows Eq. 1; round and total wall time
-// follow Eqs. 5–6; server aggregation time follows Eq. 7. The package also
-// carries the Figure 2 inter-region bandwidth graph and the topology
-// auto-selection rule Photon applies per scenario (privacy constraints rule
-// out peer-to-peer; dropout risk rules out RAR; otherwise the cheapest
-// topology wins).
+// follow Eqs. 5–6 (RoundTime includes the Eq. 7 server aggregation term);
+// PS bandwidth degrades past the Appendix B.1 congestion threshold θ
+// (CongestionThr), continuously and monotonically in the client count. The
+// package also carries the Figure 2 inter-region bandwidth graph, the
+// topology auto-selection rule Photon applies per scenario (privacy
+// constraints rule out peer-to-peer; dropout risk rules out RAR; otherwise
+// the cheapest topology wins), and BuildPlan, which turns the analytic
+// model into an executable two-tier relay placement over a deployment.
 package topo
 
 import (
@@ -77,8 +80,32 @@ func (m Model) LocalComputeTime() float64 {
 	return float64(m.LocalSteps) / m.Throughput
 }
 
+// theta returns the effective congestion threshold (default 100 channels).
+func (m Model) theta() float64 {
+	if m.CongestionThr <= 0 {
+		return 100
+	}
+	return float64(m.CongestionThr)
+}
+
+// psSerialTime is the Appendix B.1 congestion-corrected cost of serializing
+// k model transfers of s MB over a link of b MB/s: k·s/b while k stays
+// within the θ concurrent channels the server NIC sustains at full rate,
+// and k²·s/(θ·b) beyond it — each of the k transfers then only gets the
+// θ/k-th share of the link. The two branches agree at k = θ, so the cost is
+// continuous and monotone non-decreasing in k.
+func psSerialTime(k float64, s, b, theta float64) float64 {
+	if k <= theta {
+		return k * s / b
+	}
+	return k * k * s / (theta * b)
+}
+
 // CommTime returns the per-round communication time of Eqs. 2–4 for K
-// clients under the given topology. K ≤ 1 means no communication.
+// clients under the given topology. K ≤ 1 means no communication. The PS
+// cost degrades past the congestion threshold θ (CongestionThr): beyond θ
+// concurrent channels the server link's effective per-transfer bandwidth
+// shrinks proportionally, so the cost grows quadratically in K.
 func (m Model) CommTime(t Topology, k int) float64 {
 	if k <= 1 {
 		return 0
@@ -87,8 +114,8 @@ func (m Model) CommTime(t Topology, k int) float64 {
 	s, b := m.ModelSizeMB, m.BandwidthMBps
 	switch t {
 	case PS:
-		// Eq. 2: the server serializes K model transfers over its link.
-		return kf * s / b
+		// Eq. 2 with the Appendix B.1 congestion correction.
+		return psSerialTime(kf, s, b, m.theta())
 	case AR:
 		// Eq. 3: each worker exchanges with K−1 peers.
 		return (kf - 1) * s / b
@@ -109,9 +136,11 @@ func (m Model) AggregationTime(k int) float64 {
 	return float64(k) * m.ModelSizeMB * 1e6 / (z * 1e12)
 }
 
-// RoundTime is Eq. 5: one round of local compute plus aggregation traffic.
+// RoundTime is Eq. 5: one round of local compute, aggregation traffic, and
+// the Eq. 7 server aggregation term (negligible next to communication, but
+// part of the equation).
 func (m Model) RoundTime(t Topology, k int) float64 {
-	return m.LocalComputeTime() + m.CommTime(t, k)
+	return m.LocalComputeTime() + m.CommTime(t, k) + m.AggregationTime(k)
 }
 
 // TotalTime is Eq. 6: R rounds of RoundTime.

@@ -94,11 +94,74 @@ func TestRARBounded(t *testing.T) {
 func TestRoundAndTotalTime(t *testing.T) {
 	m := testModel()
 	rt := m.RoundTime(RAR, 8)
-	if want := m.LocalComputeTime() + m.CommTime(RAR, 8); rt != want {
+	// Eq. 5 covers local compute, communication, AND the Eq. 7 server
+	// aggregation term, exactly as the model's doc claims.
+	if want := m.LocalComputeTime() + m.CommTime(RAR, 8) + m.AggregationTime(8); rt != want {
 		t.Fatalf("Eq.5: got %v want %v", rt, want)
 	}
 	if tot := m.TotalTime(RAR, 8, 10); tot != 10*rt {
 		t.Fatalf("Eq.6: got %v want %v", tot, 10*rt)
+	}
+}
+
+// TestCongestionRegressionTable1 pins Eq. 5/6 values for the paper's 125M
+// Table-1 deployment (10 clients, S=250MB BF16, ν=2, τ=512) below and above
+// the congestion threshold θ. Below θ the PS cost is the plain Eq. 2 serial
+// transfer; above it each of the K transfers only gets a θ/K share of the
+// server link, so the cost is K²·S/(θ·B).
+func TestCongestionRegressionTable1(t *testing.T) {
+	m := testModel() // the Table 1 125M setup
+	m.CongestionThr = 8
+	s, b := m.ModelSizeMB, m.BandwidthMBps
+
+	// Below θ: K=5 regions' worth of clients — plain serial PS (Eq. 2).
+	if got, want := m.CommTime(PS, 5), 5*s/b; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("below θ: got %v want %v", got, want)
+	}
+	// At θ: both branches agree (continuity).
+	if got, want := m.CommTime(PS, 8), 8*s/b; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("at θ: got %v want %v", got, want)
+	}
+	// Above θ: the 125M deployment's 10 clients congest an 8-channel
+	// server: 10²·S/(8·B).
+	if got, want := m.CommTime(PS, 10), 100*s/(8*b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("above θ: got %v want %v", got, want)
+	}
+	// Eq. 5/6 regression above θ: round and 20-round total wall time.
+	wantRound := m.LocalComputeTime() + 100*s/(8*b) + m.AggregationTime(10)
+	if got := m.RoundTime(PS, 10); math.Abs(got-wantRound) > 1e-9 {
+		t.Fatalf("Eq.5 above θ: got %v want %v", got, wantRound)
+	}
+	if got := m.TotalTime(PS, 10, 20); math.Abs(got-20*wantRound) > 1e-9 {
+		t.Fatalf("Eq.6 above θ: got %v want %v", got, 20*wantRound)
+	}
+}
+
+// TestCongestionContinuousAndMonotone sweeps K across θ and asserts the PS
+// cost curve has no discontinuity at the threshold and never decreases.
+func TestCongestionContinuousAndMonotone(t *testing.T) {
+	m := testModel()
+	m.CongestionThr = 16
+	prev := 0.0
+	for k := 2; k <= 64; k++ {
+		ct := m.CommTime(PS, k)
+		if ct < prev {
+			t.Fatalf("K=%d: PS comm time decreased: %v after %v", k, ct, prev)
+		}
+		// Discontinuity-free: consecutive steps never jump by more than the
+		// smooth quadratic branch's worst-case ratio ((K+1)/K)² ≤ 2.25 at
+		// K=2; near and past θ=16 the ratio stays below 1.2.
+		if k > 2 && prev > 0 {
+			if ratio := ct / prev; k >= 8 && ratio > 1.5 {
+				t.Fatalf("K=%d: PS comm time jumped by %.2fx across a single client increment", k, ratio)
+			}
+		}
+		prev = ct
+	}
+	// Defaulted θ (zero value) behaves as 100 channels.
+	m.CongestionThr = 0
+	if got, want := m.CommTime(PS, 200), 200.0*200.0*m.ModelSizeMB/(100*m.BandwidthMBps); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("default θ=100: got %v want %v", got, want)
 	}
 }
 

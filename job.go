@@ -102,6 +102,7 @@ func newResult(model *nn.Model, hist *metrics.History) *Result {
 				WireSentBytes: r.WireSentBytes, WireRecvBytes: r.WireRecvBytes,
 				CompressionRatio: r.CompressionRatio,
 				EncodeMs:         r.EncodeMs, DecodeMs: r.DecodeMs,
+				Tier: r.Tier, Depth: r.Depth,
 				Joins: r.Joins, Evictions: r.Evictions, Stragglers: r.Stragglers,
 				HeartbeatRTTMs: r.HeartbeatRTTMs,
 			})
@@ -186,6 +187,9 @@ func (j *Job) runFederated(ctx context.Context) (*Result, error) {
 		EvalEvery:      c.evalEvery,
 		Post:           post,
 		Codec:          c.codec,
+		Tiers:          c.tiers,
+		Relays:         c.relays,
+		UpstreamCodec:  c.upstreamCodec,
 		DropoutProb:    c.dropoutProb,
 		CheckpointPath: c.checkpointPath,
 		InitParams:     initParams,
@@ -237,6 +241,9 @@ func (j *Job) runCentralized(ctx context.Context) (*Result, error) {
 
 func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 	c := j.cfg
+	if c.parent != "" {
+		return j.runRelay(ctx)
+	}
 	if c.expectClients <= 0 {
 		return nil, fmt.Errorf("photon: aggregator backend requires WithExpectClients > 0")
 	}
@@ -276,6 +283,65 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	return newResult(res.FinalModel, res.History), err
+}
+
+// runRelay serves the relay flavor of the aggregator backend (WithParent):
+// listen for the regional cohort on WithAddr, join the parent aggregator,
+// and bridge parent rounds onto cohort rounds. The run ends when the parent
+// shuts the session down (or the parent link is lost beyond the reconnect
+// budget); validation perplexity is the root's job, so the result reports 0.
+func (j *Job) runRelay(ctx context.Context) (*Result, error) {
+	c := j.cfg
+	if c.expectClients <= 0 {
+		return nil, fmt.Errorf("photon: relay requires WithExpectClients > 0 (its cohort size)")
+	}
+	cfg, err := ModelConfig(c.size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.SeqLen = c.seqLen
+	outer, err := lookupServerOptimizer(c.server)
+	if err != nil {
+		return nil, err
+	}
+	l, err := link.Listen(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	j.addr.Store(l.Addr())
+	id := c.clientID
+	if id == "" {
+		id = "relay@" + l.Addr()
+	}
+	res, err := fed.RunRelay(ctx, l, func(ctx context.Context) (*link.Conn, error) {
+		return link.DialContext(ctx, c.parent)
+	}, fed.RelayConfig{
+		ModelConfig:       cfg,
+		ID:                id,
+		Seed:              c.seed,
+		ExpectClients:     c.expectClients,
+		ClientsPerRound:   c.clientsPerRound,
+		MinClients:        c.minClients,
+		HeartbeatInterval: c.heartbeat,
+		RoundDeadline:     c.roundDeadline,
+		OverProvision:     c.overProvision,
+		Codec:             c.codec,
+		Outer:             outer,
+		Parent: fed.ReconnectConfig{
+			MaxAttempts: c.reconnect,
+			Codec:       c.upstreamCodec,
+		},
+		OnRound: j.emit,
+	})
+	if res == nil {
+		return nil, err
+	}
+	// Like the root aggregator path, a failed run still reports the partial
+	// tier history alongside the error.
+	out := newResult(res.FinalModel, res.History)
+	out.FinalPerplexity = 0 // evaluation happens at the root
+	return out, err
 }
 
 func (j *Job) runClient(ctx context.Context) (*Result, error) {

@@ -57,6 +57,11 @@ type jobConfig struct {
 	codecSet      bool
 	compress      bool
 
+	parent        string
+	tiers         int
+	relays        int
+	upstreamCodec string
+
 	heartbeat     time.Duration
 	roundDeadline time.Duration
 	minClients    int
@@ -178,6 +183,58 @@ func WithCodec(name string) JobOption {
 // WithCodec wins when both are given.
 func WithCompression(on bool) JobOption { return func(c *jobConfig) { c.compress = on } }
 
+// WithParent turns the aggregator backend into a relay: the job still
+// listens on WithAddr and serves its WithExpectClients cohort with the full
+// elastic machinery, but instead of running its own round loop it joins the
+// parent aggregator at addr as an ordinary client — each parent round it
+// re-broadcasts the global model down, aggregates its cohort locally
+// (FedAvg ηs=1 mean semantics, so a two-tier mean of equal cohorts equals
+// the flat mean), and forwards one pseudo-gradient upward. WithCodec names
+// the cohort-tier codec; WithUpstreamCodec pins the parent-tier one. The
+// relay's round telemetry carries Tier 1.
+func WithParent(addr string) JobOption { return func(c *jobConfig) { c.parent = addr } }
+
+// WithTiers selects the federated backend's aggregation depth: 1 (default)
+// is the flat Algorithm 1 loop, 2 simulates hierarchical aggregation — the
+// cohort folds into WithRelays group means first and the server optimizer
+// consumes the mean of relay means, with the parent tier's wire traffic
+// accounted under WithUpstreamCodec.
+func WithTiers(n int) JobOption { return func(c *jobConfig) { c.tiers = n } }
+
+// WithRelays sets the number of relay groups for WithTiers(2) (default 2).
+func WithRelays(n int) JobOption { return func(c *jobConfig) { c.relays = n } }
+
+// WithUpstreamCodec names the relay→root tier's wire codec. On the
+// federated backend it drives the tiered simulation's parent-tier encoding
+// (default: same as WithCodec); on a relay job (WithParent) it is a strict
+// requirement against the parent's announced codec — leave it unset to
+// accept whatever the parent runs.
+func WithUpstreamCodec(name string) JobOption {
+	return func(c *jobConfig) { c.upstreamCodec = name }
+}
+
+// WithPlan applies a planned hierarchy (see PlanHierarchy) to the job: the
+// tier count, relay count, and upstream codec are taken from the plan. On
+// the aggregator backend it also provides the expected cohort size (the
+// plan's relay count) when WithExpectClients was not given explicitly.
+func WithPlan(p *HierarchyPlan) JobOption {
+	return func(c *jobConfig) {
+		if p == nil {
+			return
+		}
+		c.tiers = p.Tiers
+		if n := len(p.Relays); n > 0 {
+			c.relays = n
+			if c.expectClients == 0 {
+				c.expectClients = n
+			}
+		}
+		if p.Tiers > 1 && p.UpstreamCodec != "" {
+			c.upstreamCodec = p.UpstreamCodec
+		}
+	}
+}
+
 // WithHeartbeat enables heartbeat liveness tracking on the aggregator
 // backend: every member is pinged on this cadence and evicted after three
 // consecutive missed beats. Clients echo heartbeats automatically, even
@@ -273,6 +330,10 @@ func (c *jobConfig) fill() {
 		if c.evalEvery == 0 {
 			c.evalEvery = 1
 		}
+		if c.parent != "" && !c.reconnectSet {
+			// A relay's parent link reconnects like a resilient client.
+			c.reconnect = 5
+		}
 	case BackendClient:
 		if c.batchSize == 0 {
 			c.batchSize = 4
@@ -315,6 +376,12 @@ func (c *jobConfig) expectedEvents() int {
 		// Round count is aggregator-driven and unknown here; size for any
 		// realistic session length.
 		n = 4096
+	case BackendAggregator:
+		n = c.rounds
+		if c.parent != "" {
+			// A relay's round count is parent-driven and unknown here.
+			n = 4096
+		}
 	default:
 		n = c.rounds
 	}

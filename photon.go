@@ -23,7 +23,13 @@
 //     the measured wire, not just a simulation.
 //   - PlanDeployment evaluates the Appendix B.1 wall-time model over a
 //     bandwidth topology, choosing the cheapest admissible aggregation
-//     topology for a deployment.
+//     topology for a deployment; PlanHierarchy goes further and emits an
+//     executable two-tier relay placement (who dials whom, per-tier
+//     codecs) minimizing the congestion-corrected Eq. 5/6 wall time.
+//   - Aggregation composes hierarchically over real links: WithParent
+//     turns an aggregator job into a relay that joins a parent while
+//     serving its own cohort, and WithTiers/WithRelays/WithPlan simulate
+//     the same hierarchy in-process. Round telemetry carries Tier/Depth.
 //
 // The legacy blocking entry points (Pretrain, PretrainCentralized,
 // ServeAggregator, JoinAsClient) remain as deprecated thin wrappers over
@@ -34,7 +40,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
+	"photon/internal/hw"
 	"photon/internal/nn"
 	"photon/internal/topo"
 )
@@ -173,6 +182,13 @@ type RoundStat struct {
 	EncodeMs         float64
 	DecodeMs         float64
 
+	// Hierarchical-aggregation position: Tier is the emitter's distance
+	// from the global aggregator (0 = root, 1 = a relay job), Depth the
+	// number of aggregation tiers at or below it (2 when the round's
+	// members are relays; 0 = not applicable).
+	Tier  int
+	Depth int
+
 	// Elastic-membership churn attributed to the round (networked
 	// aggregator backend only): joins/rejoins (round 1 includes the
 	// initial cohort), evictions, cohort slots dropped at the round
@@ -241,6 +257,130 @@ type TopologyPlan struct {
 	CommShare      float64 // fraction of the round spent communicating
 	Selected       bool    // cheapest admissible choice
 	RuledOutReason string  // non-empty when constraints exclude it
+}
+
+// RelayCohort is one relay's tier assignment in a HierarchyPlan.
+type RelayCohort struct {
+	Region  string
+	Members []string // leaf client nodes ("<region>/<i>") served by this relay
+}
+
+// DialEdge is one edge of a HierarchyPlan's executable dial graph: From
+// dials To on the given tier (0 = toward the root, 1 = leaf → relay), over
+// the stated link, speaking the stated codec.
+type DialEdge struct {
+	From, To      string
+	Tier          int
+	BandwidthGbps float64
+	Codec         string
+}
+
+// HierarchyPlan is an executable aggregation-topology plan: where relays
+// sit, who dials whom, which codec each tier speaks, and the predicted
+// Eq. 5 wall times behind the choice. Feed it to WithPlan to configure a
+// job, or walk Dials to start photon-agg -parent / photon-client processes.
+type HierarchyPlan struct {
+	ModelName string
+	AggRegion string
+	Tiers     int // 1 = flat star, 2 = relays pay off
+	Relays    []RelayCohort
+
+	UpstreamCodec string
+	IntraCodec    string
+
+	FlatRoundSeconds   float64
+	TieredRoundSeconds float64
+	RoundSeconds       float64 // the chosen candidate's time
+
+	Dials []DialEdge
+}
+
+// codecWireRatio estimates a codec's encoded-vs-dense wire ratio for
+// planning purposes: dense 1.0, flate ~0.9 on float noise, q8 ~0.26 (1
+// byte/elem + block scales), topk:<keep> ~2·keep (8 bytes per kept pair).
+func codecWireRatio(name string) float64 {
+	base, param, _ := strings.Cut(name, ":")
+	switch base {
+	case "flate":
+		return 0.9
+	case "q8":
+		return 0.26
+	case "topk":
+		keep := 0.1
+		if param != "" {
+			if v, err := strconv.ParseFloat(param, 64); err == nil && v > 0 && v <= 1 {
+				keep = v
+			}
+		}
+		if r := 2 * keep; r < 1 {
+			return r
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// PlanHierarchy runs the congestion-corrected Appendix B.1 model over the
+// paper's Table 1 deployment for the model size and the Figure 2 world
+// bandwidth graph, and returns the cheapest executable aggregation
+// hierarchy: the flat PS star on the aggregator region, or a two-tier relay
+// placement (searched exhaustively over relay sites) when that minimizes
+// Eq. 5/6 wall time. localSteps is τ; throughput is the client's ν in
+// batches/second (0 selects the paper's measured value for the size);
+// upstreamCodec names the relay→root codec the plan assumes and records
+// ("" = "q8").
+func PlanHierarchy(size ModelSize, localSteps int, throughput float64, upstreamCodec string) (*HierarchyPlan, error) {
+	cfg, err := ModelConfig(size)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := hw.DeploymentFor(cfg)
+	if !ok {
+		return nil, fmt.Errorf("photon: no Table 1 deployment for model size %q", size)
+	}
+	if throughput <= 0 {
+		if throughput = hw.PaperThroughput(cfg.Name, true); throughput <= 0 {
+			return nil, fmt.Errorf("photon: no measured throughput for %q; pass one explicitly", size)
+		}
+	}
+	if localSteps <= 0 {
+		return nil, fmt.Errorf("photon: localSteps must be positive")
+	}
+	if upstreamCodec == "" {
+		upstreamCodec = "q8"
+	}
+	m := topo.Model{
+		ModelSizeMB:   hw.ModelSizeMB(cfg),
+		BandwidthMBps: 1, // superseded per link by the graph
+		Throughput:    throughput,
+		LocalSteps:    localSteps,
+	}
+	p, err := topo.BuildPlan(d, topo.WorldGraph(), m, topo.PlanOptions{
+		UpstreamCodec:       upstreamCodec,
+		UpstreamCompression: codecWireRatio(upstreamCodec),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HierarchyPlan{
+		ModelName:          p.ModelName,
+		AggRegion:          p.AggRegion,
+		Tiers:              p.Tiers,
+		UpstreamCodec:      p.UpstreamCodec,
+		IntraCodec:         p.IntraCodec,
+		FlatRoundSeconds:   p.FlatRoundSeconds,
+		TieredRoundSeconds: p.TieredRoundSeconds,
+		RoundSeconds:       p.RoundSeconds,
+	}
+	for _, c := range p.Relays {
+		out.Relays = append(out.Relays, RelayCohort{Region: c.RelayRegion, Members: c.Members})
+	}
+	for _, e := range p.Dials {
+		out.Dials = append(out.Dials, DialEdge{From: e.From, To: e.To, Tier: e.Tier,
+			BandwidthGbps: e.BandwidthGbps, Codec: e.Codec})
+	}
+	return out, nil
 }
 
 // PlanDeployment evaluates the Appendix B.1 wall-time model for a model size
