@@ -1,0 +1,110 @@
+// Command photon-serve runs a Photon inference server: a KV-cached
+// continuous-batching engine over one model, speaking the Photon wire
+// protocol so photon clients (and eval harnesses) can generate and score
+// against the real serving path. Ctrl-C shuts it down gracefully.
+//
+// Usage:
+//
+//	photon-serve -addr :9100 -model tiny -ckpt global.ckpt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"photon"
+	"photon/internal/ckpt"
+	"photon/internal/link"
+	"photon/internal/nn"
+	"photon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-serve: ")
+	var (
+		addr     = flag.String("addr", ":9100", "listen address")
+		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
+		ckptPath = flag.String("ckpt", "", "checkpoint to serve (default: fresh random init from -seed)")
+		seed     = flag.Int64("seed", 1, "init seed when no checkpoint is given")
+		maxBatch = flag.Int("max-batch", 8, "max sequences decoded concurrently")
+		maxSeq   = flag.Int("max-seq", 0, "per-sequence KV-cache capacity in tokens (0 = 4x trained context)")
+		queue    = flag.Int("queue", 64, "admission queue depth")
+		stats    = flag.Duration("stats", 10*time.Second, "telemetry print interval (0 disables)")
+	)
+	flag.Parse()
+
+	cfg, err := photon.ModelConfig(photon.ModelSize(*size))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := nn.NewModel(cfg, rand.New(rand.NewSource(*seed)))
+	if *ckptPath != "" {
+		c, err := ckpt.Load(*ckptPath)
+		if err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+		if err := m.Params().LoadFlat(c.Params); err != nil {
+			log.Fatalf("checkpoint does not fit %s: %v", *size, err)
+		}
+		log.Printf("serving %s from %s (round %d, step %d)", *size, *ckptPath, c.Round, c.Step)
+	} else {
+		log.Printf("serving %s from random init (seed %d); pass -ckpt for trained weights", *size, *seed)
+	}
+
+	l, err := link.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := serve.NewEngine(m, serve.Config{MaxBatch: *maxBatch, MaxSeq: *maxSeq, Queue: *queue})
+	srv := serve.NewServer(eng, l)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Telemetry: keep the freshest completion snapshot and print it on a
+	// timer, so a busy server logs at a bounded rate.
+	go func() {
+		var last serve.Event
+		var seen bool
+		var tick <-chan time.Time
+		if *stats > 0 {
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case ev, ok := <-eng.Events():
+				if !ok {
+					return
+				}
+				last, seen = ev, true
+			case <-tick:
+				if !seen {
+					continue
+				}
+				s := last.Stats
+				fmt.Printf("stats: active=%d queued=%d done=%d expired=%d tok/s=%.0f p50=%s p99=%s\n",
+					s.Active, s.QueueDepth, s.Completed, s.Expired, s.TokensPerSec,
+					s.P50.Round(time.Millisecond), s.P99.Round(time.Millisecond))
+			}
+		}
+	}()
+
+	rc := eng.ResolvedConfig()
+	log.Printf("listening on %s (max-batch %d, max-seq %d)", l.Addr(), rc.MaxBatch, rc.MaxSeq)
+	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	eng.Close()
+	s := eng.Stats()
+	log.Printf("done: %d completed, %d expired, %d tokens out", s.Completed, s.Expired, s.TokensOut)
+}

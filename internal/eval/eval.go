@@ -88,12 +88,38 @@ func distractorSeed(name string, seed int64) uint64 {
 	return h.Sum64()
 }
 
+// Scorer computes log p(cont | prompt) in nats. It is the seam between
+// evaluation and the model: ModelScorer runs in process, serve.Engine and
+// serve.Client satisfy it over the serving stack, and ICLScorer wraps any of
+// them with retrieved pseudo-demonstrations.
+type Scorer interface {
+	Score(prompt, cont []int) (float64, error)
+}
+
+// ModelScorer adapts an in-process model to the Scorer seam.
+type ModelScorer struct{ M *nn.Model }
+
+// Score implements Scorer via ContinuationLogProb's full forward.
+func (s ModelScorer) Score(prompt, cont []int) (float64, error) {
+	return ContinuationLogProb(s.M, prompt, cont), nil
+}
+
 // Evaluate scores the model on the task using src as the truth distribution
 // and a deterministic instance stream from seed. It returns accuracy in
 // [0, 1]: the fraction of instances where the true continuation has the
 // highest length-normalized log-likelihood. The distractor source is seeded
 // per (task, seed), so no two tasks share a distractor stream.
 func (t Task) Evaluate(m *nn.Model, src data.Source, seed int64) float64 {
+	acc, _ := t.EvaluateWith(ModelScorer{m}, src, seed)
+	return acc
+}
+
+// EvaluateWith is Evaluate over an arbitrary Scorer — the same instance
+// stream, candidates, and accuracy statistic, but the likelihoods may come
+// from a serving stack or an ICL wrapper instead of a direct model call. It
+// stops at the first scoring error (a lost connection fails the evaluation
+// rather than skewing it).
+func (t Task) EvaluateWith(sc Scorer, src data.Source, seed int64) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	distractorSrc := data.NewMarkovSource("distractor", src.Vocab(), 9, 0.9, distractorSeed(t.Name, seed))
 	correct := 0
@@ -115,7 +141,11 @@ func (t Task) Evaluate(m *nn.Model, src data.Source, seed int64) float64 {
 
 		best, bestScore := -1, math.Inf(-1)
 		for c, cand := range candidates {
-			score := ContinuationLogProb(m, prompt, cand) / float64(len(cand))
+			lp, err := sc.Score(prompt, cand)
+			if err != nil {
+				return 0, err
+			}
+			score := lp / float64(len(cand))
 			if score > bestScore {
 				best, bestScore = c, score
 			}
@@ -124,7 +154,7 @@ func (t Task) Evaluate(m *nn.Model, src data.Source, seed int64) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(t.Instances)
+	return float64(correct) / float64(t.Instances), nil
 }
 
 func (t Task) makeDistractor(rng *rand.Rand, other data.Source, truth []int) []int {
@@ -168,11 +198,22 @@ type Report struct {
 
 // RunSuite evaluates a model on every task in the suite.
 func RunSuite(name string, m *nn.Model, src data.Source, seed int64) Report {
+	r, _ := RunSuiteWith(name, ModelScorer{m}, src, seed)
+	return r
+}
+
+// RunSuiteWith evaluates every task in the suite through an arbitrary Scorer
+// — the e2e path when sc is a serve.Client talking to a live photon-serve.
+func RunSuiteWith(name string, sc Scorer, src data.Source, seed int64) (Report, error) {
 	r := Report{Model: name, Acc: map[string]float64{}}
 	for _, t := range Suite() {
-		r.Acc[t.Name] = t.Evaluate(m, src, seed)
+		acc, err := t.EvaluateWith(sc, src, seed)
+		if err != nil {
+			return r, err
+		}
+		r.Acc[t.Name] = acc
 	}
-	return r
+	return r, nil
 }
 
 // Wins counts the pairwise comparisons a wins against b across tasks (ties

@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"photon/internal/data"
+	"photon/internal/nn"
+)
+
+func iclTestModel() *nn.Model {
+	cfg := nn.Config{
+		VocabSize: 61,
+		Dim:       24,
+		Heads:     3,
+		Blocks:    2,
+		ExpRatio:  2,
+		SeqLen:    16,
+	}
+	return nn.NewModel(cfg, rand.New(rand.NewSource(41)))
+}
+
+// TestEvaluateWithMatchesEvaluate pins the Scorer refactor: evaluating
+// through ModelScorer must reproduce the direct path instance for instance.
+func TestEvaluateWithMatchesEvaluate(t *testing.T) {
+	m := iclTestModel()
+	src := data.NewMarkovSource("truth", 61, 9, 0.9, 7)
+	task := Task{Name: "refactor-pin", Choices: 4, PromptLen: 10, ContLen: 4, Distractor: OtherSource, Instances: 30}
+
+	want := task.Evaluate(m, src, 3)
+	got, err := task.EvaluateWith(ModelScorer{m}, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateWith %g, Evaluate %g", got, want)
+	}
+}
+
+// TestRetrieverFindsPlantedWindow checks retrieval keys on content: a query
+// copied verbatim from the corpus must retrieve exactly its source window.
+func TestRetrieverFindsPlantedWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	corpus := make([]int, 1024)
+	for i := range corpus {
+		corpus[i] = rng.Intn(30) // tokens 0..29 only
+	}
+	// Plant a window of out-of-band tokens the rest of the corpus never uses.
+	planted := []int{55, 42, 57, 41, 59, 44, 53, 40}
+	copy(corpus[512:], planted)
+
+	r := NewRetrieverFromCorpus(corpus, 61)
+	got := r.Retrieve(planted, 1, len(planted))
+	if len(got) != 1 {
+		t.Fatalf("retrieved %d windows, want 1", len(got))
+	}
+	for i := range planted {
+		if got[0][i] != planted[i] {
+			t.Fatalf("retrieved window %v, want planted %v", got[0], planted)
+		}
+	}
+}
+
+// TestRetrieverWindowsDisjoint checks the k demonstrations are k distinct
+// corpus regions and retrieval is deterministic.
+func TestRetrieverWindowsDisjoint(t *testing.T) {
+	src := data.NewMarkovSource("truth", 61, 9, 0.9, 13)
+	r := NewRetriever(src, 2048, 5)
+	query := make([]int, 12)
+	for i := range query {
+		query[i] = (i * 5) % 61
+	}
+	a := r.Retrieve(query, 3, 16)
+	b := r.Retrieve(query, 3, 16)
+	if len(a) != 3 {
+		t.Fatalf("retrieved %d windows, want 3", len(a))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("retrieval not deterministic")
+			}
+		}
+	}
+	// Windows share no backing array region (Retrieve returns corpus slices).
+	for i := range a {
+		for j := i + 1; j < len(a); j++ {
+			ai, aj := &a[i][0], &a[j][0]
+			if ai == aj {
+				t.Fatal("windows overlap")
+			}
+		}
+	}
+}
+
+// recordingScorer captures the conditioning context ICLScorer builds.
+type recordingScorer struct {
+	prompt []int
+	cont   []int
+}
+
+func (s *recordingScorer) Score(prompt, cont []int) (float64, error) {
+	s.prompt = append([]int(nil), prompt...)
+	s.cont = append([]int(nil), cont...)
+	return 0, nil
+}
+
+// TestICLScorerContext pins the demonstration layout: the inner scorer must
+// see demo_1‖…‖demo_k‖prompt as its prompt and the untouched continuation.
+func TestICLScorerContext(t *testing.T) {
+	src := data.NewMarkovSource("truth", 61, 9, 0.9, 17)
+	r := NewRetriever(src, 1024, 3)
+	rec := &recordingScorer{}
+	icl := &ICLScorer{Inner: rec, R: r, Shots: 2, DemoLen: 8}
+
+	prompt := []int{1, 2, 3, 4, 5}
+	cont := []int{6, 7}
+	if _, err := icl.Score(prompt, cont); err != nil {
+		t.Fatal(err)
+	}
+	demos := r.Retrieve(prompt, 2, 8)
+	want := append(append(append([]int(nil), demos[0]...), demos[1]...), prompt...)
+	if len(rec.prompt) != len(want) {
+		t.Fatalf("inner prompt %d tokens, want %d", len(rec.prompt), len(want))
+	}
+	for i := range want {
+		if rec.prompt[i] != want[i] {
+			t.Fatalf("inner prompt diverges at %d", i)
+		}
+	}
+	for i := range cont {
+		if rec.cont[i] != cont[i] {
+			t.Fatal("continuation was modified")
+		}
+	}
+}
+
+// TestICLEvaluate runs a task end to end with pseudo-demonstrations over a
+// real model: accuracy must be a valid deterministic statistic, and the ICL
+// context must stay within what ALiBi extrapolation handles.
+func TestICLEvaluate(t *testing.T) {
+	m := iclTestModel()
+	src := data.NewMarkovSource("truth", 61, 9, 0.9, 23)
+	r := NewRetriever(src, 2048, 11)
+	task := Task{Name: "icl-smoke", Choices: 2, PromptLen: 8, ContLen: 4, Distractor: RandomTokens, Instances: 30}
+
+	icl := &ICLScorer{Inner: ModelScorer{m}, R: r, Shots: 2, DemoLen: 8}
+	acc1, err := task.EvaluateWith(icl, src, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc2, err := task.EvaluateWith(icl, src, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc1 != acc2 {
+		t.Fatalf("ICL evaluation not deterministic: %g vs %g", acc1, acc2)
+	}
+	if math.IsNaN(acc1) || acc1 < 0 || acc1 > 1 {
+		t.Fatalf("accuracy %g out of range", acc1)
+	}
+}

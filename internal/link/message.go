@@ -56,6 +56,19 @@ const (
 	// codec and acks by echoing the ID in its MsgJoin; any mismatch fails
 	// the join fast with a clear error on the client side.
 	MsgCodecAnnounce
+	// MsgGenerate asks a photon-serve instance to continue a prompt. The
+	// payload carries the prompt token ids as dense float32; sampling
+	// options, the request id, and the deadline travel in Meta (key names
+	// are owned by internal/serve).
+	MsgGenerate
+	// MsgScore asks a photon-serve instance for a continuation
+	// log-probability. The payload carries prompt‖continuation token ids;
+	// Meta carries the prompt length and request id.
+	MsgScore
+	// MsgServeResult answers a MsgGenerate (payload: sampled token ids) or
+	// MsgScore (Meta: log-probability). Failures set an error string in
+	// ClientID and a zero ok flag in Meta.
+	MsgServeResult
 )
 
 // HeartbeatSentKey is the Meta key carrying the ping's send time in

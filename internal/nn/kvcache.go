@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+
+	"photon/internal/tensor"
+)
+
+// DecodeState is one sequence's per-layer KV cache for incremental decoding.
+// Each layer stores keys and values as Heads contiguous [maxSeq, headDim]
+// panels so the decode kernel streams unit-stride rows; Decode appends one
+// panel row per new token per layer and attends over the cached prefix,
+// turning the O(T²)-forwards generation loop into O(T) incremental steps.
+//
+// A DecodeState belongs to a single Model (the cache layout is derived from
+// its configuration) and, like the model itself, is not safe for concurrent
+// use. The buffers are allocated once at construction; steady-state decoding
+// never grows them.
+type DecodeState struct {
+	k, v    [][]float32 // per layer: Heads panels of maxSeq·headDim
+	n       int         // cached positions
+	maxSeq  int
+	headDim int
+}
+
+// NewDecodeState allocates a KV cache able to hold maxSeq positions per
+// layer for decoding with this model.
+func (m *Model) NewDecodeState(maxSeq int) *DecodeState {
+	if maxSeq <= 0 {
+		panic(fmt.Sprintf("nn: NewDecodeState: maxSeq must be positive, got %d", maxSeq))
+	}
+	s := &DecodeState{
+		k:       make([][]float32, len(m.Blocks)),
+		v:       make([][]float32, len(m.Blocks)),
+		maxSeq:  maxSeq,
+		headDim: m.Cfg.HeadDim(),
+	}
+	per := m.Cfg.Heads * maxSeq * s.headDim
+	for i := range s.k {
+		s.k[i] = make([]float32, per)
+		s.v[i] = make([]float32, per)
+	}
+	return s
+}
+
+// Len returns the number of cached positions.
+func (s *DecodeState) Len() int { return s.n }
+
+// Cap returns the cache capacity in positions.
+func (s *DecodeState) Cap() int { return s.maxSeq }
+
+// Reset empties the cache so the state can be reused for a new sequence
+// without reallocating — continuous-batching servers recycle retired slots
+// this way.
+func (s *DecodeState) Reset() { s.n = 0 }
+
+// Truncate drops cached positions beyond n (n must not exceed Len). The
+// retained prefix stays valid: decoding continues from position n.
+func (s *DecodeState) Truncate(n int) {
+	if n < 0 || n > s.n {
+		panic(fmt.Sprintf("nn: Truncate(%d) outside cached length %d", n, s.n))
+	}
+	s.n = n
+}
+
+// decodeWorkspace returns the model's dedicated decode arena, created lazily
+// with the size-class retention policy: decode scratch shapes grow with the
+// cache length, and power-of-two buckets keep the steady state allocation-
+// free where exact-size buckets would miss on every step.
+func (m *Model) decodeWorkspace() *Workspace {
+	if m.decWS == nil {
+		m.decWS = NewWorkspace()
+		m.decWS.SetSizeClasses(true)
+	}
+	return m.decWS
+}
+
+// Decode runs one incremental forward over a batch of sequences: tokens[i]
+// are the new tokens for states[i] — one token for a sequence in steady-state
+// decode, a whole prompt (or prompt chunk) for a sequence being prefilled.
+// Mixed batches are the point: a continuous-batching server prefills newly
+// admitted sequences in the same forward that decodes the running ones.
+//
+// Each layer appends tokens[i]'s K/V rows to states[i] and attends over the
+// cached prefix plus the new rows (causally within the new rows). On return
+// every state's Len has advanced by len(tokens[i]).
+//
+// The result holds the final hidden states for all new rows — the rows of
+// sequence i start at offset Σ_{j<i} len(tokens[j]) — and lives in the
+// model's decode workspace: it is valid until the next Decode call. Use
+// DecodeLogits to turn selected rows into next-token logits.
+func (m *Model) Decode(states []*DecodeState, tokens [][]int) *tensor.Matrix {
+	if len(states) == 0 || len(states) != len(tokens) {
+		panic(fmt.Sprintf("nn: Decode: %d states, %d token slices", len(states), len(tokens)))
+	}
+	total := 0
+	for i, tk := range tokens {
+		if len(tk) == 0 {
+			panic("nn: Decode: empty token slice")
+		}
+		if states[i].n+len(tk) > states[i].maxSeq {
+			panic(fmt.Sprintf("nn: Decode: sequence %d overflows cache (%d+%d > %d)",
+				i, states[i].n, len(tk), states[i].maxSeq))
+		}
+		total += len(tk)
+	}
+	ws := m.decodeWorkspace()
+	ws.Reset()
+
+	m.decFlat = growInt(m.decFlat, total)
+	m.decLens = growInt(m.decLens, len(states))
+	m.decCounts = growInt(m.decCounts, len(states))
+	off := 0
+	for i, tk := range tokens {
+		copy(m.decFlat[off:], tk)
+		off += len(tk)
+		m.decLens[i] = states[i].n
+		m.decCounts[i] = len(tk)
+	}
+
+	x := m.Embed.Forward(ws, m.decFlat[:total])
+	for li, b := range m.Blocks {
+		x = b.decodeForward(ws, x, li, states, m.decLens[:len(states)], m.decCounts[:len(states)])
+	}
+	h := m.LNF.Forward(ws, x)
+	for i, tk := range tokens {
+		states[i].n += len(tk)
+	}
+	return h
+}
+
+// DecodeLogits computes next-token logits for the selected rows of a hidden
+// matrix returned by Decode. Generation needs only each sequence's last row;
+// continuation scoring needs every continuation row — gathering first keeps
+// the [rows, Vocab] product as small as the caller's actual need. The result
+// lives in the decode workspace and is valid until the next Decode call.
+func (m *Model) DecodeLogits(h *tensor.Matrix, rows []int) *tensor.Matrix {
+	ws := m.decodeWorkspace()
+	g := ws.Take(len(rows), m.Cfg.Dim)
+	for i, r := range rows {
+		copy(g.Row(i), h.Row(r))
+	}
+	logits := ws.Take(len(rows), m.Cfg.VocabSize)
+	tensor.MatMulTransB(logits, g, &m.embMat)
+	return logits
+}
+
+// decodeForward is Block.Forward for the incremental path: same residual
+// structure, attention replaced by the KV-cached variant.
+func (b *Block) decodeForward(ws *Workspace, x *tensor.Matrix, layer int, states []*DecodeState, lens, counts []int) *tensor.Matrix {
+	h := b.Attn.decodeForward(ws, b.LN1.Forward(ws, x), layer, states, lens, counts)
+	tensor.Add(h.Data, x.Data) // residual 1
+	mo := b.FC2.Forward(ws, b.Act.Forward(ws, b.FC1.Forward(ws, b.LN2.Forward(ws, h))))
+	tensor.Add(mo.Data, h.Data) // residual 2
+	return mo
+}

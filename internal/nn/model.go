@@ -94,7 +94,23 @@ type Model struct {
 	ceDlog   *tensor.Matrix
 	ceInv    float32
 	ceFn     func(lo, hi int) // persistent closure for the parallel loss bands
-	genProbs []float32        // sampling distribution scratch (Generate)
+
+	// KV-cached decode scratch (see kvcache.go). decWS is a separate arena
+	// under the size-class retention policy so the shape churn of growing
+	// caches never disturbs training's exact-size reuse.
+	decWS     *Workspace
+	decFlat   []int // flattened new tokens across the decode batch
+	decLens   []int // per-sequence cached length before the step
+	decCounts []int // per-sequence new-token count
+
+	// Generation scratch: a recycled single-sequence cache plus the fixed
+	// one-element slices the per-token decode loop feeds to Decode.
+	genState   *DecodeState
+	genStates  [1]*DecodeState
+	genToks    [1][]int
+	genTok     [1]int
+	genRowIdx  [1]int
+	genSampler Sampler
 }
 
 // NewModel builds and initializes a model from cfg using rng. It panics on

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"photon/internal/tensor"
+)
+
+// SampleOpts selects the next-token decoding strategy. The zero value is
+// greedy argmax decoding. The same options travel with serving requests
+// (internal/serve) and local generation (Model.GenerateOpts), so a request
+// replayed in-process reproduces the server's tokens bit for bit given the
+// same random stream.
+type SampleOpts struct {
+	// Temperature flattens (>1) or sharpens (<1) the distribution before
+	// sampling; <= 0 selects greedy decoding and ignores the random source.
+	Temperature float64
+	// TopK, when positive, restricts sampling to the K highest-probability
+	// tokens.
+	TopK int
+	// TopP, when in (0, 1), restricts sampling to the smallest set of
+	// highest-probability tokens whose cumulative probability reaches P
+	// (nucleus sampling). Combined with TopK, both filters apply.
+	TopP float64
+}
+
+// Greedy reports whether the options select deterministic argmax decoding.
+func (o SampleOpts) Greedy() bool { return o.Temperature <= 0 }
+
+// Sampler draws next tokens from logit rows under SampleOpts. It owns
+// reusable scratch (cap-grow pattern), so one Sampler per decoding loop keeps
+// long generations from allocating per token. Determinism contract: the same
+// logits, options, and *rand.Rand state always yield the same token — ties in
+// the probability ordering break toward the lower token id.
+type Sampler struct {
+	probs []float32
+	idx   []int
+}
+
+// Sample draws one token from logits.
+func (s *Sampler) Sample(rng *rand.Rand, logits []float32, o SampleOpts) int {
+	if o.Greedy() {
+		return tensor.ArgMax(logits)
+	}
+	n := len(logits)
+	inv := 1 / o.Temperature
+
+	// Unnormalized softmax with max subtraction; sum carries the normalizer.
+	s.probs = growF32(s.probs, n)
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for j, v := range logits {
+		e := math.Exp(float64(v-maxV) * inv)
+		s.probs[j] = float32(e)
+		sum += e
+	}
+
+	// Candidate set: all tokens, optionally cut down by top-k then top-p.
+	s.idx = growInt(s.idx, n)
+	for j := range s.idx {
+		s.idx[j] = j
+	}
+	m := n
+	if (o.TopK > 0 && o.TopK < n) || (o.TopP > 0 && o.TopP < 1) {
+		sort.Sort(&byProb{p: s.probs, idx: s.idx})
+		if o.TopK > 0 && o.TopK < m {
+			m = o.TopK
+		}
+		if o.TopP > 0 && o.TopP < 1 {
+			target := o.TopP * sum
+			var acc float64
+			for j := 0; j < m; j++ {
+				acc += float64(s.probs[s.idx[j]])
+				if acc >= target {
+					m = j + 1
+					break
+				}
+			}
+		}
+	}
+
+	// Renormalize over the candidates and invert the CDF.
+	var csum float64
+	for j := 0; j < m; j++ {
+		csum += float64(s.probs[s.idx[j]])
+	}
+	r := rng.Float64() * csum
+	var acc float64
+	for j := 0; j < m-1; j++ {
+		acc += float64(s.probs[s.idx[j]])
+		if r <= acc {
+			return s.idx[j]
+		}
+	}
+	return s.idx[m-1]
+}
+
+// byProb orders token indices by descending probability, lower id first on
+// ties (the determinism contract). A pointer receiver keeps sort.Sort from
+// allocating.
+type byProb struct {
+	p   []float32
+	idx []int
+}
+
+func (b *byProb) Len() int { return len(b.idx) }
+func (b *byProb) Less(i, j int) bool {
+	pi, pj := b.p[b.idx[i]], b.p[b.idx[j]]
+	if pi != pj {
+		return pi > pj
+	}
+	return b.idx[i] < b.idx[j]
+}
+func (b *byProb) Swap(i, j int) { b.idx[i], b.idx[j] = b.idx[j], b.idx[i] }

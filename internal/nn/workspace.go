@@ -32,6 +32,15 @@ type Workspace struct {
 	retained  int
 	stepElems int // elements returned by the current Reset
 	maxStep   int // largest step observed
+
+	// sizeClasses switches Take to power-of-two bucket rounding — the
+	// cache-aware retention policy for KV-cached decoding, whose attention
+	// scratch grows by one column per generated token. Under exact-size
+	// buckets every decode step would miss the free lists (no two steps
+	// share a probs size) and allocate; under size classes at most
+	// log2(maxSeq) distinct buckets exist per shape, so once they are warm
+	// a steady-state decode step allocates nothing.
+	sizeClasses bool
 }
 
 // evictFactor bounds free-list retention at this multiple of the largest
@@ -66,20 +75,45 @@ func (w *Workspace) Reset() {
 	}
 }
 
+// SetSizeClasses selects the workspace retention policy. Off (the default,
+// used by training) buckets recycled buffers by exact element count — every
+// step reuses identical shapes, so exact matching wastes nothing. On (used by
+// the KV-cached decode paths) Take rounds requests up to the next power of
+// two, so the per-token growth of decode-shaped scratch reuses a bounded set
+// of buckets instead of stranding one buffer per sequence length. Switch only
+// while the workspace is empty (right after Reset).
+func (w *Workspace) SetSizeClasses(on bool) { w.sizeClasses = on }
+
+// sizeClass rounds n up to the next power of two.
+func sizeClass(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
 // Take returns a rows×cols matrix with unspecified contents, recycling a
-// buffer of the same element count when one is free.
+// buffer of the same bucket (exact element count, or the covering power-of-
+// two size class under the decode retention policy) when one is free.
 func (w *Workspace) Take(rows, cols int) *tensor.Matrix {
 	n := rows * cols
+	alloc := n
+	if w.sizeClasses && n > 0 {
+		alloc = sizeClass(n)
+	}
 	var m *tensor.Matrix
-	if bucket := w.free[n]; len(bucket) > 0 {
+	if bucket := w.free[alloc]; len(bucket) > 0 {
 		m = bucket[len(bucket)-1]
 		bucket[len(bucket)-1] = nil
-		w.free[n] = bucket[:len(bucket)-1]
+		w.free[alloc] = bucket[:len(bucket)-1]
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:n]
-		w.retained -= n
-	} else {
+		w.retained -= alloc
+	} else if alloc == n {
 		m = tensor.NewMatrix(rows, cols)
+	} else {
+		m = &tensor.Matrix{Rows: rows, Cols: cols, Data: make([]float32, alloc)[:n]}
 	}
 	w.used = append(w.used, m)
 	return m

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"photon/internal/link"
+	"photon/internal/nn"
+)
+
+// Client talks to a photon-serve instance over one link connection. It is
+// safe for concurrent use: requests are pipelined and a single reader
+// goroutine routes results back by request id, so N goroutines issuing
+// requests through one Client exercise the server's continuous batching
+// rather than serializing on the wire.
+type Client struct {
+	conn *link.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *link.Message
+	err     error // sticky transport error, delivered to all waiters
+}
+
+// DialServer connects a Client to addr.
+func DialServer(ctx context.Context, addr string) (*Client, error) {
+	conn, err := link.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (use with link.Pipe in tests).
+func NewClient(conn *link.Conn) *Client {
+	c := &Client{conn: conn, pending: map[uint64]chan *link.Message{}}
+	go c.readLoop()
+	return c
+}
+
+// readLoop routes results to their waiting requests by id.
+func (c *Client) readLoop() {
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("serve: connection lost: %w", err)
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if msg.Type != link.MsgServeResult {
+			continue
+		}
+		id := uint64(metaOr(msg.Meta, ReqIDKey, 0))
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// roundTrip sends one request frame and blocks for its result.
+func (c *Client) roundTrip(msg *link.Message) (*link.Message, error) {
+	ch := make(chan *link.Message, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if msg.Meta == nil {
+		msg.Meta = map[string]float64{}
+	}
+	msg.Meta[ReqIDKey] = float64(id)
+	if err := c.conn.Send(msg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: send: %w", err)
+	}
+	res, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("serve: connection closed")
+		}
+		return nil, err
+	}
+	if metaOr(res.Meta, OKKey, 0) != 1 {
+		return nil, fmt.Errorf("serve: server error: %s", res.ClientID)
+	}
+	return res, nil
+}
+
+// GenOpts bundles a generation request's knobs for the client API.
+type GenOpts struct {
+	Sample nn.SampleOpts
+	Seed   int64
+	// Deadline is the server-side time budget (0 = none). It travels as a
+	// relative duration, so client and server clocks need not agree.
+	Deadline time.Duration
+}
+
+// Generate asks the server to continue prompt by maxNew sampled tokens.
+func (c *Client) Generate(prompt []int, maxNew int, o GenOpts) ([]int, error) {
+	msg := &link.Message{
+		Type:    link.MsgGenerate,
+		Payload: tokensToPayload(prompt),
+		Meta: map[string]float64{
+			MaxNewKey: float64(maxNew),
+			TempKey:   o.Sample.Temperature,
+			TopKKey:   float64(o.Sample.TopK),
+			TopPKey:   o.Sample.TopP,
+			SeedKey:   float64(o.Seed),
+		},
+	}
+	if o.Deadline > 0 {
+		msg.Meta[DeadlineMSKey] = float64(o.Deadline.Milliseconds())
+	}
+	res, err := c.roundTrip(msg)
+	if err != nil {
+		return nil, err
+	}
+	return payloadToTokens(res.Payload)
+}
+
+// Score asks the server for log p(cont | prompt) in nats over the same
+// serving path generation uses — the e2e contract with
+// eval.ContinuationLogProb.
+func (c *Client) Score(prompt, cont []int) (float64, error) {
+	seq := make([]int, 0, len(prompt)+len(cont))
+	seq = append(seq, prompt...)
+	seq = append(seq, cont...)
+	msg := &link.Message{
+		Type:    link.MsgScore,
+		Payload: tokensToPayload(seq),
+		Meta:    map[string]float64{PromptLenKey: float64(len(prompt))},
+	}
+	res, err := c.roundTrip(msg)
+	if err != nil {
+		return 0, err
+	}
+	return metaOr(res.Meta, LogProbKey, 0), nil
+}
+
+// Close performs a graceful shutdown: the server finishes in-flight requests
+// for this connection before it is torn down.
+func (c *Client) Close() error {
+	// Best-effort shutdown frame; the transport close is what matters.
+	c.conn.Send(&link.Message{Type: link.MsgShutdown})
+	return c.conn.Close()
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"photon/internal/data"
+	"photon/internal/eval"
+)
+
+// TestSuiteEndToEnd runs the full evaluation suite against a live
+// photon-serve over TCP — the acceptance path for serving-backed evaluation.
+// Served accuracies must match the in-process suite almost exactly; the only
+// admissible slack is the decode-vs-training float tolerance flipping an
+// instance whose candidates are near-tied.
+func TestSuiteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite e2e is long")
+	}
+	m := testModel(31)
+	src := data.NewMarkovSource("truth", m.Cfg.VocabSize, 9, 0.9, 77)
+	want := eval.RunSuite("in-process", m, src, 5)
+
+	client, shutdown := startServer(t, m, Config{MaxBatch: 4, MaxSeq: 128, Queue: 32})
+	defer shutdown()
+
+	got, err := eval.RunSuiteWith("served", client, src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Acc) != len(want.Acc) {
+		t.Fatalf("served suite covered %d tasks, in-process %d", len(got.Acc), len(want.Acc))
+	}
+	for task, wantAcc := range want.Acc {
+		gotAcc, ok := got.Acc[task]
+		if !ok {
+			t.Fatalf("task %s missing from served report", task)
+		}
+		// Allow at most 2 of 120 instances to flip on near-ties.
+		if math.Abs(gotAcc-wantAcc) > 2.0/120+1e-9 {
+			t.Errorf("task %s: served accuracy %g, in-process %g", task, gotAcc, wantAcc)
+		}
+	}
+}
+
+// TestSuiteICLEndToEnd runs ICL-mode evaluation — pseudo-demonstrations
+// retrieved from the training corpus, scored through the live server — and
+// pins it against the identical ICL pipeline over an in-process scorer.
+func TestSuiteICLEndToEnd(t *testing.T) {
+	m := testModel(32)
+	src := data.NewMarkovSource("truth", m.Cfg.VocabSize, 9, 0.9, 78)
+	r := eval.NewRetriever(src, 2048, 9)
+	task := eval.Task{Name: "icl-e2e", Choices: 4, PromptLen: 12, ContLen: 4, Distractor: eval.OtherSource, Instances: 40}
+
+	wantAcc, err := task.EvaluateWith(&eval.ICLScorer{Inner: eval.ModelScorer{M: m}, R: r, Shots: 2, DemoLen: 8}, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, shutdown := startServer(t, m, Config{MaxBatch: 4, MaxSeq: 128, Queue: 32})
+	defer shutdown()
+
+	gotAcc, err := task.EvaluateWith(&eval.ICLScorer{Inner: client, R: r, Shots: 2, DemoLen: 8}, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotAcc-wantAcc) > 1.0/40+1e-9 {
+		t.Fatalf("ICL served accuracy %g, in-process %g", gotAcc, wantAcc)
+	}
+}

