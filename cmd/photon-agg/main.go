@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"photon"
+	"photon/internal/obsv"
 )
 
 // resolveCodecFlag maps the deprecated -compress flag onto -codec when the
@@ -69,9 +70,25 @@ func main() {
 		parent     = flag.String("parent", "", "run as a relay: join the parent aggregator at this address while serving the local cohort (rounds become parent-driven)")
 		upCodec    = flag.String("up-codec", "", "relay: require the parent to announce exactly this codec (default: accept any)")
 		id         = flag.String("id", "", "relay identity presented to the parent (default: relay@<listen-addr>)")
+		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	resolveCodecFlag(codec, *compress)
+
+	tier := 0
+	if *parent != "" {
+		tier = 1
+	}
+	health := obsv.NewHealthTracker("photon-agg", tier)
+	if *metricsAt != "" {
+		ms, err := obsv.Serve(*metricsAt, nil)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		ms.SetHealth(health.Get)
+		defer ms.Close()
+		log.Printf("observability on http://%s/metrics", ms.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,6 +120,7 @@ func main() {
 	go func() {
 		defer wg.Done()
 		for ev := range job.Events() {
+			health.Observe(ev.Round, ev.Clients)
 			line := fmt.Sprintf("round %2d: clients=%d loss=%.4f ppl=%.2f comm=%.2fMB",
 				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
 			if ev.Tier > 0 {
@@ -116,6 +134,9 @@ func main() {
 			}
 			if ev.HeartbeatRTTMs > 0 {
 				line += fmt.Sprintf(" hb-rtt=%.1fms", ev.HeartbeatRTTMs)
+			}
+			if ev.SlowestID != "" {
+				line += fmt.Sprintf(" slowest=%s/%s", ev.SlowestID, ev.SlowestPhase)
 			}
 			fmt.Println(line)
 		}

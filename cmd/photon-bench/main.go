@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"photon/internal/bench"
+	"photon/internal/obsv"
 )
 
 func main() {
@@ -28,13 +29,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var (
-		exp  = flag.String("exp", "", "experiment id to run (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		full = flag.Bool("full", false, "full-scale sweeps (slower; default quick)")
-		list = flag.Bool("list", false, "list experiments")
-		out  = flag.String("out", "", "write output to file instead of stdout")
+		exp       = flag.String("exp", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		full      = flag.Bool("full", false, "full-scale sweeps (slower; default quick)")
+		list      = flag.Bool("list", false, "list experiments")
+		out       = flag.String("out", "", "write output to file instead of stdout")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if *metricsAt != "" {
+		ms, err := obsv.Serve(*metricsAt, nil)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		health := obsv.NewHealthTracker("photon-bench", 0)
+		ms.SetHealth(health.Get)
+		defer ms.Close()
+		log.Printf("observability on http://%s/metrics", ms.Addr())
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {

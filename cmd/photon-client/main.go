@@ -20,24 +20,26 @@ import (
 	"syscall"
 
 	"photon"
+	"photon/internal/obsv"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("photon-client: ")
 	var (
-		addr     = flag.String("addr", "localhost:9000", "aggregator address")
-		id       = flag.String("id", "client-0", "client identity")
-		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
-		shard    = flag.Int("shard", 0, "C4 shard index (0..63) held by this client")
-		steps    = flag.Int("steps", 16, "local steps per round (τ)")
-		batch    = flag.Int("batch", 4, "local batch size (Bl)")
-		lr       = flag.Float64("lr", 3e-3, "peak learning rate")
-		codec    = flag.String("codec", "", "require this wire codec from the aggregator (empty accepts whatever it announces)")
-		compress = flag.Bool("compress", true, "deprecated: codec choice is announced by the aggregator; see -codec")
-		seed     = flag.Int64("seed", 1, "run seed")
-		retry    = flag.Int("reconnect", 5, "reconnect attempts after a lost session (0 disables)")
-		ckpt     = flag.String("ckpt", "", "local checkpoint path for crash recovery (optional)")
+		addr      = flag.String("addr", "localhost:9000", "aggregator address")
+		id        = flag.String("id", "client-0", "client identity")
+		size      = flag.String("model", string(photon.SizeTiny), "model size preset")
+		shard     = flag.Int("shard", 0, "C4 shard index (0..63) held by this client")
+		steps     = flag.Int("steps", 16, "local steps per round (τ)")
+		batch     = flag.Int("batch", 4, "local batch size (Bl)")
+		lr        = flag.Float64("lr", 3e-3, "peak learning rate")
+		codec     = flag.String("codec", "", "require this wire codec from the aggregator (empty accepts whatever it announces)")
+		compress  = flag.Bool("compress", true, "deprecated: codec choice is announced by the aggregator; see -codec")
+		seed      = flag.Int64("seed", 1, "run seed")
+		retry     = flag.Int("reconnect", 5, "reconnect attempts after a lost session (0 disables)")
+		ckpt      = flag.String("ckpt", "", "local checkpoint path for crash recovery (optional)")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	_ = *compress // deprecated: the aggregator announces the codec
@@ -49,6 +51,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Tier -1: a leaf doesn't know its distance from the root (it depends on
+	// whether it joined a relay or the root aggregator).
+	health := obsv.NewHealthTracker("photon-client", -1)
+	if *metricsAt != "" {
+		ms, err := obsv.Serve(*metricsAt, nil)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		ms.SetHealth(health.Get)
+		defer ms.Close()
+		log.Printf("observability on http://%s/metrics", ms.Addr())
+	}
 
 	opts := []photon.JobOption{
 		photon.WithBackend(photon.BackendClient),
@@ -73,6 +88,7 @@ func main() {
 	go func() {
 		defer wg.Done()
 		for ev := range job.Events() {
+			health.Observe(ev.Round, ev.Clients)
 			fmt.Printf("round %2d: local loss=%.4f comm=%.2fMB\n",
 				ev.Round, ev.TrainLoss, float64(ev.CommBytes)/1e6)
 		}

@@ -23,6 +23,7 @@ import (
 	"photon/internal/ckpt"
 	"photon/internal/link"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 	"photon/internal/serve"
 )
 
@@ -30,16 +31,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("photon-serve: ")
 	var (
-		addr     = flag.String("addr", ":9100", "listen address")
-		size     = flag.String("model", string(photon.SizeTiny), "model size preset")
-		ckptPath = flag.String("ckpt", "", "checkpoint to serve (default: fresh random init from -seed)")
-		seed     = flag.Int64("seed", 1, "init seed when no checkpoint is given")
-		maxBatch = flag.Int("max-batch", 8, "max sequences decoded concurrently")
-		maxSeq   = flag.Int("max-seq", 0, "per-sequence KV-cache capacity in tokens (0 = 4x trained context)")
-		queue    = flag.Int("queue", 64, "admission queue depth")
-		stats    = flag.Duration("stats", 10*time.Second, "telemetry print interval (0 disables)")
+		addr      = flag.String("addr", ":9100", "listen address")
+		size      = flag.String("model", string(photon.SizeTiny), "model size preset")
+		ckptPath  = flag.String("ckpt", "", "checkpoint to serve (default: fresh random init from -seed)")
+		seed      = flag.Int64("seed", 1, "init seed when no checkpoint is given")
+		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded concurrently")
+		maxSeq    = flag.Int("max-seq", 0, "per-sequence KV-cache capacity in tokens (0 = 4x trained context)")
+		queue     = flag.Int("queue", 64, "admission queue depth")
+		stats     = flag.Duration("stats", 10*time.Second, "telemetry print interval (0 disables)")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	health := obsv.NewHealthTracker("photon-serve", 0)
+	if *metricsAt != "" {
+		ms, err := obsv.Serve(*metricsAt, nil)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		ms.SetHealth(health.Get)
+		defer ms.Close()
+		log.Printf("observability on http://%s/metrics", ms.Addr())
+	}
 
 	cfg, err := photon.ModelConfig(photon.ModelSize(*size))
 	if err != nil {
@@ -87,6 +100,9 @@ func main() {
 					return
 				}
 				last, seen = ev, true
+				// No training rounds here: report retired requests as the
+				// progress counter and the active batch as the cohort.
+				health.Observe(int(ev.Stats.Completed+ev.Stats.Expired), ev.Stats.Active)
 			case <-tick:
 				if !seen {
 					continue

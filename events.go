@@ -69,27 +69,74 @@ type RoundEvent struct {
 	// HeartbeatRTTMs is the mean heartbeat round-trip observed during the
 	// round in milliseconds (0 when heartbeats are disabled).
 	HeartbeatRTTMs float64
+	// HeartbeatRTTP99Ms is the 99th-percentile heartbeat round-trip over
+	// the round's recent-beat sketch — the tail the mean hides.
+	HeartbeatRTTP99Ms float64
+
+	// TraceID is the round-scoped trace identifier. The root aggregator
+	// mints one per round and propagates it down the aggregation tree, so
+	// a relay job's events carry the root round's ID — joining the tiers'
+	// phase breakdowns into one distributed trace. 0 when not applicable.
+	TraceID uint64
+	// WallMs is the round's measured wall time in milliseconds, which the
+	// phase breakdown's sum approximates.
+	WallMs float64
+	// Phases splits the round's critical path by phase (milliseconds).
+	Phases PhaseBreakdown
+	// SlowestID names the round's straggler: the last member whose update
+	// made the aggregate. Empty when not applicable.
+	SlowestID string
+	// SlowestPhase is the phase that member spent the most time in
+	// ("broadcast", "train", "encode", "wire", "decode").
+	SlowestPhase string
+}
+
+// PhaseBreakdown is a round's per-phase wall time in milliseconds, split
+// along the critical path: model broadcast, member local training, codec
+// encode/decode (both sides), wire-transfer residual, aggregation, and
+// evaluation. The breakdown follows the slowest member, so its sum
+// approximates the round's measured wall time rather than a per-member
+// total.
+type PhaseBreakdown struct {
+	BroadcastMs float64
+	TrainMs     float64
+	EncodeMs    float64
+	WireMs      float64
+	DecodeMs    float64
+	AggregateMs float64
+	EvalMs      float64
+}
+
+// SumMs returns the total across all phases.
+func (b PhaseBreakdown) SumMs() float64 {
+	return b.BroadcastMs + b.TrainMs + b.EncodeMs + b.WireMs + b.DecodeMs + b.AggregateMs + b.EvalMs
 }
 
 func eventFromRound(r metrics.Round) RoundEvent {
 	return RoundEvent{
-		Round:            r.Round,
-		TrainLoss:        r.TrainLoss,
-		Perplexity:       r.ValPPL,
-		Clients:          r.Clients,
-		CommBytes:        r.CommBytes,
-		WireSentBytes:    r.WireSentBytes,
-		WireRecvBytes:    r.WireRecvBytes,
-		CompressionRatio: r.CompressionRatio,
-		EncodeMs:         r.EncodeMs,
-		DecodeMs:         r.DecodeMs,
-		UpdateNorm:       r.UpdateNorm,
-		SimSeconds:       r.SimSeconds,
-		Tier:             r.Tier,
-		Depth:            r.Depth,
-		Joins:            r.Joins,
-		Evictions:        r.Evictions,
-		Stragglers:       r.Stragglers,
-		HeartbeatRTTMs:   r.HeartbeatRTTMs,
+		Round:             r.Round,
+		TrainLoss:         r.TrainLoss,
+		Perplexity:        r.ValPPL,
+		Clients:           r.Clients,
+		CommBytes:         r.CommBytes,
+		WireSentBytes:     r.WireSentBytes,
+		WireRecvBytes:     r.WireRecvBytes,
+		CompressionRatio:  r.CompressionRatio,
+		EncodeMs:          r.EncodeMs,
+		DecodeMs:          r.DecodeMs,
+		UpdateNorm:        r.UpdateNorm,
+		SimSeconds:        r.SimSeconds,
+		Tier:              r.Tier,
+		Depth:             r.Depth,
+		Joins:             r.Joins,
+		Evictions:         r.Evictions,
+		Stragglers:        r.Stragglers,
+		HeartbeatRTTMs:    r.HeartbeatRTTMs,
+		HeartbeatRTTP99Ms: r.HeartbeatRTTP99Ms,
+		TraceID:           r.TraceID,
+		WallMs:            r.WallMs,
+		Phases:            PhaseBreakdown(r.Phases),
+		SlowestID:         r.SlowestID,
+		SlowestPhase:      r.SlowestPhase,
 	}
 }

@@ -131,6 +131,11 @@ type Stats struct {
 	// HeartbeatRTTMs is the mean heartbeat round-trip observed in the
 	// window, in milliseconds (0 when no beats were observed).
 	HeartbeatRTTMs float64
+	// HeartbeatRTTP99Ms is the 99th-percentile round-trip over a small
+	// fixed-size sketch of the most recent beats (0 when none observed).
+	// The mean hides tail latency entirely — one slow member per window
+	// barely moves it — so the p99 is what surfaces network stragglers.
+	HeartbeatRTTP99Ms float64
 }
 
 func (s *Stats) add(o Stats, beats int, rttSum time.Duration) {
@@ -143,6 +148,41 @@ func (s *Stats) add(o Stats, beats int, rttSum time.Duration) {
 		// Keep sub-millisecond precision: localhost RTTs are microseconds.
 		s.HeartbeatRTTMs = float64(rttSum) / float64(beats) / float64(time.Millisecond)
 	}
+}
+
+// rttSketchSize bounds the quantile sketch: a plain ring of the most
+// recent beats. Deterministic (no sampling randomness), O(1) per beat,
+// and 256 entries is plenty for a p99 over a round window.
+const rttSketchSize = 256
+
+type rttSketch struct {
+	ring [rttSketchSize]time.Duration
+	pos  int
+	n    int
+}
+
+func (s *rttSketch) add(d time.Duration) {
+	s.ring[s.pos] = d
+	s.pos = (s.pos + 1) % rttSketchSize
+	if s.n < rttSketchSize {
+		s.n++
+	}
+}
+
+func (s *rttSketch) reset() { s.pos, s.n = 0, 0 }
+
+// p99Ms sorts a copy of the retained beats and returns the 99th
+// percentile in milliseconds (0 when empty).
+func (s *rttSketch) p99Ms() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	buf := make([]time.Duration, s.n)
+	copy(buf, s.ring[:s.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	// Same index rule as serve.Engine's latency ring, so "p99" means the
+	// same thing across the codebase.
+	return float64(buf[(s.n*99)/100]) / float64(time.Millisecond)
 }
 
 // Registry tracks federation membership. All methods are safe for
@@ -160,6 +200,8 @@ type Registry struct {
 	winRTTSum time.Duration
 	totBeats  int
 	totRTTSum time.Duration
+	winRTT    rttSketch
+	totRTT    rttSketch
 }
 
 // New builds a registry. The zero Config is valid: no liveness expiry, the
@@ -256,6 +298,8 @@ func (r *Registry) Heartbeat(id string, rtt time.Duration) bool {
 		r.winRTTSum += rtt
 		r.totBeats++
 		r.totRTTSum += rtt
+		r.winRTT.add(rtt)
+		r.totRTT.add(rtt)
 	}
 	return true
 }
@@ -401,8 +445,10 @@ func (r *Registry) RoundDelta() Stats {
 	defer r.mu.Unlock()
 	var out Stats
 	out.add(r.window, r.winBeats, r.winRTTSum)
+	out.HeartbeatRTTP99Ms = r.winRTT.p99Ms()
 	r.window = Stats{}
 	r.winBeats, r.winRTTSum = 0, 0
+	r.winRTT.reset()
 	return out
 }
 
@@ -412,6 +458,7 @@ func (r *Registry) Totals() Stats {
 	defer r.mu.Unlock()
 	var out Stats
 	out.add(r.totals, r.totBeats, r.totRTTSum)
+	out.HeartbeatRTTP99Ms = r.totRTT.p99Ms()
 	return out
 }
 

@@ -208,6 +208,38 @@ func TestRoundDeltaWindows(t *testing.T) {
 	}
 }
 
+func TestHeartbeatRTTP99(t *testing.T) {
+	r := New(Config{})
+	r.Join("a")
+	// 99 fast beats and one 80ms outlier: the mean stays near 1ms but the
+	// p99 must surface the tail.
+	for i := 0; i < 99; i++ {
+		r.Heartbeat("a", time.Millisecond)
+	}
+	r.Heartbeat("a", 80*time.Millisecond)
+	d := r.RoundDelta()
+	if d.HeartbeatRTTMs > 5 {
+		t.Fatalf("mean RTT = %vms, expected ~1.8ms", d.HeartbeatRTTMs)
+	}
+	if d.HeartbeatRTTP99Ms != 80 {
+		t.Fatalf("p99 RTT = %vms, want 80ms", d.HeartbeatRTTP99Ms)
+	}
+	// Window sketch resets with the window; totals sketch persists.
+	if d2 := r.RoundDelta(); d2.HeartbeatRTTP99Ms != 0 {
+		t.Fatalf("window p99 survived reset: %v", d2.HeartbeatRTTP99Ms)
+	}
+	if tot := r.Totals(); tot.HeartbeatRTTP99Ms != 80 {
+		t.Fatalf("totals p99 = %v, want 80", tot.HeartbeatRTTP99Ms)
+	}
+	// Sketch overflow keeps only the most recent beats.
+	for i := 0; i < rttSketchSize; i++ {
+		r.Heartbeat("a", 2*time.Millisecond)
+	}
+	if d := r.RoundDelta(); d.HeartbeatRTTP99Ms != 2 {
+		t.Fatalf("post-overflow p99 = %v, want 2", d.HeartbeatRTTP99Ms)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := New(Config{HeartbeatInterval: time.Millisecond})
 	var wg sync.WaitGroup

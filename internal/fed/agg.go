@@ -14,6 +14,7 @@ import (
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 	"photon/internal/topo"
 )
 
@@ -182,6 +183,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
+	// traceRng mints per-round trace IDs from its own stream so tracing
+	// never perturbs cohort sampling or dropout draws.
+	traceRng := rand.New(rand.NewSource(int64(uint64(cfg.Seed) ^ 0x9E3779B97F4A7C15)))
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
 	if cfg.InitParams != nil {
 		if err := globalModel.Params().LoadFlat(cfg.InitParams); err != nil {
@@ -276,6 +280,13 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		for i := range dropped {
 			dropped[i] = cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb
 		}
+		// 52-bit trace IDs match the networked tiers' float64 Meta limit,
+		// so simulated and real runs share one identifier space.
+		traceID := traceRng.Uint64() & (1<<52 - 1)
+		if traceID == 0 {
+			traceID = 1
+		}
+		roundStart := time.Now()
 
 		// Under a codec, clients train from the decoded broadcast — for a
 		// lossy codec the same perturbed parameters a real remote client
@@ -328,6 +339,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		}
 		outcomes := make([]outcome, len(cohortIdx))
 		stepBase := (round - 1) * cfg.Spec.Steps
+		trainStart := time.Now()
 		var wg sync.WaitGroup
 		for i, ci := range cohortIdx {
 			if dropped[i] {
@@ -341,6 +353,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 			}(i, cfg.Clients[ci])
 		}
 		wg.Wait()
+		// Train phase is the wall time of the parallel local-training
+		// section — the cohort's critical path, not per-client sums.
+		trainNs := time.Since(trainStart).Nanoseconds()
 		if err := ctx.Err(); err != nil {
 			// The round was interrupted; discard its partial work and
 			// return what completed before the cancellation.
@@ -486,7 +501,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 				rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
 			}
 		}
+		var aggNs int64
 		if len(rootUpdates) > 0 {
+			aggStart := time.Now()
 			var delta []float32
 			var err error
 			if ca, ok := cfg.Outer.(CohortAggregator); ok {
@@ -498,6 +515,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 				return nil, err
 			}
 			cfg.Outer.Step(global, delta, round)
+			aggNs = time.Since(aggStart).Nanoseconds()
 			rec.UpdateNorm = norm2(delta)
 			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
 		}
@@ -507,12 +525,24 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		}
 		rec.SimSeconds = simTime
 
+		var evalNs int64
 		if cfg.Validation != nil && (round%evalEvery == 0 || round == cfg.StartRound+cfg.Rounds) {
+			evalStart := time.Now()
 			if err := globalModel.Params().LoadFlat(global); err != nil {
 				return nil, err
 			}
 			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
+			evalNs = time.Since(evalStart).Nanoseconds()
 		}
+		rec.TraceID = traceID
+		rec.WallMs = float64(time.Since(roundStart).Nanoseconds()) / 1e6
+		var pn obsv.PhaseNanos
+		pn.Add(obsv.PhaseTrain, trainNs)
+		pn.Add(obsv.PhaseEncode, wire.encNs)
+		pn.Add(obsv.PhaseDecode, wire.decNs)
+		pn.Add(obsv.PhaseAggregate, aggNs)
+		pn.Add(obsv.PhaseEval, evalNs)
+		rec.Phases = pn.Breakdown()
 		hist.Append(rec)
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)

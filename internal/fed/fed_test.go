@@ -15,6 +15,7 @@ import (
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 	"photon/internal/opt"
 	"photon/internal/topo"
 )
@@ -207,6 +208,18 @@ func TestSubFederationEqualsMeanOfNodes(t *testing.T) {
 	}
 }
 
+// scrubTimings zeroes the wall-clock measurement fields (real elapsed
+// time, inherently non-deterministic) so histories can be compared for
+// training determinism. Trace IDs are seeded and stay comparable.
+func scrubTimings(h *metrics.History) {
+	for i := range h.Rounds {
+		h.Rounds[i].WallMs = 0
+		h.Rounds[i].Phases = obsv.Breakdown{}
+		h.Rounds[i].EncodeMs = 0
+		h.Rounds[i].DecodeMs = 0
+	}
+}
+
 func TestRunConvergesAndIsDeterministic(t *testing.T) {
 	res1, err := Run(context.Background(), baseRun(t, nil))
 	if err != nil {
@@ -216,6 +229,8 @@ func TestRunConvergesAndIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	scrubTimings(res1.History)
+	scrubTimings(res2.History)
 	if !reflect.DeepEqual(res1.History, res2.History) {
 		t.Fatal("same config+seed produced different histories")
 	}

@@ -10,6 +10,7 @@ import (
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 )
 
 // RelayConfig configures a networked relay aggregator: a node that joins a
@@ -165,6 +166,7 @@ func RunRelay(ctx context.Context, l *link.Listener, dial func(context.Context) 
 		stopLoops()
 		close(watchDone)
 		<-watcherExited
+		srv.closeObservers()
 		srv.shutdownMembers(graceful)
 	}()
 
@@ -336,9 +338,14 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 		return fmt.Errorf("fed: relay %s round %d: model payload carries %d elems, want %d",
 			r.cfg.ID, round, msg.Payload.Elems, r.want)
 	}
-	decStart := time.Now()
+	// The parent's trace ID attributes everything this round does — the
+	// cohort exchange included, since it is propagated downstream on the
+	// cohort broadcasts — to the root round that caused it.
+	traceID := uint64(msg.Meta[link.TraceKey])
+	roundStart := time.Now()
+	decSpan := r.srv.tracer.Begin(obsv.PhaseDecode)
 	global, err := link.DecodePayload(r.upEnc, msg.Payload)
-	decNs := time.Since(decStart).Nanoseconds()
+	decNs := decSpan.End(traceID)
 	if err != nil {
 		return fmt.Errorf("fed: relay %s round %d model: %w", r.cfg.ID, round, err)
 	}
@@ -358,7 +365,7 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		r.record(int(round), nil, nil, roundWire{decNs: decNs}, 0)
+		r.record(int(round), nil, nil, roundWire{decNs: decNs}, 0, traceID, roundPhases{}, roundStart)
 		r.lastRound = round
 		return nil
 	}
@@ -374,8 +381,11 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 			cohort = append(cohort, mc)
 		}
 	}
-	updates, clientMetrics, wire, interrupted, err := r.srv.exchangeRound(ctx, int(round), global, cohort)
+	exStart := time.Now()
+	updates, clientMetrics, wire, phases, interrupted, err := r.srv.exchangeRound(ctx, int(round), traceID, global, cohort)
+	exchangeNs := time.Since(exStart).Nanoseconds()
 	wire.decNs += decNs
+	phases.pn.Add(obsv.PhaseDecode, decNs)
 	if err != nil {
 		return err // server-side encode failure: deterministic, not retryable
 	}
@@ -385,10 +395,11 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 	r.lastRound = round
 
 	if len(updates) == 0 {
-		r.record(int(round), nil, nil, wire, 0)
+		r.record(int(round), nil, nil, wire, 0, traceID, phases, roundStart)
 		return nil
 	}
 
+	aggSpan := r.srv.tracer.Begin(obsv.PhaseAggregate)
 	delta, err := MeanDelta(updates)
 	if err != nil {
 		return err
@@ -408,15 +419,27 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 		r.scratch[i] = global[i] - r.scratch[i]
 	}
 	upward := r.scratch
+	phases.pn.Add(obsv.PhaseAggregate, aggSpan.End(traceID))
 
 	meta := metrics.AggMetrics(clientMetrics)
 	meta[link.CohortKey] = float64(len(updates))
-	encStart := time.Now()
+	encSpan := r.srv.tracer.Begin(obsv.PhaseEncode)
 	encUpd, err := link.EncodeVector(r.upEnc, upward)
-	wire.encNs += time.Since(encStart).Nanoseconds()
+	upEncNs := encSpan.End(traceID)
+	wire.encNs += upEncNs
+	phases.pn.Add(obsv.PhaseEncode, upEncNs)
 	if err != nil {
 		return fmt.Errorf("fed: relay %s round %d update: %w", r.cfg.ID, round, err)
 	}
+	// Upstream phase self-report. AggMetrics just averaged the cohort's
+	// own ph_*/trace keys into meta — overwrite them with this tier's
+	// values: the parent must see the relay's cohort-exchange wall as its
+	// "train" time and this connection's codec costs, not a mean of the
+	// leaves'.
+	meta[link.TraceKey] = float64(traceID)
+	meta[link.PhaseTrainNsKey] = float64(exchangeNs)
+	meta[link.PhaseEncNsKey] = float64(upEncNs)
+	meta[link.PhaseDecNsKey] = float64(decNs)
 	err = conn.Send(&link.Message{
 		Type:     link.MsgUpdate,
 		Round:    round,
@@ -430,33 +453,44 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 		}
 		return fmt.Errorf("fed: relay %s send: %w: %w", r.cfg.ID, ErrSessionLost, err)
 	}
-	r.record(int(round), updates, clientMetrics, wire, norm2(upward))
+	r.record(int(round), updates, clientMetrics, wire, norm2(upward), traceID, phases, roundStart)
 	return nil
 }
 
 // record stamps one relay-tier round onto the history: cohort-side wire
 // bytes over the round's meter window (tiling the run with no gaps), codec
-// wall times, churn, and the Tier/Depth position.
-func (r *relay) record(round int, updates [][]float32, clientMetrics []map[string]float64, wire roundWire, updateNorm float64) {
+// wall times, churn, the Tier/Depth position, and — carried over from the
+// parent's broadcast — the root round's trace ID, which is what lets an
+// observer join this tier's phase breakdown to the root record it belongs
+// to.
+func (r *relay) record(round int, updates [][]float32, clientMetrics []map[string]float64, wire roundWire, updateNorm float64, traceID uint64, phases roundPhases, start time.Time) {
 	sent, recv := r.srv.meter.Totals()
 	sentRound, recvRound := sent-r.sentPrev, recv-r.recvPrev
 	r.sentPrev, r.recvPrev = sent, recv
 	churn := r.srv.reg.RoundDelta()
 	rec := metrics.Round{
-		Round:          round,
-		Clients:        len(updates),
-		Tier:           1,
-		Depth:          1,
-		UpdateNorm:     updateNorm,
-		WireSentBytes:  sentRound,
-		WireRecvBytes:  recvRound,
-		CommBytes:      sentRound + recvRound,
-		EncodeMs:       float64(wire.encNs) / 1e6,
-		DecodeMs:       float64(wire.decNs) / 1e6,
-		Joins:          churn.Joins + churn.Rejoins,
-		Evictions:      churn.Evictions,
-		Stragglers:     churn.Stragglers,
-		HeartbeatRTTMs: churn.HeartbeatRTTMs,
+		Round:             round,
+		Clients:           len(updates),
+		Tier:              1,
+		Depth:             1,
+		UpdateNorm:        updateNorm,
+		WireSentBytes:     sentRound,
+		WireRecvBytes:     recvRound,
+		CommBytes:         sentRound + recvRound,
+		EncodeMs:          float64(wire.encNs) / 1e6,
+		DecodeMs:          float64(wire.decNs) / 1e6,
+		Joins:             churn.Joins + churn.Rejoins,
+		Evictions:         churn.Evictions,
+		Stragglers:        churn.Stragglers,
+		HeartbeatRTTMs:    churn.HeartbeatRTTMs,
+		HeartbeatRTTP99Ms: churn.HeartbeatRTTP99Ms,
+		TraceID:           traceID,
+		WallMs:            float64(time.Since(start).Nanoseconds()) / 1e6,
+		Phases:            phases.pn.Breakdown(),
+		SlowestID:         phases.slowestID,
+	}
+	if phases.slowestID != "" {
+		rec.SlowestPhase = phases.slowestPhase.String()
 	}
 	if wire.denseBytes > 0 {
 		rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
@@ -468,4 +502,5 @@ func (r *relay) record(round int, updates [][]float32, clientMetrics []map[strin
 	if r.cfg.OnRound != nil {
 		r.cfg.OnRound(rec)
 	}
+	r.srv.publishRound(rec)
 }

@@ -15,6 +15,7 @@ import (
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 )
 
 // joinTimeout bounds the handshake of a freshly accepted connection: a
@@ -117,6 +118,18 @@ type server struct {
 
 	mu    sync.Mutex
 	conns map[string]*memberConn
+
+	// tracer ring-buffers round phase spans. It is always present and
+	// always driven (End doubles as the phase stopwatch), but records
+	// nothing until an observer subscribes — keeping the instrumented
+	// round path allocation-free when nobody is watching.
+	tracer *obsv.Tracer
+
+	// observers are read-only MsgObserve subscribers (photon-top). They
+	// are never members: no registry entry, no heartbeats, no cohort
+	// slots — just a Meta-only MsgMetrics frame after every round.
+	obsMu     sync.Mutex
+	observers map[*link.Conn]struct{}
 }
 
 // newServer resolves the configured codec and builds the shared server
@@ -143,8 +156,75 @@ func newServer(cfg ServerConfig) (*server, error) {
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			MissedBeats:       cfg.MissedBeats,
 		}),
-		conns: make(map[string]*memberConn),
+		conns:     make(map[string]*memberConn),
+		tracer:    obsv.NewTracer(0),
+		observers: make(map[*link.Conn]struct{}),
 	}, nil
+}
+
+// addObserver admits a MsgObserve subscriber and starts a drain reader
+// that detects its departure (observers send nothing after the handshake).
+func (s *server) addObserver(conn *link.Conn) {
+	s.obsMu.Lock()
+	s.observers[conn] = struct{}{}
+	s.obsMu.Unlock()
+	s.tracer.Subscribe()
+	go func() {
+		for {
+			if _, err := conn.Recv(); err != nil {
+				break
+			}
+		}
+		s.removeObserver(conn)
+	}()
+}
+
+func (s *server) removeObserver(conn *link.Conn) {
+	s.obsMu.Lock()
+	_, ok := s.observers[conn]
+	delete(s.observers, conn)
+	s.obsMu.Unlock()
+	if ok {
+		s.tracer.Unsubscribe()
+		conn.Close()
+	}
+}
+
+func (s *server) closeObservers() {
+	s.obsMu.Lock()
+	conns := make([]*link.Conn, 0, len(s.observers))
+	for c := range s.observers {
+		conns = append(conns, c)
+	}
+	s.obsMu.Unlock()
+	for _, c := range conns {
+		// Best-effort goodbye so a tailing dashboard can distinguish a
+		// clean end-of-run from a lost aggregator.
+		c.SendTimeout(&link.Message{Type: link.MsgShutdown}, time.Second)
+		s.removeObserver(c)
+	}
+}
+
+// publishRound fans one round record out to every attached observer as a
+// codec-free Meta-only frame. Sends are bounded and best-effort: a stuck
+// observer is detached, never allowed to stall the round loop.
+func (s *server) publishRound(rec metrics.Round) {
+	s.obsMu.Lock()
+	n := len(s.observers)
+	conns := make([]*link.Conn, 0, n)
+	for c := range s.observers {
+		conns = append(conns, c)
+	}
+	s.obsMu.Unlock()
+	if n == 0 {
+		return
+	}
+	msg := observeMessage(rec, s.reg.Alive())
+	for _, c := range conns {
+		if err := c.SendTimeout(msg, time.Second); err != nil {
+			s.removeObserver(c)
+		}
+	}
 }
 
 // startLoops launches the accept loop (and, when configured, the liveness
@@ -285,6 +365,7 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		stopLoops()
 		close(watchDone)
 		<-watcherExited
+		s.closeObservers()
 		s.shutdownMembers(true)
 	}()
 
@@ -297,6 +378,9 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
+	// traceRng mints round trace IDs from its own stream so tracing never
+	// perturbs the cohort-sampling draws (run determinism is seeded).
+	traceRng := rand.New(rand.NewSource(int64(uint64(cfg.Seed) ^ 0x9E3779B97F4A7C15)))
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
 	global := globalModel.Params().Flatten(nil)
 	hist := &metrics.History{}
@@ -365,7 +449,14 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			continue
 		}
 
-		updates, clientMetrics, wire, interrupted, err := s.exchangeRound(ctx, round, global, cohort)
+		// Meta values ride the wire as float64, so trace IDs are confined
+		// to 52 bits — they survive the float round-trip exactly.
+		traceID := traceRng.Uint64() & (1<<52 - 1)
+		if traceID == 0 {
+			traceID = 1
+		}
+		roundStart := time.Now()
+		updates, clientMetrics, wire, phases, interrupted, err := s.exchangeRound(ctx, round, traceID, global, cohort)
 		if err != nil {
 			return finish(fmt.Errorf("fed: round %d: %w", round, err))
 		}
@@ -394,38 +485,51 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			// Real wire traffic measured over the round's window, frame
 			// headers and heartbeats included — not an element-count
 			// estimate.
-			WireSentBytes:  sentRound,
-			WireRecvBytes:  recvRound,
-			CommBytes:      sentRound + recvRound,
-			EncodeMs:       float64(wire.encNs) / 1e6,
-			DecodeMs:       float64(wire.decNs) / 1e6,
-			Joins:          churn.Joins + churn.Rejoins,
-			Evictions:      churn.Evictions,
-			Stragglers:     churn.Stragglers,
-			HeartbeatRTTMs: churn.HeartbeatRTTMs,
+			WireSentBytes:     sentRound,
+			WireRecvBytes:     recvRound,
+			CommBytes:         sentRound + recvRound,
+			EncodeMs:          float64(wire.encNs) / 1e6,
+			DecodeMs:          float64(wire.decNs) / 1e6,
+			Joins:             churn.Joins + churn.Rejoins,
+			Evictions:         churn.Evictions,
+			Stragglers:        churn.Stragglers,
+			HeartbeatRTTMs:    churn.HeartbeatRTTMs,
+			HeartbeatRTTP99Ms: churn.HeartbeatRTTP99Ms,
+			TraceID:           traceID,
 		}
 		if wire.denseBytes > 0 {
 			rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
 		}
 		if len(updates) > 0 {
+			aggSpan := s.tracer.Begin(obsv.PhaseAggregate)
 			delta, err := MeanDelta(updates)
 			if err != nil {
 				return nil, err
 			}
 			cfg.Outer.Step(global, delta, round)
+			phases.pn.Add(obsv.PhaseAggregate, aggSpan.End(traceID))
 			rec.UpdateNorm = norm2(delta)
 			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
 		}
 		if cfg.Validation != nil && (round%evalEvery == 0 || round == cfg.Rounds) {
+			evalSpan := s.tracer.Begin(obsv.PhaseEval)
 			if err := globalModel.Params().LoadFlat(global); err != nil {
 				return nil, err
 			}
 			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
+			phases.pn.Add(obsv.PhaseEval, evalSpan.End(traceID))
+		}
+		rec.WallMs = float64(time.Since(roundStart).Nanoseconds()) / 1e6
+		rec.Phases = phases.pn.Breakdown()
+		rec.SlowestID = phases.slowestID
+		if phases.slowestID != "" {
+			rec.SlowestPhase = phases.slowestPhase.String()
 		}
 		hist.Append(rec)
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)
 		}
+		s.publishRound(rec)
 		if len(updates) == 0 {
 			if emptyRounds++; emptyRounds >= maxEmptyRounds {
 				return finish(fmt.Errorf("fed: no client updates for %d consecutive rounds", emptyRounds))
@@ -483,7 +587,17 @@ func (s *server) handshake(ctx context.Context, conn *link.Conn) {
 		return
 	}
 	msg, err := conn.RecvTimeout(joinTimeout)
-	if err != nil || msg.Type != link.MsgJoin || msg.ClientID == "" {
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if msg.Type == link.MsgObserve {
+		// Read-only subscriber: no codec echo required (the observe
+		// stream is Meta-only), no membership slot taken.
+		s.addObserver(conn)
+		return
+	}
+	if msg.Type != link.MsgJoin || msg.ClientID == "" {
 		conn.Close()
 		return
 	}
@@ -597,6 +711,15 @@ type roundWire struct {
 	denseBytes   int64 // what the same payloads would cost as dense float32
 }
 
+// roundPhases is one round's critical-path phase accounting: the phase
+// accumulator plus straggler attribution (the last member to answer, and
+// the phase that member spent the most time in).
+type roundPhases struct {
+	pn           obsv.PhaseNanos
+	slowestID    string
+	slowestPhase obsv.Phase
+}
+
 // exchangeRound encodes the global model once with the negotiated codec,
 // broadcasts it to the cohort, and collects codec-decoded updates until
 // every member answers or fails, the round deadline expires, or ctx is
@@ -604,19 +727,28 @@ type roundWire struct {
 // fails to decode is dropped — a codec disagreement must never silently
 // poison the aggregate. err is only non-nil for a server-side encode
 // failure (a broken codec), which aborts the run.
-func (s *server) exchangeRound(ctx context.Context, round int, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, wire roundWire, interrupted bool, err error) {
-	encStart := time.Now()
+//
+// traceID is the round-scoped trace identifier stamped on every MsgModel;
+// members echo it (and their per-phase self-reports) on their MsgUpdate,
+// which is how phases returns a full critical-path breakdown: the slowest
+// successful member's latency is split into broadcast (measured send),
+// member train/encode/decode (self-reported), server decode (measured per
+// member), and a wire residual.
+func (s *server) exchangeRound(ctx context.Context, round int, traceID uint64, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, wire roundWire, phases roundPhases, interrupted bool, err error) {
+	encSpan := s.tracer.Begin(obsv.PhaseEncode)
 	encModel, err := link.EncodeVector(s.modelEnc, global)
 	if err != nil {
-		return nil, nil, wire, false, err
+		return nil, nil, wire, phases, false, err
 	}
-	wire.encNs = time.Since(encStart).Nanoseconds()
+	wire.encNs = encSpan.End(traceID)
 
 	type reply struct {
-		mc      *memberConn
-		update  []float32 // nil when the member failed
-		meta    map[string]float64
-		latency time.Duration
+		mc       *memberConn
+		update   []float32 // nil when the member failed
+		meta     map[string]float64
+		latency  time.Duration
+		sendNs   int64 // model broadcast send duration
+		srvDecNs int64 // server-side decode of this member's update
 	}
 	results := make(chan reply, len(cohort))
 	stop := make(chan struct{})
@@ -631,11 +763,14 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 			default:
 			}
 			start := time.Now()
+			sendSpan := s.tracer.Begin(obsv.PhaseBroadcast)
 			err := mc.conn.SendTimeout(&link.Message{
 				Type:    link.MsgModel,
 				Round:   int32(round),
+				Meta:    map[string]float64{link.TraceKey: float64(traceID)},
 				Payload: encModel,
 			}, s.cfg.RoundDeadline)
+			sendNs := sendSpan.End(traceID)
 			if err != nil {
 				s.drop(mc, "model send failed")
 				mc.conn.Close()
@@ -660,9 +795,10 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 						results <- reply{mc: mc}
 						return
 					}
-					decStart := time.Now()
+					decSpan := s.tracer.Begin(obsv.PhaseDecode)
 					vec, derr := link.DecodePayload(s.codec, msg.Payload)
-					decNs.Add(time.Since(decStart).Nanoseconds())
+					srvDecNs := decSpan.End(traceID)
+					decNs.Add(srvDecNs)
 					if derr != nil || len(vec) != len(global) {
 						s.drop(mc, "update decode failed")
 						mc.conn.Close()
@@ -671,7 +807,8 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 					}
 					payloadBytes.Add(int64(msg.Payload.WireBytes()))
 					denseBytes.Add(int64(msg.Payload.Elems) * 4)
-					results <- reply{mc: mc, update: vec, meta: msg.Meta, latency: time.Since(start)}
+					results <- reply{mc: mc, update: vec, meta: msg.Meta,
+						latency: time.Since(start), sendNs: sendNs, srvDecNs: srvDecNs}
 					return
 				case <-mc.dead:
 					results <- reply{mc: mc}
@@ -689,10 +826,30 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 		defer timer.Stop()
 		deadlineC = timer.C
 	}
+	// slow tracks the slowest successful member: its latency dominates the
+	// round's wall time, so its phase split IS the round's critical path.
+	var slow reply
 	collect := func() {
 		wire.decNs = decNs.Load()
 		wire.payloadBytes = payloadBytes.Load()
 		wire.denseBytes = denseBytes.Load()
+		if slow.mc == nil {
+			return
+		}
+		memberTrain := int64(slow.meta[link.PhaseTrainNsKey])
+		memberEnc := int64(slow.meta[link.PhaseEncNsKey])
+		memberDec := int64(slow.meta[link.PhaseDecNsKey])
+		phases.pn.Add(obsv.PhaseBroadcast, slow.sendNs)
+		phases.pn.Add(obsv.PhaseTrain, memberTrain)
+		phases.pn.Add(obsv.PhaseEncode, wire.encNs+memberEnc)
+		phases.pn.Add(obsv.PhaseDecode, memberDec+slow.srvDecNs)
+		// Whatever the latency doesn't account for is wire transfer (plus
+		// scheduling slack). Legacy members report no phase keys, so for
+		// them the whole latency after the send lands here.
+		wireNs := slow.latency.Nanoseconds() - slow.sendNs - memberTrain - memberEnc - memberDec - slow.srvDecNs
+		phases.pn.Add(obsv.PhaseWire, wireNs)
+		phases.slowestID = slow.mc.id
+		phases.slowestPhase = phases.pn.Slowest()
 	}
 	responded := make(map[string]bool, len(cohort))
 	for len(responded) < len(cohort) {
@@ -703,6 +860,9 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 				updates = append(updates, r.update)
 				clientMetrics = append(clientMetrics, r.meta)
 				s.reg.ObserveRound(r.mc.id, r.latency, cluster.OutcomeOK)
+				if slow.mc == nil || r.latency > slow.latency {
+					slow = r
+				}
 			}
 		case <-deadlineC:
 			// Deadline: aggregate the partial round; everyone who has not
@@ -713,13 +873,13 @@ func (s *server) exchangeRound(ctx context.Context, round int, global []float32,
 				}
 			}
 			collect()
-			return updates, clientMetrics, wire, false, nil
+			return updates, clientMetrics, wire, phases, false, nil
 		case <-ctx.Done():
-			return nil, nil, wire, true, nil
+			return nil, nil, wire, phases, true, nil
 		}
 	}
 	collect()
-	return updates, clientMetrics, wire, false, nil
+	return updates, clientMetrics, wire, phases, false, nil
 }
 
 // waitAlive blocks until at least n members are alive. grace > 0 bounds the
@@ -978,7 +1138,9 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 				return fmt.Errorf("fed: client %s round %d model: %w", client.ID, msg.Round, err)
 			}
 			stepBase := (int(msg.Round) - 1) * spec.Steps
+			trainStart := time.Now()
 			res, err := client.RunRound(ctx, global, stepBase, spec)
+			trainNs := time.Since(trainStart).Nanoseconds()
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -990,6 +1152,17 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 			encNs := time.Since(encStart).Nanoseconds()
 			if err != nil {
 				return fmt.Errorf("fed: client %s round %d update: %w", client.ID, msg.Round, err)
+			}
+			// Phase self-reports let the aggregator split this member's
+			// round latency into compute vs codec vs wire; the trace ID
+			// echo attributes the reply to the root round that caused it.
+			// res.Metrics is a fresh per-round map, safe to extend.
+			res.Metrics[link.PhaseTrainNsKey] = float64(trainNs)
+			res.Metrics[link.PhaseEncNsKey] = float64(encNs)
+			res.Metrics[link.PhaseDecNsKey] = float64(decNs)
+			traceID := uint64(msg.Meta[link.TraceKey])
+			if traceID != 0 {
+				res.Metrics[link.TraceKey] = float64(traceID)
 			}
 			err = conn.Send(&link.Message{
 				Type:     link.MsgUpdate,
@@ -1021,6 +1194,13 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 			if dense := int64(msg.Payload.Elems+len(res.Update)) * 4; dense > 0 {
 				rec.CompressionRatio = float64(msg.Payload.WireBytes()+encUpd.WireBytes()) / float64(dense)
 			}
+			rec.TraceID = traceID
+			rec.WallMs = float64(time.Since(decStart).Nanoseconds()) / 1e6
+			var pn obsv.PhaseNanos
+			pn.Add(obsv.PhaseDecode, decNs)
+			pn.Add(obsv.PhaseTrain, trainNs)
+			pn.Add(obsv.PhaseEncode, encNs)
+			rec.Phases = pn.Breakdown()
 			prevStats = cur
 			for _, fn := range onRound {
 				fn(rec)

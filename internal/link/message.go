@@ -69,6 +69,13 @@ const (
 	// MsgScore (Meta: log-probability). Failures set an error string in
 	// ClientID and a zero ok flag in Meta.
 	MsgServeResult
+	// MsgObserve subscribes a read-only observer (photon-top, dashboards)
+	// to an aggregator's round event stream. An observer answers the
+	// MsgCodecAnnounce handshake with MsgObserve instead of MsgJoin; it
+	// never joins membership, receives no heartbeats, and is fed Meta-only
+	// MsgMetrics frames after each round — codec-free, so any observer can
+	// attach regardless of the fleet's wire codec.
+	MsgObserve
 )
 
 // HeartbeatSentKey is the Meta key carrying the ping's send time in
@@ -84,6 +91,27 @@ const CodecIDKey = "codec_id"
 // the parent aggregator that the member is itself an aggregation tier, so
 // round records report Depth 2 instead of a flat cohort.
 const CohortKey = "cohort"
+
+// TraceKey is the Meta key carrying the round-scoped trace ID. The root
+// aggregator mints one per round and stamps it on every MsgModel; members
+// (and relays, downward to their own cohorts) propagate it and echo it on
+// their MsgUpdate, so phase spans recorded anywhere in the tree attribute
+// to the root round that caused them. Meta values are float64, so trace
+// IDs are confined to 52 bits — they survive the float round-trip exactly.
+const TraceKey = "trace_id"
+
+// Per-phase self-report keys members stamp on MsgUpdate Meta, letting the
+// aggregator split each member's round latency into local compute, codec
+// work, and wire residual.
+const (
+	// PhaseTrainNsKey is the member's local-train wall time (for a relay:
+	// its cohort-exchange wall time) in nanoseconds.
+	PhaseTrainNsKey = "ph_train_ns"
+	// PhaseEncNsKey is the member's update-encode wall time in nanoseconds.
+	PhaseEncNsKey = "ph_enc_ns"
+	// PhaseDecNsKey is the member's model-decode wall time in nanoseconds.
+	PhaseDecNsKey = "ph_dec_ns"
+)
 
 // Message is the unit of communication. Payload carries model parameters or
 // pseudo-gradients in their codec-encoded wire form; Meta carries scalar

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"photon/internal/obsv"
 )
 
 // Round is one federated round's (or centralized eval interval's) record.
@@ -44,10 +46,24 @@ type Round struct {
 	// aggregator only; zero for the in-process backends). Churn is
 	// windowed between recorded rounds, so the initial cohort's joins
 	// land on round 1 by design.
-	Joins          int     // members that joined (first time or rejoin)
-	Evictions      int     // members evicted on failure or missed heartbeats
-	Stragglers     int     // cohort slots dropped at the round deadline
-	HeartbeatRTTMs float64 // mean heartbeat round-trip observed, milliseconds
+	Joins             int     // members that joined (first time or rejoin)
+	Evictions         int     // members evicted on failure or missed heartbeats
+	Stragglers        int     // cohort slots dropped at the round deadline
+	HeartbeatRTTMs    float64 // mean heartbeat round-trip observed, milliseconds
+	HeartbeatRTTP99Ms float64 // p99 heartbeat round-trip (recent-window sketch)
+
+	// Observability. TraceID is the round-scoped trace identifier the root
+	// aggregator mints and propagates down the tree, so a relay's records
+	// attribute to the root round that caused them (zero when the backend
+	// predates tracing). Phases is the per-phase critical-path breakdown;
+	// WallMs the measured round wall time it approximates. SlowestID and
+	// SlowestPhase attribute the straggler: which member finished last and
+	// in which phase it spent the most time.
+	TraceID      uint64
+	WallMs       float64
+	Phases       obsv.Breakdown
+	SlowestID    string
+	SlowestPhase string
 }
 
 // History is an append-only sequence of round records.
@@ -145,31 +161,43 @@ func AggMetrics(clients []map[string]float64) map[string]float64 {
 	return out
 }
 
-// Table renders an aligned plain-text table.
+// Table renders an aligned plain-text table. Ragged rows are handled on
+// both sides: rows wider than the header grow extra (unlabeled) columns
+// rather than panicking, and shorter rows are padded with empty cells.
 func Table(headers []string, rows [][]string) string {
-	widths := make([]int, len(headers))
+	cols := len(headers)
+	for _, row := range rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range headers {
 		widths[i] = len(h)
 	}
 	for _, row := range rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
 	}
 	var b strings.Builder
 	writeRow := func(cells []string) {
-		for i, c := range cells {
+		for i := 0; i < cols; i++ {
 			if i > 0 {
 				b.WriteString("  ")
+			}
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
 			}
 			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
 		b.WriteByte('\n')
 	}
 	writeRow(headers)
-	sep := make([]string, len(headers))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

@@ -58,6 +58,42 @@ func TestTimeToPPL(t *testing.T) {
 	}
 }
 
+func TestTimeToPPLEdges(t *testing.T) {
+	// Target hit exactly on the very first evaluation: no interpolation
+	// from the implicit (0, +Inf) start, the first eval's time is returned.
+	h := historyWithPPLs([]float64{40})
+	if got, ok := h.TimeToPPL(40); !ok || got != 100 {
+		t.Fatalf("exact first-eval hit: got %v, %v", got, ok)
+	}
+
+	// Non-monotone series: PPL rises back above the target after dipping.
+	// The first crossing wins and later rebounds don't disturb it.
+	h = historyWithPPLs([]float64{50, 30, 45, 28})
+	got, ok := h.TimeToPPL(35)
+	if !ok {
+		t.Fatal("non-monotone series never reported the crossing")
+	}
+	// Crossing interpolates between (100, 50) and (200, 30): 35 is 3/4 of
+	// the way down, so t = 100 + 0.75*100 = 175.
+	if math.Abs(got-175) > 1e-9 {
+		t.Fatalf("non-monotone first crossing: got %v, want 175", got)
+	}
+
+	// A series whose first evaluated round already beats the target must
+	// return that round's time without interpolating back toward t=0.
+	h = historyWithPPLs([]float64{20, 18, 15})
+	if got, ok := h.TimeToPPL(35); !ok || got != 100 {
+		t.Fatalf("first-eval-beats-target: got %v, %v", got, ok)
+	}
+	// Same, but with unevaluated rounds before the first evaluation.
+	h = &History{}
+	h.Append(Round{Round: 1, SimSeconds: 50}) // not evaluated
+	h.Append(Round{Round: 2, ValPPL: 20, SimSeconds: 120})
+	if got, ok := h.TimeToPPL(35); !ok || got != 120 {
+		t.Fatalf("skip-unevaluated first hit: got %v, %v", got, ok)
+	}
+}
+
 func TestRoundsToPPL(t *testing.T) {
 	h := historyWithPPLs([]float64{50, 40, 30})
 	if r, ok := h.RoundsToPPL(40); !ok || r != 2 {
@@ -111,6 +147,32 @@ func TestTableAlignment(t *testing.T) {
 	// All rows align to the same width.
 	if len(lines[0]) != len(lines[1]) {
 		t.Fatalf("separator misaligned: %q vs %q", lines[0], lines[1])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// A row wider than the header must not panic and must render every cell.
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1", "surplus"},
+		{"b"}, // narrower than the header
+		{"c", "3"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "surplus") {
+		t.Fatalf("extra cell dropped: %q", lines[2])
+	}
+	// Every line pads to the same full width, including the short row.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Fatalf("line %d width %d != header width %d:\n%s", i, len(lines[i]), len(lines[0]), out)
+		}
+	}
+	// Extra columns align: the separator covers the surplus column too.
+	if !strings.HasSuffix(lines[1], strings.Repeat("-", len("surplus"))) {
+		t.Fatalf("separator missing surplus column: %q", lines[1])
 	}
 }
 

@@ -1,0 +1,73 @@
+package nn_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"photon/internal/bench"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+// TestObservabilityBenchGuard is the CI regression gate for the
+// observability layer: with phase spans and scrape instruments compiled
+// into every hot path, the warm train step must still allocate nothing and
+// its throughput must stay within noise of the committed BENCH_train.json
+// measurement. It runs when BENCH_OBSV_GUARD names the committed artifact
+// (the reference tokens/s comes from there, so the gate tightens
+// automatically when the artifact is re-measured).
+//
+// The allocation bound is exact — instrumentation is gated on atomic loads
+// and value-type span marks, so any alloc is a real regression. The
+// throughput bound is deliberately loose (reference/4): the CI host has
+// variable hypervisor CPU steal, so only an order-of-magnitude collapse
+// (e.g. a lock or syscall landing on the step path) should trip it.
+func TestObservabilityBenchGuard(t *testing.T) {
+	path := os.Getenv("BENCH_OBSV_GUARD")
+	if path == "" {
+		t.Skip("BENCH_OBSV_GUARD not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read reference artifact: %v", err)
+	}
+	var ref struct {
+		Current struct {
+			TokensPerSec float64 `json:"tokens_per_sec"`
+		} `json:"current"`
+	}
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatalf("parse reference artifact: %v", err)
+	}
+	if ref.Current.TokensPerSec <= 0 {
+		t.Fatalf("reference artifact has no tokens_per_sec: %s", path)
+	}
+
+	cfg := benchConfig()
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewModel(cfg, rng)
+	batch := benchBatch(rng, cfg, 2)
+	optimizer := opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01)
+	tokens := batch.Tokens()
+
+	bench.TrainStep(m, batch, optimizer, 1e-4)
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bench.TrainStep(m, batch, optimizer, 1e-4)
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("train step allocates %d allocs/step with observability compiled in, want 0", allocs)
+	}
+	nsPerStep := float64(res.T.Nanoseconds()) / float64(res.N)
+	tokensPerSec := float64(tokens) / (nsPerStep / 1e9)
+	if floor := ref.Current.TokensPerSec / 4; tokensPerSec < floor {
+		t.Fatalf("train step throughput %.0f tokens/s, want >= %.0f (reference %.0f / 4)",
+			tokensPerSec, floor, ref.Current.TokensPerSec)
+	}
+	t.Logf("guard: %.0f tokens/s (reference %.0f), 0 allocs/step", tokensPerSec, ref.Current.TokensPerSec)
+}

@@ -1,0 +1,114 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Health is the /healthz payload: which tier this process is, how far it
+// has gotten, and how stale its last round is.
+type Health struct {
+	Component string  `json:"component"`
+	Tier      int     `json:"tier"`
+	Round     int     `json:"round"`
+	Cohort    int     `json:"cohort"`
+	LastAgeS  float64 `json:"last_round_age_s"` // -1 until the first round lands
+}
+
+// HealthTracker is a concurrency-safe Health source a binary updates from
+// its round-event loop and hands to Server.SetHealth.
+type HealthTracker struct {
+	mu     sync.Mutex
+	h      Health
+	lastAt time.Time
+}
+
+// NewHealthTracker names the component and tier for /healthz.
+func NewHealthTracker(component string, tier int) *HealthTracker {
+	return &HealthTracker{h: Health{Component: component, Tier: tier, LastAgeS: -1}}
+}
+
+// Observe records a completed round and its cohort size.
+func (t *HealthTracker) Observe(round, cohort int) {
+	t.mu.Lock()
+	t.h.Round = round
+	t.h.Cohort = cohort
+	t.lastAt = time.Now()
+	t.mu.Unlock()
+}
+
+// Get snapshots the health, computing the last-round age.
+func (t *HealthTracker) Get() Health {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.h
+	if !t.lastAt.IsZero() {
+		h.LastAgeS = time.Since(t.lastAt).Seconds()
+	}
+	return h
+}
+
+// Server is the scrape listener: /metrics (Prometheus text), /healthz
+// (JSON), and /debug/pprof/*.
+type Server struct {
+	reg    *Registry
+	ln     net.Listener
+	srv    *http.Server
+	mu     sync.Mutex
+	health func() Health
+}
+
+// Serve starts the scrape listener on addr (e.g. ":9090" or
+// "127.0.0.1:0"). reg nil means the Default registry. The listener runs
+// until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		fn := s.health
+		s.mu.Unlock()
+		h := Health{LastAgeS: -1}
+		if fn != nil {
+			h = fn()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// SetHealth installs the /healthz source (e.g. HealthTracker.Get).
+func (s *Server) SetHealth(fn func() Health) {
+	s.mu.Lock()
+	s.health = fn
+	s.mu.Unlock()
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

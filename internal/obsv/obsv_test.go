@@ -1,0 +1,196 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseNanos(t *testing.T) {
+	var pn PhaseNanos
+	pn.Add(PhaseTrain, 3e6)
+	pn.Add(PhaseEncode, 1e6)
+	pn.Add(PhaseTrain, 2e6)
+	pn.Add(PhaseWire, -5) // negative charges ignored
+	if got := pn.SumNs(); got != 6e6 {
+		t.Fatalf("SumNs = %d, want 6e6", got)
+	}
+	if pn.Slowest() != PhaseTrain {
+		t.Fatalf("Slowest = %v, want train", pn.Slowest())
+	}
+	b := pn.Breakdown()
+	if b.TrainMs != 5 || b.EncodeMs != 1 {
+		t.Fatalf("Breakdown = %+v", b)
+	}
+	if got := b.SumMs(); got != 6 {
+		t.Fatalf("SumMs = %v, want 6", got)
+	}
+	if PhaseEval.String() != "eval" || Phase(200).String() != "phase(?)" {
+		t.Fatal("Phase.String broken")
+	}
+}
+
+func TestTracerRecordsOnlyWhenSubscribed(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin(PhaseTrain).End(1)
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("recorded %d spans with no subscriber", n)
+	}
+	tr.Subscribe()
+	for i := 0; i < 6; i++ { // overflow the ring of 4
+		tr.Begin(PhaseEncode).End(uint64(i + 1))
+	}
+	tr.Unsubscribe()
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want ring cap 4", len(spans))
+	}
+	// Oldest-first: overflow dropped trace IDs 1 and 2.
+	if spans[0].TraceID != 3 || spans[3].TraceID != 6 {
+		t.Fatalf("ring order wrong: %v .. %v", spans[0].TraceID, spans[3].TraceID)
+	}
+	tr.Begin(PhaseWire).End(7)
+	if len(tr.Snapshot()) != 4 {
+		t.Fatal("recorded after Unsubscribe")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if ns := tr.Begin(PhaseTrain).End(0); ns < 0 {
+		t.Fatalf("negative duration %d", ns)
+	}
+	if tr.Active() || tr.Snapshot() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+	tr.Subscribe()
+	tr.Unsubscribe()
+}
+
+// TestSpanZeroAlloc proves the gating promise in the acceptance criteria:
+// Begin/End allocate nothing whether or not a subscriber is attached, so
+// instrumentation on the round critical path is free.
+func TestSpanZeroAlloc(t *testing.T) {
+	tr := NewTracer(64)
+	sink := int64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		sink += tr.Begin(PhaseTrain).End(42)
+	}); n != 0 {
+		t.Fatalf("ungated Begin/End allocates %v/op", n)
+	}
+	tr.Subscribe()
+	defer tr.Unsubscribe()
+	if n := testing.AllocsPerRun(100, func() {
+		sink += tr.Begin(PhaseDecode).End(42)
+	}); n != 0 {
+		t.Fatalf("subscribed Begin/End allocates %v/op", n)
+	}
+	_ = sink
+}
+
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("photon_rounds_total", "rounds completed")
+	c.Add(3)
+	c.Inc()
+	c.Add(-9) // ignored
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("photon_round", "current round")
+	g.Set(7)
+	r.GaugeFunc("photon_up", "always one", func() float64 { return 1 })
+	h := r.Histogram("photon_req_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50) // beyond last bound: only +Inf
+	if h.Count() != 3 || h.Sum() != 50.55 {
+		t.Fatalf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE photon_rounds_total counter",
+		"photon_rounds_total 4",
+		"photon_round 7",
+		"photon_up 1",
+		`photon_req_seconds_bucket{le="0.1"} 1`,
+		`photon_req_seconds_bucket{le="1"} 2`,
+		`photon_req_seconds_bucket{le="+Inf"} 3`,
+		"photon_req_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Idempotent re-registration returns the same instrument.
+	if r.Counter("photon_rounds_total", "") != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+	// Kind mismatch is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("photon_rounds_total", "")
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("photon_rounds_total", "rounds").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ht := NewHealthTracker("agg", 0)
+	ht.Observe(5, 8)
+	srv.SetHealth(ht.Get)
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "photon_rounds_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(get("/healthz")), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Component != "agg" || h.Round != 5 || h.Cohort != 8 || h.LastAgeS < 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestHealthTrackerAge(t *testing.T) {
+	ht := NewHealthTracker("client", 2)
+	if h := ht.Get(); h.LastAgeS != -1 {
+		t.Fatalf("pre-round age = %v, want -1", h.LastAgeS)
+	}
+	ht.Observe(1, 4)
+	time.Sleep(5 * time.Millisecond)
+	if h := ht.Get(); h.LastAgeS <= 0 {
+		t.Fatalf("age = %v, want > 0", h.LastAgeS)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"photon/internal/nn"
+	"photon/internal/obsv"
 	"photon/internal/tensor"
 )
 
@@ -192,6 +193,16 @@ type Engine struct {
 	states []*nn.DecodeState
 	toks   [][]int
 	rows   []int
+
+	// process-wide scrape instruments (obsv.Default), cached at construction
+	// so the hot path never touches the registry lock. All updates are
+	// single atomic ops — the decode loop stays allocation-free.
+	insQueue     *obsv.Gauge
+	insInflight  *obsv.Gauge
+	insLatency   *obsv.Histogram
+	insCompleted *obsv.Counter
+	insExpired   *obsv.Counter
+	insTokens    *obsv.Counter
 }
 
 // NewEngine starts an engine over m. The engine takes exclusive ownership of
@@ -206,6 +217,13 @@ func NewEngine(m *nn.Model, cfg Config) *Engine {
 		done:    make(chan struct{}),
 		events:  make(chan Event, 128),
 		started: time.Now(),
+
+		insQueue:     obsv.Default.Gauge("photon_serve_queue_depth", "Requests waiting in the admission queue."),
+		insInflight:  obsv.Default.Gauge("photon_serve_inflight_sequences", "Sequences currently decoding in the batch."),
+		insLatency:   obsv.Default.Histogram("photon_serve_request_seconds", "End-to-end request latency (queue + decode).", nil),
+		insCompleted: obsv.Default.Counter("photon_serve_completed_total", "Requests completed successfully."),
+		insExpired:   obsv.Default.Counter("photon_serve_expired_total", "Requests expired at their deadline."),
+		insTokens:    obsv.Default.Counter("photon_serve_tokens_total", "Tokens sampled across all requests."),
 	}
 	go e.loop()
 	return e
@@ -233,6 +251,7 @@ func (e *Engine) Submit(req Request) (<-chan Result, error) {
 	}
 	select {
 	case e.reqs <- p:
+		e.insQueue.Set(float64(len(e.reqs)))
 		return p.res, nil
 	default:
 		return nil, ErrQueueFull
@@ -349,6 +368,8 @@ func (e *Engine) loop() {
 		e.mu.Lock()
 		e.active = len(active)
 		e.mu.Unlock()
+		e.insInflight.Set(float64(len(active)))
+		e.insQueue.Set(float64(len(e.reqs)))
 	}
 }
 
@@ -492,6 +513,7 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 	e.mu.Lock()
 	e.tokensOut += sampled
 	e.mu.Unlock()
+	e.insTokens.Add(sampled)
 	return out
 }
 
@@ -535,6 +557,14 @@ func (e *Engine) retire(s *seqSlot, free *[]*nn.DecodeState, res Result, expired
 
 // retireCounters updates completion counters and the latency ring.
 func (e *Engine) retireCounters(d time.Duration, expired bool) {
+	if expired {
+		e.insExpired.Inc()
+	} else {
+		e.insCompleted.Inc()
+	}
+	if d > 0 {
+		e.insLatency.Observe(d.Seconds())
+	}
 	e.mu.Lock()
 	if expired {
 		e.expired++

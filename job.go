@@ -13,6 +13,7 @@ import (
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
+	"photon/internal/obsv"
 	"photon/internal/opt"
 )
 
@@ -24,6 +25,7 @@ type Job struct {
 	events  chan RoundEvent
 	started atomic.Bool
 	addr    atomic.Value // string: aggregator backend's bound listen address
+	dropped atomic.Int64 // events evicted by drop-oldest backpressure
 }
 
 // NewJob assembles a job from functional options. Configuration problems
@@ -42,10 +44,12 @@ func NewJob(opts ...JobOption) *Job {
 // round (or evaluation interval), emitted while Run is executing and in
 // round order. The channel is buffered for the whole run, so training never
 // blocks on a slow consumer, and it is closed when Run returns — ranging
-// over it terminates. The one exception to the one-event-per-round
-// guarantee is BackendClient, whose round count is aggregator-driven: its
-// buffer holds 4096 events, and an unconsumed session longer than that
-// drops the excess rather than stalling training.
+// over it terminates. If a backend produces more rounds than the buffer
+// anticipated (BackendClient under a very long-lived aggregator, buffer
+// 4096), the stream sheds load drop-oldest: the stalest buffered event is
+// evicted so a late-attaching consumer sees the most recent telemetry
+// rather than an ancient prefix. Result.DroppedEvents counts the
+// evictions.
 func (j *Job) Events() <-chan RoundEvent { return j.events }
 
 // Addr returns the aggregator backend's bound listen address once Run has
@@ -65,28 +69,75 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 		return nil, errors.New("photon: job already run (jobs are single-use; build a new one)")
 	}
 	defer close(j.events)
+	var res *Result
+	var err error
 	switch j.cfg.backend {
 	case BackendFederated:
-		return j.runFederated(ctx)
+		res, err = j.runFederated(ctx)
 	case BackendCentralized:
-		return j.runCentralized(ctx)
+		res, err = j.runCentralized(ctx)
 	case BackendAggregator:
-		return j.runAggregator(ctx)
+		res, err = j.runAggregator(ctx)
 	case BackendClient:
-		return j.runClient(ctx)
+		res, err = j.runClient(ctx)
 	default:
 		return nil, fmt.Errorf("photon: unknown backend %q", j.cfg.backend)
 	}
+	if res != nil {
+		res.DroppedEvents = int(j.dropped.Load())
+	}
+	return res, err
 }
 
-// emit forwards a round record to the events channel. The channel is sized
-// for the run's full event count, so the send only falls into the drop arm
-// if a backend produces more rounds than anticipated (client backend under
-// a very long-lived aggregator).
+// emit forwards a round record to the events channel and refreshes the
+// process-wide scrape instruments. The channel is sized for the run's full
+// event count, so backpressure only engages if a backend produces more
+// rounds than anticipated (client backend under a very long-lived
+// aggregator). When it does, the policy is drop-oldest: evict the stalest
+// buffered event and retry, so an attached consumer always sees the most
+// recent rounds. emit is the sole sender, but a consumer may race it for
+// the oldest element, so the evict-retry loop is bounded; in the
+// (theoretical) worst case the new event itself is counted dropped rather
+// than blocking training.
 func (j *Job) emit(r metrics.Round) {
-	select {
-	case j.events <- eventFromRound(r):
-	default:
+	j.scrape(r)
+	ev := eventFromRound(r)
+	for attempt := 0; attempt < 3; attempt++ {
+		select {
+		case j.events <- ev:
+			return
+		default:
+		}
+		select {
+		case <-j.events: // evict oldest
+			j.dropped.Add(1)
+		default: // a consumer drained it first; retry the send
+		}
+	}
+	j.dropped.Add(1)
+}
+
+// scrape mirrors the round record onto the process-wide obsv registry so a
+// -metrics-addr listener (or any embedder serving obsv.Default) exposes
+// live training state without subscribing to the event stream.
+func (j *Job) scrape(r metrics.Round) {
+	reg := obsv.Default
+	reg.Counter("photon_rounds_total", "Completed training rounds.").Inc()
+	reg.Gauge("photon_round", "Most recent completed round number.").Set(float64(r.Round))
+	if r.TrainLoss > 0 {
+		reg.Gauge("photon_train_loss", "Mean participating-client training loss (nats/token).").Set(r.TrainLoss)
+	}
+	if r.ValPPL > 0 {
+		reg.Gauge("photon_val_perplexity", "Latest validation perplexity.").Set(r.ValPPL)
+	}
+	reg.Gauge("photon_round_clients", "Clients aggregated in the most recent round.").Set(float64(r.Clients))
+	reg.Counter("photon_wire_sent_bytes_total", "Bytes sent on the wire across rounds.").Add(r.WireSentBytes)
+	reg.Counter("photon_wire_recv_bytes_total", "Bytes received on the wire across rounds.").Add(r.WireRecvBytes)
+	reg.Counter("photon_round_joins_total", "Members joined or rejoined across rounds.").Add(int64(r.Joins))
+	reg.Counter("photon_round_evictions_total", "Members evicted across rounds.").Add(int64(r.Evictions))
+	reg.Counter("photon_round_stragglers_total", "Cohort slots dropped at round deadlines.").Add(int64(r.Stragglers))
+	if r.WallMs > 0 {
+		reg.Histogram("photon_round_seconds", "Round wall time.", nil).Observe(r.WallMs / 1e3)
 	}
 }
 
@@ -104,7 +155,13 @@ func newResult(model *nn.Model, hist *metrics.History) *Result {
 				EncodeMs:         r.EncodeMs, DecodeMs: r.DecodeMs,
 				Tier: r.Tier, Depth: r.Depth,
 				Joins: r.Joins, Evictions: r.Evictions, Stragglers: r.Stragglers,
-				HeartbeatRTTMs: r.HeartbeatRTTMs,
+				HeartbeatRTTMs:    r.HeartbeatRTTMs,
+				HeartbeatRTTP99Ms: r.HeartbeatRTTP99Ms,
+				TraceID:           r.TraceID,
+				WallMs:            r.WallMs,
+				Phases:            PhaseBreakdown(r.Phases),
+				SlowestID:         r.SlowestID,
+				SlowestPhase:      r.SlowestPhase,
 			})
 			out.Joins += r.Joins
 			out.Evictions += r.Evictions

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"photon/internal/data"
+	"photon/internal/metrics"
 )
 
 func TestJobCancellationReturnsPartialResult(t *testing.T) {
@@ -361,5 +362,58 @@ func TestJobNetworkedBackends(t *testing.T) {
 		if ev.Clients != clients {
 			t.Fatalf("round %d aggregated %d clients, want %d", ev.Round, ev.Clients, clients)
 		}
+	}
+}
+
+// TestJobEventsDropOldest pins the event-stream backpressure policy: when
+// the buffer fills (a backend outliving its sizing estimate), emit evicts
+// the oldest buffered event rather than the newest, so a late consumer
+// reads the freshest telemetry — and the evictions are auditable through
+// the dropped counter that Run surfaces as Result.DroppedEvents.
+func TestJobEventsDropOldest(t *testing.T) {
+	j := &Job{events: make(chan RoundEvent, 3)}
+	for r := 1; r <= 10; r++ {
+		j.emit(metrics.Round{Round: r})
+	}
+	close(j.events)
+	var got []int
+	for ev := range j.events {
+		got = append(got, ev.Round)
+	}
+	want := []int{8, 9, 10} // newest survive; 1..7 were evicted
+	if len(got) != len(want) {
+		t.Fatalf("buffered rounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buffered rounds = %v, want %v", got, want)
+		}
+	}
+	if n := j.dropped.Load(); n != 7 {
+		t.Fatalf("dropped counter = %d, want 7", n)
+	}
+}
+
+// TestJobEventsDropOldestRacesConsumer exercises the evict-retry loop under
+// a live consumer draining concurrently: every emitted event is either
+// received or counted dropped — none vanish unaccounted.
+func TestJobEventsDropOldestRacesConsumer(t *testing.T) {
+	const total = 5000
+	j := &Job{events: make(chan RoundEvent, 2)}
+	var received int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range j.events {
+			received++
+		}
+	}()
+	for r := 1; r <= total; r++ {
+		j.emit(metrics.Round{Round: r})
+	}
+	close(j.events)
+	<-done
+	if got := received + j.dropped.Load(); got != total {
+		t.Fatalf("received %d + dropped %d = %d events, want %d", received, j.dropped.Load(), got, total)
 	}
 }

@@ -193,10 +193,20 @@ type RoundStat struct {
 	// aggregator backend only): joins/rejoins (round 1 includes the
 	// initial cohort), evictions, cohort slots dropped at the round
 	// deadline, and the mean heartbeat round-trip.
-	Joins          int
-	Evictions      int
-	Stragglers     int
-	HeartbeatRTTMs float64
+	Joins             int
+	Evictions         int
+	Stragglers        int
+	HeartbeatRTTMs    float64
+	HeartbeatRTTP99Ms float64
+
+	// Observability: the round's trace ID (propagated down the
+	// aggregation tree from the root), its measured wall time, the
+	// per-phase critical-path breakdown, and straggler attribution.
+	TraceID      uint64
+	WallMs       float64
+	Phases       PhaseBreakdown
+	SlowestID    string
+	SlowestPhase string
 }
 
 // Result is a finished (or, under cancellation, partial) pre-training run.
@@ -209,6 +219,11 @@ type Result struct {
 	Joins      int
 	Evictions  int
 	Stragglers int
+
+	// DroppedEvents counts RoundEvents discarded because the Events()
+	// consumer fell behind its buffer (drop-oldest backpressure): rounds
+	// are never stalled by a slow consumer, and this is the audit trail.
+	DroppedEvents int
 
 	model *nn.Model
 }
