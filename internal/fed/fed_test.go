@@ -17,6 +17,7 @@ import (
 	"photon/internal/nn"
 	"photon/internal/obsv"
 	"photon/internal/opt"
+	"photon/internal/testutil"
 	"photon/internal/topo"
 )
 
@@ -383,6 +384,7 @@ func TestUniformSamplerProperties(t *testing.T) {
 }
 
 func TestNetworkedFederation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	cfg := tinyCfg()
 	l, err := link.Listen("127.0.0.1:0")
 	if err != nil {

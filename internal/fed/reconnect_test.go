@@ -14,6 +14,7 @@ import (
 	"photon/internal/metrics"
 	"photon/internal/nn"
 	"photon/internal/opt"
+	"photon/internal/testutil"
 )
 
 func reconClient(id string) *Client {
@@ -119,6 +120,7 @@ func TestResilientClientZeroAttemptsDisablesReconnect(t *testing.T) {
 // one round and verifies the wrapper redials, rejoins, and completes the
 // second session cleanly.
 func TestResilientClientReconnectsThroughPipe(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	var dials atomic.Int32
 	dial := func(context.Context) (*link.Conn, error) {
 		a, b := link.Pipe()

@@ -8,6 +8,7 @@ import (
 
 	"photon/internal/link"
 	"photon/internal/metrics"
+	"photon/internal/testutil"
 )
 
 // startRelay launches a relay with its own listener and cohort of leaf
@@ -50,6 +51,7 @@ func startRelay(t *testing.T, ctx context.Context, parentAddr, id string, client
 // federation to ≤1e-5 — the two-tier mean of equal cohorts IS the flat
 // mean.
 func TestTwoTierMatchesFlatNetworked(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	cfg := tinyCfg()
 	const rounds = 3
 
@@ -240,6 +242,7 @@ func TestTieredSimUpstreamCodecShrinksParentLink(t *testing.T) {
 // and aggregates the partial round) instead of forwarding a bogus update —
 // and the parent run must still complete on the healthy relay.
 func TestRelayEmptyCohortStragglesUpstream(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	cfg := tinyCfg()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

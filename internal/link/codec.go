@@ -299,7 +299,11 @@ type DenseCodec struct{}
 // Name implements Codec.
 func (DenseCodec) Name() string { return "dense" }
 
-// Encode implements Codec.
+// Encode implements Codec. Codec entry points are per-round wire
+// boundaries: payload buffers escape to the transport, so they allocate by
+// design and the tight per-element loops underneath them are the hotpath.
+//
+//photon:allocok
 func (DenseCodec) Encode(v []float32) (EncodedPayload, error) {
 	if len(v) == 0 {
 		return EncodedPayload{}, nil
@@ -308,6 +312,8 @@ func (DenseCodec) Encode(v []float32) (EncodedPayload, error) {
 }
 
 // Decode implements Codec.
+//
+//photon:allocok
 func (DenseCodec) Decode(p EncodedPayload) ([]float32, error) {
 	if p.IsZero() {
 		return nil, nil
@@ -403,6 +409,8 @@ func (q *Q8Codec) blockSize() int {
 
 // Encode implements Codec. Layout: u32 blockSize | nBlocks×f32 scales |
 // elems×int8 codes.
+//
+//photon:allocok
 func (q *Q8Codec) Encode(v []float32) (EncodedPayload, error) {
 	if len(v) == 0 {
 		return EncodedPayload{}, nil
@@ -414,16 +422,13 @@ func (q *Q8Codec) Encode(v []float32) (EncodedPayload, error) {
 	}
 	data := make([]byte, 4+4*len(scales)+len(codes))
 	binary.LittleEndian.PutUint32(data, uint32(bs))
-	for i, s := range scales {
-		binary.LittleEndian.PutUint32(data[4+4*i:], math.Float32bits(s))
-	}
-	for i, c := range codes {
-		data[4+4*len(scales)+i] = byte(c)
-	}
+	packQ8(data[4:], scales, codes)
 	return EncodedPayload{CodecID: CodecQ8, Elems: len(v), Data: data}, nil
 }
 
 // Decode implements Codec.
+//
+//photon:allocok
 func (q *Q8Codec) Decode(p EncodedPayload) ([]float32, error) {
 	if p.IsZero() {
 		return nil, nil
@@ -441,13 +446,8 @@ func (q *Q8Codec) Decode(p EncodedPayload) ([]float32, error) {
 		return nil, fmt.Errorf("link: q8 payload %d bytes for %d elems at block %d (want %d)", len(p.Data), p.Elems, bs, want)
 	}
 	scales := make([]float32, nBlocks)
-	for i := range scales {
-		scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(p.Data[4+4*i:]))
-	}
 	codes := make([]int8, p.Elems)
-	for i := range codes {
-		codes[i] = int8(p.Data[4+4*nBlocks+i])
-	}
+	unpackQ8(p.Data[4:], scales, codes)
 	return DequantizeInt8(codes, scales, bs)
 }
 
@@ -491,6 +491,8 @@ func (t *TopKCodec) keep() float64 {
 }
 
 // Encode implements Codec. Layout: kept-count×(u32 index | f32 value).
+//
+//photon:allocok
 func (t *TopKCodec) Encode(v []float32) (EncodedPayload, error) {
 	keep := t.keep()
 	if keep <= 0 || keep > 1 {
@@ -554,9 +556,18 @@ func (t *TopKCodec) Encode(v []float32) (EncodedPayload, error) {
 // kthLargest returns the k-th largest element of v (1-based, k in
 // [1,len(v)]) by quickselect over a scratch copy — expected O(n), versus
 // the O(n log n) full sort that would otherwise dominate every topk encode.
+//
+//photon:allocok
 func kthLargest(v []float32, k int) float32 {
 	s := append([]float32(nil), v...)
-	target := k - 1 // index in descending order
+	return quickselect(s, k-1)
+}
+
+// quickselect returns the element that would sit at descending-order index
+// target, partitioning s in place (expected O(n), no allocation).
+//
+//photon:hotpath
+func quickselect(s []float32, target int) float32 {
 	lo, hi := 0, len(s)-1
 	for lo < hi {
 		// Median-of-three pivot guards against sorted and constant inputs.
@@ -588,6 +599,7 @@ func kthLargest(v []float32, k int) float32 {
 	return s[target]
 }
 
+//photon:hotpath
 func medianOf3(a, b, c float32) float32 {
 	if a > b {
 		a, b = b, a
@@ -602,6 +614,8 @@ func medianOf3(a, b, c float32) float32 {
 }
 
 // Decode implements Codec: scatter the pairs into a zero vector.
+//
+//photon:allocok
 func (t *TopKCodec) Decode(p EncodedPayload) ([]float32, error) {
 	if p.IsZero() {
 		return nil, nil
@@ -625,10 +639,45 @@ func (t *TopKCodec) Decode(p EncodedPayload) ([]float32, error) {
 }
 
 // floatsFromBytes converts little-endian float32 bytes back to a vector.
+//
+//photon:allocok
 func floatsFromBytes(raw []byte) []float32 {
 	out := make([]float32, len(raw)/4)
+	fillFloats(out, raw)
+	return out
+}
+
+// fillFloats deserializes little-endian float32 bytes into a preallocated
+// vector — the per-element half of floatsFromBytes.
+//
+//photon:hotpath
+func fillFloats(out []float32, raw []byte) {
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
 	}
-	return out
+}
+
+// packQ8 writes the q8 wire body (scales then codes) into a preallocated
+// buffer starting at the scale section; unpackQ8 is its inverse.
+//
+//photon:hotpath
+func packQ8(body []byte, scales []float32, codes []int8) {
+	for i, s := range scales {
+		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(s))
+	}
+	off := 4 * len(scales)
+	for i, c := range codes {
+		body[off+i] = byte(c)
+	}
+}
+
+//photon:hotpath
+func unpackQ8(body []byte, scales []float32, codes []int8) {
+	for i := range scales {
+		scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	off := 4 * len(scales)
+	for i := range codes {
+		codes[i] = int8(body[off+i])
+	}
 }

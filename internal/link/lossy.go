@@ -83,15 +83,26 @@ func Sparsity(v []float32) float64 {
 // QuantizeInt8 quantizes v into int8 codes with one float32 scale per block
 // of blockSize elements (absmax scaling), the lossy wire format the
 // cross-device extension of Section 6 calls for. It returns the codes and
-// per-block scales.
+// per-block scales. Validation and output allocation live here; the
+// per-element sweep is the hotpath kernel quantizeBlocks.
+//
+//photon:allocok
 func QuantizeInt8(v []float32, blockSize int) (codes []int8, scales []float32, err error) {
 	if blockSize < 1 {
 		return nil, nil, fmt.Errorf("link: blockSize must be positive, got %d", blockSize)
 	}
 	codes = make([]int8, len(v))
-	nBlocks := (len(v) + blockSize - 1) / blockSize
-	scales = make([]float32, nBlocks)
-	for b := 0; b < nBlocks; b++ {
+	scales = make([]float32, (len(v)+blockSize-1)/blockSize)
+	quantizeBlocks(codes, scales, v, blockSize)
+	return codes, scales, nil
+}
+
+// quantizeBlocks is the absmax int8 quantization sweep over preallocated
+// code/scale buffers — the tight loop every lossy encode pays per element.
+//
+//photon:hotpath
+func quantizeBlocks(codes []int8, scales []float32, v []float32, blockSize int) {
+	for b := range scales {
 		lo := b * blockSize
 		hi := lo + blockSize
 		if hi > len(v) {
@@ -123,10 +134,11 @@ func QuantizeInt8(v []float32, blockSize int) (codes []int8, scales []float32, e
 			codes[i] = int8(q)
 		}
 	}
-	return codes, scales, nil
 }
 
 // DequantizeInt8 reverses QuantizeInt8.
+//
+//photon:allocok
 func DequantizeInt8(codes []int8, scales []float32, blockSize int) ([]float32, error) {
 	if blockSize < 1 {
 		return nil, fmt.Errorf("link: blockSize must be positive, got %d", blockSize)
@@ -137,10 +149,18 @@ func DequantizeInt8(codes []int8, scales []float32, blockSize int) ([]float32, e
 			len(scales), len(codes), blockSize, want)
 	}
 	out := make([]float32, len(codes))
+	dequantizeInto(out, codes, scales, blockSize)
+	return out, nil
+}
+
+// dequantizeInto is DequantizeInt8's per-element sweep over a preallocated
+// output.
+//
+//photon:hotpath
+func dequantizeInto(out []float32, codes []int8, scales []float32, blockSize int) {
 	for i, c := range codes {
 		out[i] = float32(c) * scales[i/blockSize]
 	}
-	return out, nil
 }
 
 // Quantize8 is a PostProcessor applying an int8 quantize→dequantize round

@@ -1,6 +1,7 @@
 package link
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -184,7 +185,7 @@ func TestQuantizeErrorBoundProperty(t *testing.T) {
 
 func TestECDHSecAggCancellation(t *testing.T) {
 	const n, dim = 4, 64
-	parties, err := RunSecAggSession(n)
+	parties, err := RunSecAggSession(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestECDHSecAggPairwiseSeedsMatch(t *testing.T) {
 }
 
 func TestRunSecAggSessionValidation(t *testing.T) {
-	if _, err := RunSecAggSession(1); err == nil {
+	if _, err := RunSecAggSession(context.Background(), 1); err == nil {
 		t.Fatal("single-party session accepted")
 	}
 	if p, err := NewSecAggParty(0); err != nil || p.Mask([]float32{1}) == nil {

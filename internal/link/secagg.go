@@ -1,6 +1,7 @@
 package link
 
 import (
+	"context"
 	"crypto/ecdh"
 	"crypto/rand"
 	"crypto/sha256"
@@ -76,8 +77,10 @@ func (p *SecAggParty) Mask(update []float32) error {
 // RunSecAggSession wires up a full n-party session in process (each party
 // generates a key, exchanges public keys, and agrees pairwise), returning
 // the parties ready to Mask. Production deployments exchange the public
-// keys through the aggregator; only transport differs.
-func RunSecAggSession(n int) ([]*SecAggParty, error) {
+// keys through the aggregator; only transport differs. The context bounds
+// the O(n²) pairwise agreement, which is minutes of scalar multiplications
+// at cross-device fleet sizes.
+func RunSecAggSession(ctx context.Context, n int) ([]*SecAggParty, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("link: secagg needs at least 2 parties, got %d", n)
 	}
@@ -90,6 +93,9 @@ func RunSecAggSession(n int) ([]*SecAggParty, error) {
 		parties[i] = p
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue

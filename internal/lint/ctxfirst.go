@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the context discipline PR 1 plumbed through the stack:
+// module-wide, a context.Context parameter must be the first parameter; and
+// in the wire-facing packages (fed, link, serve), exported APIs with
+// blocking names (Run*, Serve*, Dial*, Accept*, Wait*) must either take a
+// context.Context first or have a <Name>Context sibling that does (the
+// net.Listener Accept/AcceptContext idiom, kept for API compatibility).
+var CtxFirst = &Analyzer{
+	Name: "ctx-first",
+	Doc:  "context.Context parameters come first; blocking exported APIs in fed/link/serve take one",
+	Run:  runCtxFirst,
+}
+
+var blockingNamePrefixes = []string{"Run", "Serve", "Dial", "Accept", "Wait"}
+
+func runCtxFirst(pass *Pass) {
+	// Wire-facing is matched by path suffix rather than exact equality so
+	// fixture packages (testdata/src/.../internal/serve) exercise the rule.
+	wireFacing := func(path string) bool {
+		for _, s := range []string{"/internal/fed", "/internal/link", "/internal/serve"} {
+			if strings.HasSuffix(path, s) {
+				return true
+			}
+		}
+		return false
+	}
+	// Index declared function and method names so the <Name>Context sibling
+	// rule can be checked: "Dial" is satisfied by "DialContext", a method
+	// "(*Listener).Accept" by "(*Listener).AcceptContext".
+	declared := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				declared[funcKey(pass.Pkg.Info, fd)] = true
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			sig := funcSignature(pass.Pkg.Info, fd)
+			if sig == nil {
+				continue
+			}
+			// Module-wide: a context parameter anywhere must be first.
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isContextType(sig.Params().At(i).Type()) && i > 0 {
+					pass.Report(fd.Name.Pos(), "%s takes context.Context as parameter %d; context must be the first parameter", fd.Name.Name, i+1)
+					break
+				}
+			}
+			if !wireFacing(pass.Pkg.ImportPath) || !fd.Name.IsExported() {
+				continue
+			}
+			if !hasBlockingName(fd.Name.Name) || strings.HasSuffix(fd.Name.Name, "Context") {
+				continue
+			}
+			if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+				continue
+			}
+			if declared[funcKey(pass.Pkg.Info, fd)+"Context"] {
+				continue // Accept/AcceptContext-style pair
+			}
+			pass.Report(fd.Name.Pos(), "exported blocking API %s must take context.Context as its first parameter (or gain a %sContext sibling)", fd.Name.Name, fd.Name.Name)
+		}
+	}
+}
+
+func funcSignature(info *types.Info, fd *ast.FuncDecl) *types.Signature {
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// funcKey renders "Name" for functions and "Recv.Name" for methods.
+func funcKey(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return fd.Name.Name
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func hasBlockingName(name string) bool {
+	for _, p := range blockingNamePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedBlocking enforces the never-block-while-holding-a-lock rule learned
+// from the MsgObserve publish path (PR 7): between a sync.Mutex/RWMutex
+// Lock() and its Unlock() in the same function — including the remainder of
+// the function when the Unlock is deferred — there may be no channel send,
+// no link.Conn I/O, and no time.Sleep. The correct shape is copy-under-lock,
+// then send outside (see server.publishRound). Nonblocking sends inside a
+// select with a default clause are allowed.
+var LockedBlocking = &Analyzer{
+	Name: "locked-blocking",
+	Doc:  "no channel send, link I/O, or time.Sleep while holding a mutex",
+	Run:  runLockedBlocking,
+}
+
+var mutexLockOps = map[string]string{
+	"(*sync.Mutex).Lock":    "Lock",
+	"(*sync.Mutex).TryLock": "Lock",
+	"(*sync.RWMutex).Lock":  "Lock",
+	"(*sync.RWMutex).RLock": "RLock",
+}
+
+var mutexUnlockOps = map[string]string{
+	"(*sync.Mutex).Unlock":    "Unlock",
+	"(*sync.RWMutex).Unlock":  "Unlock",
+	"(*sync.RWMutex).RUnlock": "RUnlock",
+}
+
+func runLockedBlocking(pass *Pass) {
+	c := &lockChecker{pass: pass, info: pass.Pkg.Info, linkPath: pass.Prog.ModPath + "/internal/link"}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.scanStmts(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+}
+
+type lockChecker struct {
+	pass     *Pass
+	info     *types.Info
+	linkPath string
+}
+
+// mutexOp classifies stmt as a lock or unlock call, returning the rendered
+// receiver expression ("s.mu") it operates on.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (recv string, lock, unlock bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, _ := c.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", false, false
+	}
+	name := fn.FullName()
+	if _, ok := mutexLockOps[name]; ok {
+		return exprString(sel.X), true, false
+	}
+	if _, ok := mutexUnlockOps[name]; ok {
+		return exprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// scanStmts walks a statement sequence tracking which mutexes are held.
+// Nested blocks get a copy of the held set, so a branch-local lock never
+// leaks into the outer sequence (conservative: an unlock inside a branch
+// does not release the outer tracking either — the repo convention is
+// lock/unlock in the same block or a deferred unlock, both of which this
+// models exactly).
+func (c *lockChecker) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if recv, lock, unlock := c.mutexOp(call); lock {
+					held[recv] = true
+					continue
+				} else if unlock {
+					delete(held, recv)
+					continue
+				}
+			}
+			c.checkBlocking(x, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the critical section extends to the end of
+			// the function; keep the mutex marked held.
+			if recv, _, unlock := c.mutexOp(x.Call); unlock {
+				_ = recv
+				continue
+			}
+			c.checkBlocking(x, held)
+		case *ast.BlockStmt:
+			c.scanStmts(x.List, copyHeld(held))
+		case *ast.IfStmt:
+			c.scanIf(x, held)
+		case *ast.ForStmt:
+			if x.Init != nil {
+				c.checkBlocking(x.Init, held)
+			}
+			c.scanStmts(x.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			c.scanStmts(x.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, clause := range x.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range x.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			c.scanSelect(x, held)
+		case *ast.LabeledStmt:
+			c.scanStmts([]ast.Stmt{x.Stmt}, held)
+		default:
+			c.checkBlocking(s, held)
+		}
+	}
+}
+
+func (c *lockChecker) scanIf(x *ast.IfStmt, held map[string]bool) {
+	if x.Init != nil {
+		c.checkBlocking(x.Init, held)
+	}
+	c.scanStmts(x.Body.List, copyHeld(held))
+	switch e := x.Else.(type) {
+	case *ast.BlockStmt:
+		c.scanStmts(e.List, copyHeld(held))
+	case *ast.IfStmt:
+		c.scanIf(e, copyHeld(held))
+	}
+}
+
+// scanSelect: comm operations in a select with a default clause are
+// nonblocking by construction; without one they block like bare sends.
+func (c *lockChecker) scanSelect(x *ast.SelectStmt, held map[string]bool) {
+	hasDefault := false
+	for _, clause := range x.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, clause := range x.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil && !hasDefault {
+			c.checkBlocking(cc.Comm, held)
+		}
+		c.scanStmts(cc.Body, copyHeld(held))
+	}
+}
+
+// checkBlocking flags blocking operations inside one simple statement's
+// subtree while any mutex is held. Function literals are skipped: they run
+// on their own goroutine's schedule, not inside this critical section.
+func (c *lockChecker) checkBlocking(s ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.pass.Report(x.Pos(), "channel send while holding %s", heldNames(held))
+		case *ast.CallExpr:
+			if fn, _ := calleeObject(c.info, x.Fun).(*types.Func); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					c.pass.Report(x.Pos(), "time.Sleep while holding %s", heldNames(held))
+				case fn.Pkg().Path() == c.linkPath && isLinkBlocking(fn):
+					c.pass.Report(x.Pos(), "link I/O %s while holding %s", fn.Name(), heldNames(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isLinkBlocking reports whether fn is one of internal/link's blocking wire
+// operations: Conn I/O, listener accepts, and dials.
+func isLinkBlocking(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Send", "SendTimeout", "Recv", "RecvTimeout", "Accept", "AcceptContext":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Dial")
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

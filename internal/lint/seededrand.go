@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the injected-*rand.Rand discipline adopted after the
+// shard-seed collision family (PR 5): randomness must flow from an
+// explicitly seeded source threaded through configuration, never from the
+// global math/rand state (irreproducible across runs, racy across
+// goroutines) or from a wall-clock-seeded source (irreproducible by
+// construction).
+var SeededRand = &Analyzer{
+	Name: "seeded-rand",
+	Doc:  "no global math/rand top-level functions, no time-seeded sources — injected *rand.Rand only",
+	Run:  runSeededRand,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// consume the shared global source. Constructors (New, NewSource, NewPCG,
+// NewChaCha8, NewZipf) are exactly the sanctioned path and stay legal —
+// unless seeded from the wall clock, which is flagged separately.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "UintN": true, "Uint": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// randSourceCtors are constructors whose seed argument must not come from
+// the wall clock.
+var randSourceCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSeededRand(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := calleeObject(info, call.Fun).(*types.Func)
+			if fn == nil || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				return true // methods on an injected source/Rand are the point
+			}
+			switch {
+			case globalRandFuncs[fn.Name()]:
+				pass.Report(call.Pos(), "%s.%s draws from the global rand source; inject a seeded *rand.Rand instead", fn.Pkg().Path(), fn.Name())
+			case randSourceCtors[fn.Name()] && containsWallClock(info, call):
+				pass.Report(call.Pos(), "%s.%s seeded from the wall clock is irreproducible; derive the seed from configuration", fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// containsWallClock reports whether any argument subtree calls time.Now.
+func containsWallClock(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, _ := calleeObject(info, inner.Fun).(*types.Func); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,15 @@
+// Package ctxfirstbad is a golden fixture for ctx-first's module-wide rule:
+// a context.Context parameter anywhere in the module must come first.
+package ctxfirstbad
+
+import "context"
+
+func process(n int, ctx context.Context) error { // want "takes context.Context as parameter 2"
+	return ctx.Err()
+}
+
+type worker struct{}
+
+func (w *worker) drain(name string, ctx context.Context, max int) { // want "takes context.Context as parameter 2"
+	_ = ctx
+}

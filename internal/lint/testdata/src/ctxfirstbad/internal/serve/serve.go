@@ -1,0 +1,18 @@
+// Package serve is a golden fixture for ctx-first's wire-facing rule: the
+// import path ends in internal/serve, so exported blocking-named APIs must
+// take a context.Context first (or have a Context sibling).
+package serve
+
+func RunLoop(n int) { // want "exported blocking API RunLoop must take context.Context"
+	_ = n
+}
+
+func WaitReady(timeoutMs int) { // want "exported blocking API WaitReady must take context.Context"
+	_ = timeoutMs
+}
+
+type Listener struct{}
+
+func (l *Listener) Accept() error { // want "exported blocking API Accept must take context.Context"
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package link is a golden fixture: ctx-first must report nothing here.
+// It exercises the three sanctioned shapes for blocking wire-facing APIs:
+// context first, a <Name>Context sibling (the net.Listener idiom), and
+// unexported helpers (the rule only binds exported names).
+package link
+
+import "context"
+
+func Run(ctx context.Context, rounds int) error {
+	return ctx.Err()
+}
+
+// Dial is legitimized by its DialContext sibling.
+func Dial(addr string) error {
+	return DialContext(context.Background(), addr)
+}
+
+func DialContext(ctx context.Context, addr string) error {
+	_ = addr
+	return ctx.Err()
+}
+
+type Listener struct{}
+
+// Accept pairs with AcceptContext, method-sibling form.
+func (l *Listener) Accept() error {
+	return l.AcceptContext(context.Background())
+}
+
+func (l *Listener) AcceptContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func runInternal(n int) { // unexported: not subject to the blocking-name rule
+	_ = n
+}

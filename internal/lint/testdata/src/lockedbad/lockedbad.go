@@ -1,0 +1,64 @@
+// Package lockedbad is a golden fixture: every marked line must be flagged
+// by the locked-blocking analyzer. It imports the real link package so the
+// link-I/O-under-lock rule is exercised against the production Conn type.
+package lockedbad
+
+import (
+	"sync"
+	"time"
+
+	"photon/internal/link"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	v  int
+}
+
+func sendWhileLocked(b *box) {
+	b.mu.Lock()
+	b.ch <- b.v // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func sleepWhileLocked(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding b.mu"
+	b.mu.Unlock()
+}
+
+// deferredUnlock holds the lock to the end of the function, so the send is
+// inside the critical section even though no explicit Unlock follows it.
+func deferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- b.v // want "channel send while holding b.mu"
+}
+
+func linkIOWhileLocked(b *box, c *link.Conn, m *link.Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return c.Send(m) // want "link I/O Send while holding b.mu"
+}
+
+func nestedBlockStillHeld(b *box, cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.ch <- 1 // want "channel send while holding b.mu"
+	}
+	b.mu.Unlock()
+}
+
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+// promotedMutex locks through the embedded promotion; the critical section
+// must still be recognized.
+func promotedMutex(e *embedded) {
+	e.Lock()
+	e.ch <- 1 // want "channel send while holding"
+	e.Unlock()
+}

@@ -1,0 +1,55 @@
+// Package lockedgood is a golden fixture: the locked-blocking analyzer must
+// report nothing here. It exercises the repo's copy-under-lock idiom, sends
+// after an explicit Unlock, and the select-with-default non-blocking send.
+package lockedgood
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	v  int
+}
+
+// copyUnderLockSendOutside is the observer-notification idiom: snapshot the
+// shared state inside the critical section, deliver outside it.
+func copyUnderLockSendOutside(b *box) {
+	b.mu.Lock()
+	v := b.v
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// nonBlockingSend uses select-with-default, which cannot block: dropping on a
+// full channel is the sanctioned telemetry pattern.
+func nonBlockingSend(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.v:
+	default:
+	}
+}
+
+// sleepAfterUnlock blocks only once the critical section has ended.
+func sleepAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// relockBetween exercises held-set tracking across multiple critical
+// sections in one function.
+func relockBetween(b *box) {
+	b.mu.Lock()
+	v := b.v
+	b.mu.Unlock()
+	b.ch <- v
+	b.mu.Lock()
+	b.v = v + 1
+	b.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Package seededrandbad is a golden fixture: every marked line must be
+// flagged by the seeded-rand analyzer.
+package seededrandbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "draws from the global rand source"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "draws from the global rand source"
+}
+
+func globalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want "draws from the global rand source"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

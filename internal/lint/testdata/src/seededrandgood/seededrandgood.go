@@ -1,0 +1,18 @@
+// Package seededrandgood is a golden fixture: the seeded-rand analyzer must
+// report nothing here — every random draw goes through an injected,
+// deterministically seeded *rand.Rand.
+package seededrandgood
+
+import "math/rand"
+
+func fromConfig(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func derived(rng *rand.Rand, s []int) {
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

@@ -1,0 +1,24 @@
+// Package wallclockbad is a golden fixture for the no-wallclock analyzer:
+// the package opts into the virtual-clock discipline via the annotation
+// below, so every wall-clock read must be flagged.
+//
+//photon:virtualclock
+package wallclockbad
+
+import "time"
+
+func reads() time.Time {
+	return time.Now() // want "time.Now in virtual-clock package wallclockbad"
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in virtual-clock package wallclockbad"
+}
+
+func sleeps() {
+	time.Sleep(time.Second) // want "time.Sleep in virtual-clock package wallclockbad"
+}
+
+func ticks() <-chan time.Time {
+	return time.After(time.Second) // want "time.After in virtual-clock package wallclockbad"
+}

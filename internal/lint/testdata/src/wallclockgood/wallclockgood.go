@@ -1,0 +1,22 @@
+// Package wallclockgood is a golden fixture: a virtual-clock package that
+// threads simulated time explicitly. Duration arithmetic and time.Time
+// values received as inputs are fine — only reading the wall clock is not.
+//
+//photon:virtualclock
+package wallclockgood
+
+import "time"
+
+type clock struct{ now time.Time }
+
+func (c *clock) advance(d time.Duration) {
+	c.now = c.now.Add(d)
+}
+
+func elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+func deadlineFrom(now time.Time, budget time.Duration) time.Time {
+	return now.Add(budget)
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallclock keeps virtual-clock packages off the wall clock. internal/topo
+// is today an analytic cost model and tomorrow (ROADMAP item 5) a
+// discrete-event simulator; both are only trustworthy if simulated time is
+// the one source of time. The package is denied time.Now/Since/Sleep and
+// friends unconditionally, and any other package can opt into the same
+// discipline with a //photon:virtualclock package-doc directive.
+var NoWallclock = &Analyzer{
+	Name: "no-wallclock",
+	Doc:  "no time.Now/time.Since/time.Sleep in internal/topo or //photon:virtualclock packages",
+	Run:  runNoWallclock,
+}
+
+// wallClockFuncs are the time package functions that read or wait on the
+// wall/monotonic clock. Pure conversions and constructors (time.Duration
+// arithmetic, time.Unix) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+func runNoWallclock(pass *Pass) {
+	if !pass.Pkg.virtualClock && pass.Pkg.ImportPath != pass.Prog.ModPath+"/internal/topo" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := calleeObject(info, call.Fun).(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Report(call.Pos(), "time.%s in virtual-clock package %s; thread simulated time instead", fn.Name(), pass.Pkg.Pkg.Name())
+			}
+			return true
+		})
+	}
+}

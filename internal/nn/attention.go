@@ -53,6 +53,8 @@ func (a *Attention) Params() ParamSet {
 // gatherPanels re-materializes the fused QKV activation [B·T, 3D] into three
 // contiguous per-head panels [B·H·T, d] so the batched kernels stream unit-
 // stride rows instead of striding across the fused layout.
+//
+//photon:hotpath
 func (a *Attention) gatherPanels(qkv, q, k, v *tensor.Matrix, batch, seq int) {
 	hd := a.HeadDim
 	for b := 0; b < batch; b++ {
@@ -71,6 +73,8 @@ func (a *Attention) gatherPanels(qkv, q, k, v *tensor.Matrix, batch, seq int) {
 
 // scatterPanels is the inverse of gatherPanels for the gradient side: it
 // writes per-head dQ/dK/dV panels back into the fused dQKV layout.
+//
+//photon:hotpath
 func (a *Attention) scatterPanels(dqkv, dq, dk, dv *tensor.Matrix, batch, seq int) {
 	hd := a.HeadDim
 	for b := 0; b < batch; b++ {
@@ -89,6 +93,8 @@ func (a *Attention) scatterPanels(dqkv, dq, dk, dv *tensor.Matrix, batch, seq in
 
 // gatherCtx copies the interleaved-head matrix [B·T, D] into per-head panels
 // [B·H·T, d]; scatterCtx is its inverse.
+//
+//photon:hotpath
 func (a *Attention) gatherCtx(panels, x *tensor.Matrix, batch, seq int) {
 	hd := a.HeadDim
 	for b := 0; b < batch; b++ {
@@ -102,6 +108,7 @@ func (a *Attention) gatherCtx(panels, x *tensor.Matrix, batch, seq int) {
 	}
 }
 
+//photon:hotpath
 func (a *Attention) scatterCtx(x, panels *tensor.Matrix, batch, seq int) {
 	hd := a.HeadDim
 	for b := 0; b < batch; b++ {
@@ -117,6 +124,8 @@ func (a *Attention) scatterCtx(x, panels *tensor.Matrix, batch, seq int) {
 
 // Forward runs attention over x laid out as [B·T, D] with the given batch
 // and sequence dimensions.
+//
+//photon:hotpath
 func (a *Attention) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *tensor.Matrix {
 	a.batch, a.seq = batch, seq
 	items := batch * a.Heads
@@ -146,6 +155,8 @@ func (a *Attention) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *te
 // cache, and attention runs as one ragged AttendDecode dispatch over
 // (sequence × head) items — steady-state decode touches each cached row once
 // instead of recomputing the whole prefix.
+//
+//photon:hotpath
 func (a *Attention) decodeForward(ws *Workspace, x *tensor.Matrix, layer int, states []*DecodeState, lens, counts []int) *tensor.Matrix {
 	hd := a.HeadDim
 	scale := float32(1 / math.Sqrt(float64(hd)))
@@ -165,10 +176,7 @@ func (a *Attention) decodeForward(ws *Workspace, x *tensor.Matrix, layer int, st
 	probs := ws.Take(probTotal, 1)
 
 	ni := len(states) * a.Heads
-	if cap(a.decItems) < ni {
-		a.decItems = make([]tensor.DecodeItem, ni, ni+ni/2)
-	}
-	a.decItems = a.decItems[:ni]
+	a.decItems = growDecodeItems(a.decItems, ni)
 
 	rowOff, probOff, it := 0, 0, 0
 	for i, s := range states {
@@ -220,6 +228,8 @@ func (a *Attention) decodeForward(ws *Workspace, x *tensor.Matrix, layer int, st
 
 // Backward propagates gradients through the attention sublayer and returns
 // dX. Parameter gradients accumulate into the projection layers.
+//
+//photon:hotpath
 func (a *Attention) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	batch, seq, hd := a.batch, a.seq, a.HeadDim
 	items := batch * a.Heads
@@ -247,4 +257,15 @@ func (a *Attention) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	dqkv := ws.Take(batch*seq, 3*a.Dim)
 	a.scatterPanels(dqkv, dq, dk, dv, batch, seq)
 	return a.QKV.Backward(ws, dqkv)
+}
+
+// growDecodeItems is the cap-grow pattern for the ragged decode work-item
+// scratch: amortized reallocation off the hot path.
+//
+//photon:allocok
+func growDecodeItems(buf []tensor.DecodeItem, n int) []tensor.DecodeItem {
+	if cap(buf) < n {
+		return make([]tensor.DecodeItem, n, n+n/2)
+	}
+	return buf[:n]
 }

@@ -25,6 +25,8 @@ type DecodeState struct {
 
 // NewDecodeState allocates a KV cache able to hold maxSeq positions per
 // layer for decoding with this model.
+//
+//photon:allocok
 func (m *Model) NewDecodeState(maxSeq int) *DecodeState {
 	if maxSeq <= 0 {
 		panic(fmt.Sprintf("nn: NewDecodeState: maxSeq must be positive, got %d", maxSeq))
@@ -44,18 +46,26 @@ func (m *Model) NewDecodeState(maxSeq int) *DecodeState {
 }
 
 // Len returns the number of cached positions.
+//
+//photon:hotpath
 func (s *DecodeState) Len() int { return s.n }
 
 // Cap returns the cache capacity in positions.
+//
+//photon:hotpath
 func (s *DecodeState) Cap() int { return s.maxSeq }
 
 // Reset empties the cache so the state can be reused for a new sequence
 // without reallocating — continuous-batching servers recycle retired slots
 // this way.
+//
+//photon:hotpath
 func (s *DecodeState) Reset() { s.n = 0 }
 
 // Truncate drops cached positions beyond n (n must not exceed Len). The
 // retained prefix stays valid: decoding continues from position n.
+//
+//photon:hotpath
 func (s *DecodeState) Truncate(n int) {
 	if n < 0 || n > s.n {
 		panic(fmt.Sprintf("nn: Truncate(%d) outside cached length %d", n, s.n))
@@ -67,6 +77,8 @@ func (s *DecodeState) Truncate(n int) {
 // with the size-class retention policy: decode scratch shapes grow with the
 // cache length, and power-of-two buckets keep the steady state allocation-
 // free where exact-size buckets would miss on every step.
+//
+//photon:allocok
 func (m *Model) decodeWorkspace() *Workspace {
 	if m.decWS == nil {
 		m.decWS = NewWorkspace()
@@ -89,6 +101,8 @@ func (m *Model) decodeWorkspace() *Workspace {
 // sequence i start at offset Σ_{j<i} len(tokens[j]) — and lives in the
 // model's decode workspace: it is valid until the next Decode call. Use
 // DecodeLogits to turn selected rows into next-token logits.
+//
+//photon:hotpath
 func (m *Model) Decode(states []*DecodeState, tokens [][]int) *tensor.Matrix {
 	if len(states) == 0 || len(states) != len(tokens) {
 		panic(fmt.Sprintf("nn: Decode: %d states, %d token slices", len(states), len(tokens)))
@@ -134,6 +148,8 @@ func (m *Model) Decode(states []*DecodeState, tokens [][]int) *tensor.Matrix {
 // continuation scoring needs every continuation row — gathering first keeps
 // the [rows, Vocab] product as small as the caller's actual need. The result
 // lives in the decode workspace and is valid until the next Decode call.
+//
+//photon:hotpath
 func (m *Model) DecodeLogits(h *tensor.Matrix, rows []int) *tensor.Matrix {
 	ws := m.decodeWorkspace()
 	g := ws.Take(len(rows), m.Cfg.Dim)
@@ -147,6 +163,8 @@ func (m *Model) DecodeLogits(h *tensor.Matrix, rows []int) *tensor.Matrix {
 
 // decodeForward is Block.Forward for the incremental path: same residual
 // structure, attention replaced by the KV-cached variant.
+//
+//photon:hotpath
 func (b *Block) decodeForward(ws *Workspace, x *tensor.Matrix, layer int, states []*DecodeState, lens, counts []int) *tensor.Matrix {
 	h := b.Attn.decodeForward(ws, b.LN1.Forward(ws, x), layer, states, lens, counts)
 	tensor.Add(h.Data, x.Data) // residual 1

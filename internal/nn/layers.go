@@ -43,6 +43,8 @@ func (l *Linear) Params() ParamSet {
 
 // Forward computes Y = X·W (+ b) into a workspace matrix, caching X for
 // backward.
+//
+//photon:hotpath
 func (l *Linear) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
 	y := ws.Take(x.Rows, l.Out)
@@ -56,6 +58,8 @@ func (l *Linear) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates dW (and db) and returns dX.
+//
+//photon:hotpath
 func (l *Linear) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulTransAAccum(&l.dwMat, l.x, dy) // dW += Xᵀ·dY
 	if l.B != nil {
@@ -91,6 +95,8 @@ func (ln *LayerNorm) Params() ParamSet { return ParamSet{ln.G, ln.B} }
 const lnEps = 1e-5
 
 // Forward normalizes each row of x.
+//
+//photon:hotpath
 func (ln *LayerNorm) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 	y := ws.Take(x.Rows, x.Cols)
 	ln.xhat = ws.Take(x.Rows, x.Cols)
@@ -123,6 +129,8 @@ func (ln *LayerNorm) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward accumulates dG, dB and returns dX.
+//
+//photon:hotpath
 func (ln *LayerNorm) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	dx := ws.Take(dy.Rows, dy.Cols)
 	d := float32(dy.Cols)
@@ -162,6 +170,8 @@ type GELU struct {
 }
 
 // Forward applies GELU element-wise.
+//
+//photon:hotpath
 func (g *GELU) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 	g.x = x
 	y := ws.Take(x.Rows, x.Cols)
@@ -172,6 +182,8 @@ func (g *GELU) Forward(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward returns dX given dY.
+//
+//photon:hotpath
 func (g *GELU) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	dx := ws.Take(dy.Rows, dy.Cols)
 	for i, v := range g.x.Data {
@@ -180,11 +192,13 @@ func (g *GELU) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	return dx
 }
 
+//photon:hotpath
 func geluScalar(x float32) float32 {
 	xf := float64(x)
 	return float32(0.5 * xf * (1 + math.Tanh(geluCoef*(xf+0.044715*xf*xf*xf))))
 }
 
+//photon:hotpath
 func geluGradScalar(x float32) float32 {
 	xf := float64(x)
 	inner := geluCoef * (xf + 0.044715*xf*xf*xf)
@@ -215,6 +229,8 @@ func (e *Embedding) Params() ParamSet { return ParamSet{e.W} }
 // Forward gathers rows for the given token ids. Panics on out-of-range ids —
 // that is a data-pipeline bug, not a recoverable condition. tokens is
 // retained until the next Backward.
+//
+//photon:hotpath
 func (e *Embedding) Forward(ws *Workspace, tokens []int) *tensor.Matrix {
 	e.tokens = tokens
 	y := ws.Take(len(tokens), e.Dim)
@@ -228,6 +244,8 @@ func (e *Embedding) Forward(ws *Workspace, tokens []int) *tensor.Matrix {
 }
 
 // Backward scatter-adds dY rows into the embedding gradient.
+//
+//photon:hotpath
 func (e *Embedding) Backward(dy *tensor.Matrix) {
 	for i, id := range e.tokens {
 		tensor.Add(e.W.Grad[id*e.Dim:(id+1)*e.Dim], dy.Row(i))
@@ -236,6 +254,8 @@ func (e *Embedding) Backward(dy *tensor.Matrix) {
 
 // AlibiSlopes returns the per-head ALiBi slopes using the geometric sequence
 // from the ALiBi paper: for h heads, slope_i = 2^(-8(i+1)/h).
+//
+//photon:allocok
 func AlibiSlopes(heads int) []float32 {
 	slopes := make([]float32, heads)
 	for i := range slopes {

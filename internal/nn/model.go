@@ -51,6 +51,8 @@ func (b *Block) Params() ParamSet {
 }
 
 // Forward runs the block over x ([B·T, D]).
+//
+//photon:hotpath
 func (b *Block) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *tensor.Matrix {
 	h := b.Attn.Forward(ws, b.LN1.Forward(ws, x), batch, seq)
 	tensor.Add(h.Data, x.Data) // residual 1; h = x + attn
@@ -60,6 +62,8 @@ func (b *Block) Forward(ws *Workspace, x *tensor.Matrix, batch, seq int) *tensor
 }
 
 // Backward propagates dY through the block and returns dX.
+//
+//photon:hotpath
 func (b *Block) Backward(ws *Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	// Residual 2: gradient flows both into the MLP branch and straight through.
 	dh := b.LN2.Backward(ws, b.FC1.Backward(ws, b.Act.Backward(ws, b.FC2.Backward(ws, dy))))
@@ -155,6 +159,8 @@ func (m *Model) NumParams() int { return m.params.NumElements() }
 
 // Workspace returns the model's scratch arena (created lazily), so callers
 // embedding a Model in their own step loop can reuse it for their scratch.
+//
+//photon:allocok
 func (m *Model) Workspace() *Workspace {
 	if m.ws == nil {
 		m.ws = NewWorkspace()
@@ -186,6 +192,8 @@ func (b Batch) Tokens() int {
 }
 
 // forward runs the model to final hidden states [B·T, D].
+//
+//photon:hotpath
 func (m *Model) forward(inputs [][]int) (*tensor.Matrix, int, int) {
 	batch := len(inputs)
 	seq := len(inputs[0])
@@ -206,6 +214,8 @@ func (m *Model) forward(inputs [][]int) (*tensor.Matrix, int, int) {
 
 // Logits computes next-token logits [B·T, V] for the batch inputs. The
 // caller owns the returned matrix.
+//
+//photon:allocok
 func (m *Model) Logits(inputs [][]int) *tensor.Matrix {
 	return m.logitsScratch(inputs).Clone()
 }
@@ -213,6 +223,8 @@ func (m *Model) Logits(inputs [][]int) *tensor.Matrix {
 // logitsScratch is the allocation-free logits path: the returned matrix
 // lives in the model's workspace and is valid until the next
 // Loss/Logits/ForwardBackward call on this model.
+//
+//photon:hotpath
 func (m *Model) logitsScratch(inputs [][]int) *tensor.Matrix {
 	ws := m.Workspace()
 	ws.Reset()
@@ -224,6 +236,8 @@ func (m *Model) logitsScratch(inputs [][]int) *tensor.Matrix {
 
 // Loss computes the mean cross-entropy (nats/token) of the batch without
 // touching gradients.
+//
+//photon:hotpath
 func (m *Model) Loss(b Batch) float64 {
 	logits := m.logitsScratch(b.Inputs)
 	return m.crossEntropy(logits, b.Targets, nil)
@@ -231,6 +245,8 @@ func (m *Model) Loss(b Batch) float64 {
 
 // ForwardBackward computes the batch loss and accumulates parameter
 // gradients (it does not zero them first, enabling gradient accumulation).
+//
+//photon:hotpath
 func (m *Model) ForwardBackward(b Batch) float64 {
 	ws := m.Workspace()
 	ws.Reset()
@@ -258,6 +274,8 @@ func (m *Model) ForwardBackward(b Batch) float64 {
 // logit rows [lo, hi). It is the band body dispatched across the tensor
 // worker pool; all state rides in the model's ce* fields so the closure is
 // allocated once.
+//
+//photon:hotpath
 func (m *Model) ceBand(lo, hi int) {
 	logits, dlogits := m.ceLogits, m.ceDlog
 	inv := m.ceInv
@@ -306,13 +324,12 @@ func (m *Model) ceBand(lo, hi int) {
 // crossEntropy returns mean NLL over non-negative targets; if dlogits is
 // non-nil it is filled with the gradient (softmax − onehot)/count. Rows are
 // processed in parallel bands on the worker pool.
+//
+//photon:hotpath
 func (m *Model) crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *tensor.Matrix) float64 {
 	rows := logits.Rows
 	m.ceTgt = growInt(m.ceTgt, rows)
-	if cap(m.ceNLL) < rows {
-		m.ceNLL = make([]float64, rows)
-	}
-	m.ceNLL = m.ceNLL[:rows]
+	m.ceNLL = growF64(m.ceNLL, rows)
 	// Default every row to padding first: a Targets that covers fewer rows
 	// than the logits (or none at all) must contribute zero loss and zero
 	// gradient for the uncovered rows, not whatever ids a previous batch
@@ -340,9 +357,6 @@ func (m *Model) crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *te
 	}
 	m.ceLogits, m.ceDlog = logits, dlogits
 	m.ceInv = float32(1 / float64(count))
-	if m.ceFn == nil {
-		m.ceFn = m.ceBand
-	}
 	// ~32 flop-equivalents per logit column (exp + log dominate).
 	tensor.Parallel(rows, logits.Cols*32, m.ceFn)
 	m.ceLogits, m.ceDlog = nil, nil
@@ -354,4 +368,6 @@ func (m *Model) crossEntropy(logits *tensor.Matrix, targets [][]int, dlogits *te
 }
 
 // Perplexity converts a mean NLL (nats/token) to perplexity.
+//
+//photon:hotpath
 func Perplexity(meanNLL float64) float64 { return math.Exp(meanNLL) }

@@ -29,6 +29,8 @@ func newParam(name string, n int) *Param {
 }
 
 // ZeroGrad clears the gradient accumulator.
+//
+//photon:hotpath
 func (p *Param) ZeroGrad() {
 	for i := range p.Grad {
 		p.Grad[i] = 0
@@ -40,6 +42,8 @@ func (p *Param) ZeroGrad() {
 type ParamSet []*Param
 
 // NumElements returns the total number of scalar parameters.
+//
+//photon:hotpath
 func (ps ParamSet) NumElements() int {
 	n := 0
 	for _, p := range ps {
@@ -51,6 +55,8 @@ func (ps ParamSet) NumElements() int {
 // Flatten copies all parameter values into a single vector, allocating it if
 // dst is nil or mis-sized. The layout is the concatenation of parameters in
 // set order, which is deterministic for a given model configuration.
+//
+//photon:allocok
 func (ps ParamSet) Flatten(dst []float32) []float32 {
 	n := ps.NumElements()
 	if len(dst) != n {
@@ -66,9 +72,11 @@ func (ps ParamSet) Flatten(dst []float32) []float32 {
 
 // LoadFlat copies a flat vector produced by Flatten back into the
 // parameters. It returns an error if the vector length does not match.
+//
+//photon:hotpath
 func (ps ParamSet) LoadFlat(src []float32) error {
 	if len(src) != ps.NumElements() {
-		return fmt.Errorf("nn: flat vector has %d elements, model has %d", len(src), ps.NumElements())
+		return flatLenError(len(src), ps.NumElements())
 	}
 	off := 0
 	for _, p := range ps {
@@ -79,6 +87,8 @@ func (ps ParamSet) LoadFlat(src []float32) error {
 }
 
 // ZeroGrads clears every gradient in the set.
+//
+//photon:hotpath
 func (ps ParamSet) ZeroGrads() {
 	for _, p := range ps {
 		p.ZeroGrad()
@@ -86,6 +96,8 @@ func (ps ParamSet) ZeroGrads() {
 }
 
 // GradNorm returns the global L2 norm across all gradients.
+//
+//photon:hotpath
 func (ps ParamSet) GradNorm() float64 {
 	var s float64
 	for _, p := range ps {
@@ -98,6 +110,8 @@ func (ps ParamSet) GradNorm() float64 {
 
 // ClipGradNorm scales all gradients so the global norm does not exceed
 // maxNorm, and returns the pre-clip norm. A maxNorm <= 0 disables clipping.
+//
+//photon:hotpath
 func (ps ParamSet) ClipGradNorm(maxNorm float64) float64 {
 	norm := ps.GradNorm()
 	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
@@ -108,4 +122,12 @@ func (ps ParamSet) ClipGradNorm(maxNorm float64) float64 {
 		tensor.Scale(scale, p.Grad)
 	}
 	return norm
+}
+
+// flatLenError builds LoadFlat's mismatch error off the hot path, so the
+// matching-length case stays allocation-free.
+//
+//photon:allocok
+func flatLenError(got, want int) error {
+	return fmt.Errorf("nn: flat vector has %d elements, model has %d", got, want)
 }

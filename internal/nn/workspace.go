@@ -50,12 +50,16 @@ type Workspace struct {
 const evictFactor = 3
 
 // NewWorkspace creates an empty workspace.
+//
+//photon:allocok
 func NewWorkspace() *Workspace {
 	return &Workspace{free: make(map[int][]*tensor.Matrix)}
 }
 
 // Reset returns every matrix taken since the last Reset to the free lists,
 // invalidating all outstanding references from this workspace.
+//
+//photon:allocok
 func (w *Workspace) Reset() {
 	w.stepElems = 0
 	for i, m := range w.used {
@@ -96,6 +100,8 @@ func sizeClass(n int) int {
 // Take returns a rows×cols matrix with unspecified contents, recycling a
 // buffer of the same bucket (exact element count, or the covering power-of-
 // two size class under the decode retention policy) when one is free.
+//
+//photon:allocok
 func (w *Workspace) Take(rows, cols int) *tensor.Matrix {
 	n := rows * cols
 	alloc := n
@@ -120,6 +126,8 @@ func (w *Workspace) Take(rows, cols int) *tensor.Matrix {
 }
 
 // TakeZero is Take with the contents cleared.
+//
+//photon:allocok
 func (w *Workspace) TakeZero(rows, cols int) *tensor.Matrix {
 	m := w.Take(rows, cols)
 	m.Zero()
@@ -130,6 +138,8 @@ func (w *Workspace) TakeZero(rows, cols int) *tensor.Matrix {
 // array when it is large enough, reallocate with 50% slack when it is not so
 // monotonically growing callers (Generate's per-token context) amortize
 // instead of reallocating every call.
+//
+//photon:allocok
 func growF32(buf []float32, n int) []float32 {
 	if cap(buf) < n {
 		return make([]float32, n, n+n/2)
@@ -137,7 +147,19 @@ func growF32(buf []float32, n int) []float32 {
 	return buf[:n]
 }
 
+// growF64 is growF32 for float64 slices.
+//
+//photon:allocok
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, n+n/2)
+	}
+	return buf[:n]
+}
+
 // growInt is growF32 for int slices.
+//
+//photon:allocok
 func growInt(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n, n+n/2)

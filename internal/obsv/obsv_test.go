@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"photon/internal/testutil"
 )
 
 func TestPhaseNanos(t *testing.T) {
@@ -144,6 +146,7 @@ func TestRegistryPrometheus(t *testing.T) {
 }
 
 func TestServeEndpoints(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	reg := NewRegistry()
 	reg.Counter("photon_rounds_total", "rounds").Add(5)
 	srv, err := Serve("127.0.0.1:0", reg)

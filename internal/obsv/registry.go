@@ -13,9 +13,13 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//photon:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are ignored; counters only go up).
+//
+//photon:hotpath
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -23,15 +27,21 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count.
+//
+//photon:hotpath
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a settable instrument.
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
+//
+//photon:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
+//
+//photon:hotpath
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket cumulative histogram. Observations are
@@ -58,6 +68,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//photon:hotpath
 func (h *Histogram) Observe(v float64) {
 	for i, ub := range h.bounds {
 		if v <= ub {
@@ -76,9 +88,13 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // Count returns the number of observations.
+//
+//photon:hotpath
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the running sum of observed values.
+//
+//photon:hotpath
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 type instrument struct {

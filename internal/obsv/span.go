@@ -53,6 +53,8 @@ func (p Phase) String() string {
 type PhaseNanos [NumPhases]int64
 
 // Add charges ns nanoseconds to phase p.
+//
+//photon:hotpath
 func (n *PhaseNanos) Add(p Phase, ns int64) {
 	if p < NumPhases && ns > 0 {
 		n[p] += ns
@@ -60,6 +62,8 @@ func (n *PhaseNanos) Add(p Phase, ns int64) {
 }
 
 // SumNs returns the total across all phases.
+//
+//photon:hotpath
 func (n PhaseNanos) SumNs() int64 {
 	var s int64
 	for _, v := range n {
@@ -69,6 +73,8 @@ func (n PhaseNanos) SumNs() int64 {
 }
 
 // Slowest returns the phase holding the most accumulated time.
+//
+//photon:hotpath
 func (n PhaseNanos) Slowest() Phase {
 	best := Phase(0)
 	for p := Phase(1); p < NumPhases; p++ {
@@ -146,6 +152,8 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Subscribe enables span recording until the matching Unsubscribe.
+//
+//photon:hotpath
 func (t *Tracer) Subscribe() {
 	if t != nil {
 		t.subs.Add(1)
@@ -153,6 +161,8 @@ func (t *Tracer) Subscribe() {
 }
 
 // Unsubscribe drops one subscription.
+//
+//photon:hotpath
 func (t *Tracer) Unsubscribe() {
 	if t != nil {
 		t.subs.Add(-1)
@@ -160,6 +170,8 @@ func (t *Tracer) Unsubscribe() {
 }
 
 // Active reports whether any subscriber is attached.
+//
+//photon:hotpath
 func (t *Tracer) Active() bool { return t != nil && t.subs.Load() > 0 }
 
 // SpanMark is an in-flight span: a value type carrying the tracer, phase,
@@ -173,6 +185,8 @@ type SpanMark struct {
 // Begin starts a span. It always captures the monotonic clock (so End can
 // return the measurement for phase accounting) but records into the ring
 // only when a subscriber is attached at End time.
+//
+//photon:hotpath
 func (t *Tracer) Begin(p Phase) SpanMark {
 	return SpanMark{t: t, start: time.Now(), phase: p}
 }
@@ -180,6 +194,8 @@ func (t *Tracer) Begin(p Phase) SpanMark {
 // End completes the span, returning its duration in nanoseconds. traceID
 // stamps the ring entry so relay-tier spans attribute to the root round
 // that caused them.
+//
+//photon:hotpath
 func (m SpanMark) End(traceID uint64) int64 {
 	d := time.Since(m.start)
 	if m.t.Active() {
@@ -188,6 +204,7 @@ func (m SpanMark) End(traceID uint64) int64 {
 	return d.Nanoseconds()
 }
 
+//photon:hotpath
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
 	t.ring[t.pos] = s

@@ -40,6 +40,8 @@ func (SGD) Name() string { return "sgd" }
 func (SGD) Reset() {}
 
 // Step applies p -= lr·g.
+//
+//photon:hotpath
 func (SGD) Step(params nn.ParamSet, lr float64) {
 	for _, p := range params {
 		tensor.Axpy(-float32(lr), p.Grad, p.Data)
@@ -48,6 +50,8 @@ func (SGD) Step(params nn.ParamSet, lr float64) {
 
 // ensureState sizes each state buffer to its parameter, reusing capacity and
 // zeroing any buffer it (re)creates. It reports buffers ready for use.
+//
+//photon:allocok
 func ensureState(bufs [][]float32, params nn.ParamSet) [][]float32 {
 	if len(bufs) != len(params) {
 		bufs = make([][]float32, len(params))
@@ -61,6 +65,8 @@ func ensureState(bufs [][]float32, params nn.ParamSet) [][]float32 {
 }
 
 // zeroState clears every buffer in place, keeping capacity.
+//
+//photon:hotpath
 func zeroState(bufs [][]float32) {
 	for _, b := range bufs {
 		for i := range b {
@@ -88,10 +94,14 @@ func (m *Momentum) Name() string {
 // Reset implements Optimizer: the velocity buffers are zeroed in place (the
 // previous implementation dropped the slices, forcing a full reallocation at
 // every round boundary).
+//
+//photon:hotpath
 func (m *Momentum) Reset() { zeroState(m.buf) }
 
 // Step applies the momentum update v = μv + g; p -= lr·(g + μv) (Nesterov)
 // or p -= lr·v (classic).
+//
+//photon:hotpath
 func (m *Momentum) Step(params nn.ParamSet, lr float64) {
 	m.buf = ensureState(m.buf, params)
 	mu := float32(m.Mu)
@@ -144,6 +154,8 @@ func (a *AdamW) Name() string { return "adamw" }
 // Photon resets at every round boundary, and reallocating two model-sized
 // vectors per round per client thrashed the GC) and clearing the
 // bias-correction step counter.
+//
+//photon:hotpath
 func (a *AdamW) Reset() {
 	a.step = 0
 	zeroState(a.m)
@@ -152,6 +164,8 @@ func (a *AdamW) Reset() {
 
 // band applies the fused AdamW update to elements [lo, hi) of the current
 // parameter. It is the persistent body dispatched across the worker pool.
+//
+//photon:hotpath
 func (a *AdamW) band(lo, hi int) {
 	data, grad, mBuf, vBuf := a.curData, a.curGrad, a.curM, a.curV
 	b1, ob1, b2, ob2 := a.b1, a.ob1, a.b2, a.ob2
@@ -168,12 +182,12 @@ func (a *AdamW) band(lo, hi int) {
 }
 
 // Step applies one fused AdamW update.
+//
+//photon:hotpath
 func (a *AdamW) Step(params nn.ParamSet, lr float64) {
 	a.m = ensureState(a.m, params)
 	a.v = ensureState(a.v, params)
-	if a.fn == nil {
-		a.fn = a.band
-	}
+	a.ensureFn()
 	a.step++
 	eps := a.Eps
 	if eps == 0 {
@@ -193,4 +207,14 @@ func (a *AdamW) Step(params nn.ParamSet, lr float64) {
 		tensor.Parallel(len(p.Data), 16, a.fn)
 	}
 	a.curData, a.curGrad, a.curM, a.curV = nil, nil, nil, nil
+}
+
+// ensureFn binds the persistent band closure on first use; the method-value
+// allocation happens once, off the steady-state step path.
+//
+//photon:allocok
+func (a *AdamW) ensureFn() {
+	if a.fn == nil {
+		a.fn = a.band
+	}
 }

@@ -451,6 +451,11 @@ func (e *Engine) admit(p *pending, free *[]*nn.DecodeState, fail func(*pending, 
 
 // step runs one mixed prefill/decode forward over the active batch, samples
 // or scores, and retires finished sequences (returning their slots to free).
+// This is the serving hot path: per-token work reuses engine-owned scratch
+// (states/toks/rows reset to [:0] each step) so a steady-state decode step
+// allocates nothing.
+//
+//photon:hotpath
 func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 	if len(active) == 0 {
 		return active
@@ -458,8 +463,8 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 	e.states = e.states[:0]
 	e.toks = e.toks[:0]
 	for _, s := range active {
-		e.states = append(e.states, s.st)
-		e.toks = append(e.toks, s.feed())
+		e.states = append(e.states, s.st) //photon:nolint hotpath-alloc -- engine scratch, reset to [:0] per step
+		e.toks = append(e.toks, s.feed()) //photon:nolint hotpath-alloc -- engine scratch, reset to [:0] per step
 	}
 	h := e.m.Decode(e.states, e.toks)
 
@@ -472,10 +477,10 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 			// Rows for positions promptLen-1 … len(seq)-2: each predicts
 			// the next continuation token.
 			for r := s.promptLen - 1; r < n; r++ {
-				e.rows = append(e.rows, off+r)
+				e.rows = append(e.rows, off+r) //photon:nolint hotpath-alloc -- engine scratch, reset to [:0] per step
 			}
 		} else {
-			e.rows = append(e.rows, off+n-1)
+			e.rows = append(e.rows, off+n-1) //photon:nolint hotpath-alloc -- engine scratch, reset to [:0] per step
 		}
 		off += n
 	}
@@ -499,7 +504,7 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 		next := s.sampler.Sample(s.rng, logits.Row(row), s.p.req.Opts)
 		row++
 		sampled++
-		s.out = append(s.out, next)
+		s.out = append(s.out, next) //photon:nolint hotpath-alloc -- capacity preallocated to MaxNew at admit
 		s.tok[0] = next
 		switch {
 		case len(s.out) >= s.p.req.MaxNew:
@@ -507,7 +512,7 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 		case !s.p.req.Deadline.IsZero() && now.After(s.p.req.Deadline):
 			e.retire(s, free, Result{Tokens: s.out, Err: ErrDeadline}, true, now)
 		default:
-			out = append(out, s)
+			out = append(out, s) //photon:nolint hotpath-alloc -- filters in place over active's backing array
 		}
 	}
 	e.mu.Lock()
@@ -520,6 +525,8 @@ func (e *Engine) step(active []*seqSlot, free *[]*nn.DecodeState) []*seqSlot {
 // feed returns the tokens this sequence contributes to the next forward: its
 // whole prompt (or scored prefix) on the first step, the last sampled token
 // afterwards.
+//
+//photon:hotpath
 func (s *seqSlot) feed() []int {
 	if s.st.Len() == 0 {
 		if s.score {
@@ -531,6 +538,10 @@ func (s *seqSlot) feed() []int {
 }
 
 // retire completes a sequence: result out, slot back in the pool, telemetry.
+// Runs once per sequence, not per token, so it may allocate (the Event copy,
+// the latency ring growth before the window fills).
+//
+//photon:allocok
 func (e *Engine) retire(s *seqSlot, free *[]*nn.DecodeState, res Result, expired bool, now time.Time) {
 	res.Queued = s.started.Sub(s.p.enqueued)
 	res.Duration = now.Sub(s.p.enqueued)

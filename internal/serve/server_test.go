@@ -11,6 +11,7 @@ import (
 	"photon/internal/eval"
 	"photon/internal/link"
 	"photon/internal/nn"
+	"photon/internal/testutil"
 )
 
 // startServer spins up an engine and TCP server for tests, returning a
@@ -47,6 +48,7 @@ func startServer(t *testing.T, m *nn.Model, cfg Config) (*Client, func()) {
 // path — TCP, frames, engine, back — and checks both against in-process
 // references computed before the engine took the model over.
 func TestServerEndToEnd(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	m := testModel(11)
 	prompt := []int{4, 9, 2, 33}
 	cont := []int{7, 1, 15}
@@ -83,6 +85,7 @@ func TestServerEndToEnd(t *testing.T) {
 // real concurrency: every request must come back correct and the engine must
 // report more than one sequence resident at some point.
 func TestServerConcurrentClients(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	m := testModel(12)
 	client, shutdown := startServer(t, m, Config{MaxBatch: 4, MaxSeq: 64, Queue: 32})
 	defer shutdown()
@@ -118,6 +121,7 @@ func (e errTokens) Error() string { return "wrong token count" }
 // side error text to the caller instead of hanging or tearing the
 // connection down.
 func TestServerErrorPropagation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	m := testModel(13)
 	client, shutdown := startServer(t, m, Config{MaxBatch: 1, MaxSeq: 8})
 	defer shutdown()
@@ -135,6 +139,7 @@ func TestServerErrorPropagation(t *testing.T) {
 // wire: a tiny budget on a long request returns ErrDeadline text (partial
 // results are a server-side concept; the wire marks the request failed).
 func TestServerDeadlinePropagation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	m := testModel(14)
 	client, shutdown := startServer(t, m, Config{MaxBatch: 1, MaxSeq: 4096})
 	defer shutdown()

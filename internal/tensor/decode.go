@@ -33,6 +33,8 @@ type DecodeItem struct {
 // context = probs·V, all in one pass per item. Items are independent and are
 // dispatched across the worker pool; operand slices travel in the items
 // slice, so a steady-state call allocates nothing.
+//
+//photon:hotpath
 func AttendDecode(items []DecodeItem, scale float32) {
 	if len(items) == 0 {
 		return
@@ -56,6 +58,8 @@ func AttendDecode(items []DecodeItem, scale float32) {
 }
 
 // bandAttendDecode runs items [lo, hi) of a decode dispatch.
+//
+//photon:hotpath
 func bandAttendDecode(items []DecodeItem, scale float32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		it := &items[i]

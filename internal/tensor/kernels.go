@@ -31,6 +31,8 @@ const kcBlock = 128
 // feeds four C rows (axpy4). (A packed-panel 4×4 tile was measured slower
 // in pure Go: per-iteration panel indexing costs more than the streaming
 // stores it saves.)
+//
+//photon:hotpath
 func bandMatMul(c, a, b *Matrix, lo, hi int, accum bool) {
 	n, k := b.Cols, a.Cols
 	bd := b.Data
@@ -77,6 +79,8 @@ func bandMatMul(c, a, b *Matrix, lo, hi int, accum bool) {
 }
 
 // bandMatMulTransB computes C[lo:hi] = A[lo:hi]·Bᵀ.
+//
+//photon:hotpath
 func bandMatMulTransB(c, a, b *Matrix, lo, hi int) {
 	n, k := b.Rows, a.Cols
 	i := lo
@@ -120,6 +124,8 @@ func bandMatMulTransB(c, a, b *Matrix, lo, hi int) {
 // row is streamed once per group (4x less C traffic) while the four B rows
 // stay L1-hot; the all-zero skip preserves the fast path for the sparse
 // gradients this kernel sees (padding rows, causal triangles).
+//
+//photon:hotpath
 func bandMatMulTransAAccum(c, a, b *Matrix, lo, hi int) {
 	m, n, k := a.Cols, b.Cols, a.Rows
 	p := 0
@@ -172,6 +178,8 @@ func bandMatMulTransAAccum(c, a, b *Matrix, lo, hi int) {
 // causal is set, A_t is square and row i only consumes A_t[i][:i+1] — the
 // attention context product P·V, where P's upper triangle is structurally
 // zero and skipped entirely.
+//
+//photon:hotpath
 func bandBatchMatMul(c, a, b *Matrix, batch, lo, hi int, causal bool) {
 	m := c.Rows / batch
 	k := a.Cols
@@ -191,6 +199,8 @@ func bandBatchMatMul(c, a, b *Matrix, batch, lo, hi int, causal bool) {
 // causalMatMulItem computes C = A·B where row i of the square matrix A only
 // contributes its first i+1 columns (its upper triangle is structurally
 // zero). Halves the flops of the attention context and dQ products.
+//
+//photon:hotpath
 func causalMatMulItem(c, a, b *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for i := 0; i < m; i++ {
@@ -219,6 +229,8 @@ func causalMatMulItem(c, a, b *Matrix) {
 // attention score product Q·Kᵀ (and dP = dCtx·Vᵀ), whose upper triangle is
 // masked out by the softmax anyway. Entries above the diagonal are left
 // untouched; the softmax kernels own them.
+//
+//photon:hotpath
 func bandBatchMatMulTransB(c, a, b *Matrix, batch, lo, hi int, causal bool) {
 	m := c.Rows / batch
 	k := a.Cols
@@ -255,6 +267,8 @@ func bandBatchMatMulTransB(c, a, b *Matrix, batch, lo, hi int, causal bool) {
 // (zeroing C_t first). The grouped zero-skip in the shared band kernel
 // exploits the causal zeros in attention probabilities / score gradients
 // (dV = Pᵀ·dCtx, dK = dSᵀ·Q).
+//
+//photon:hotpath
 func bandBatchMatMulTransA(c, a, b *Matrix, batch, lo, hi int) {
 	k := a.Rows / batch
 	m := a.Cols
@@ -276,6 +290,8 @@ func bandBatchMatMulTransA(c, a, b *Matrix, batch, lo, hi int) {
 // the causal mask, and softmax each row in place. Masked positions are
 // written as exact zeros so downstream kernels may treat the matrix as
 // dense-lower-triangular.
+//
+//photon:hotpath
 func bandCausalSoftmax(s *Matrix, heads int, sl []float32, scale float32, lo, hi int) {
 	seq := s.Cols
 	for it := lo; it < hi; it++ {
@@ -312,6 +328,8 @@ func bandCausalSoftmax(s *Matrix, heads int, sl []float32, scale float32, lo, hi
 // computes dS_ij = scale·P_ij·(dP_ij − Σ_k P_ik·dP_ik) on the causal support
 // and exact zeros above the diagonal. The score scale is folded in so the
 // caller can feed dS straight into the dQ/dK products.
+//
+//photon:hotpath
 func bandCausalSoftmaxGrad(dp, p *Matrix, scale float32, lo, hi int) {
 	seq := dp.Cols
 	for it := lo; it < hi; it++ {
@@ -333,6 +351,7 @@ func bandCausalSoftmaxGrad(dp, p *Matrix, scale float32, lo, hi int) {
 	}
 }
 
+//photon:hotpath
 func bandSoftmaxRows(m *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		SoftmaxRow(m.Data[i*m.Cols : (i+1)*m.Cols])
@@ -341,6 +360,7 @@ func bandSoftmaxRows(m *Matrix, lo, hi int) {
 
 // --- exported batched / fused entry points ---
 
+//photon:allocok
 func checkBatch(rowsA, batch int, what string) int {
 	if batch <= 0 || rowsA%batch != 0 {
 		panic(fmt.Sprintf("tensor: %s: %d rows not divisible into %d items", what, rowsA, batch))
@@ -350,6 +370,8 @@ func checkBatch(rowsA, batch int, what string) int {
 
 // BatchMatMul computes C_t = A_t·B_t for t in [0, batch): A is the vertical
 // stack of batch [m, k] items, B of [k, n] items, C of [m, n] items.
+//
+//photon:hotpath
 func BatchMatMul(c, a, b *Matrix, batch int) {
 	m := checkBatch(a.Rows, batch, "BatchMatMul")
 	k := checkBatch(b.Rows, batch, "BatchMatMul")
@@ -362,6 +384,8 @@ func BatchMatMul(c, a, b *Matrix, batch int) {
 
 // BatchMatMulTransB computes C_t = A_t·B_tᵀ for t in [0, batch): A stacks
 // [m, k] items, B stacks [n, k] items, C stacks [m, n] items.
+//
+//photon:hotpath
 func BatchMatMulTransB(c, a, b *Matrix, batch int) {
 	m := checkBatch(a.Rows, batch, "BatchMatMulTransB")
 	n := checkBatch(b.Rows, batch, "BatchMatMulTransB")
@@ -375,6 +399,8 @@ func BatchMatMulTransB(c, a, b *Matrix, batch int) {
 // BatchMatMulCausal is BatchMatMul for square causal A items (attention
 // P·V): row i of A_t only contributes columns [0, i], so the structurally
 // zero upper triangle is never read.
+//
+//photon:hotpath
 func BatchMatMulCausal(c, a, b *Matrix, batch int) {
 	m := checkBatch(a.Rows, batch, "BatchMatMulCausal")
 	k := checkBatch(b.Rows, batch, "BatchMatMulCausal")
@@ -388,6 +414,8 @@ func BatchMatMulCausal(c, a, b *Matrix, batch int) {
 // BatchMatMulTransBCausal is BatchMatMulTransB for square causal outputs
 // (attention Q·Kᵀ): only C_t[i][j] with j ≤ i is computed; entries above the
 // diagonal are left untouched for the masked-softmax kernel to own.
+//
+//photon:hotpath
 func BatchMatMulTransBCausal(c, a, b *Matrix, batch int) {
 	m := checkBatch(a.Rows, batch, "BatchMatMulTransBCausal")
 	n := checkBatch(b.Rows, batch, "BatchMatMulTransBCausal")
@@ -400,6 +428,8 @@ func BatchMatMulTransBCausal(c, a, b *Matrix, batch int) {
 
 // BatchMatMulTransA computes C_t = A_tᵀ·B_t for t in [0, batch): A stacks
 // [k, m] items, B stacks [k, n] items, C stacks [m, n] items.
+//
+//photon:hotpath
 func BatchMatMulTransA(c, a, b *Matrix, batch int) {
 	k := checkBatch(a.Rows, batch, "BatchMatMulTransA")
 	if b.Rows != a.Rows || c.Rows != batch*a.Cols || c.Cols != b.Cols {
@@ -413,6 +443,8 @@ func BatchMatMulTransA(c, a, b *Matrix, batch int) {
 // each of batch·heads [seq, seq] score items, scale + ALiBi bias + causal
 // mask + row softmax, writing exact zeros above the diagonal. slopes has one
 // ALiBi slope per head; item t uses slopes[t % heads].
+//
+//photon:hotpath
 func CausalSoftmaxRows(s *Matrix, batch, heads int, slopes []float32, scale float32) {
 	items := batch * heads
 	seq := s.Cols
@@ -427,6 +459,8 @@ func CausalSoftmaxRows(s *Matrix, batch, heads int, slopes []float32, scale floa
 // (upstream probability gradients) is overwritten with score gradients
 // dS = scale·P∘(dP − rowsum(P∘dP)) on the causal support, zero above the
 // diagonal. p holds the probabilities produced by CausalSoftmaxRows.
+//
+//photon:hotpath
 func CausalSoftmaxGradRows(dp, p *Matrix, batch, heads int, scale float32) {
 	items := batch * heads
 	seq := dp.Cols
@@ -437,6 +471,8 @@ func CausalSoftmaxGradRows(dp, p *Matrix, batch, heads int, scale float32) {
 }
 
 // SoftmaxRows applies SoftmaxRow to every row of m on the worker pool.
+//
+//photon:hotpath
 func SoftmaxRows(m *Matrix) {
 	dispatch(m.Rows, satMul(m.Cols, 16), task{kind: kSoftmaxRows, a: *m})
 }
@@ -445,6 +481,8 @@ func SoftmaxRows(m *Matrix) {
 
 // axpy4 computes y0..y3 += a0..a3 * x: one streamed load of x feeds four
 // output rows (the 4-row register tile of the sgemm kernel).
+//
+//photon:hotpath
 func axpy4(a0, a1, a2, a3 float32, x, y0, y1, y2, y3 []float32) {
 	n := len(x)
 	y0 = y0[:n]
@@ -461,6 +499,8 @@ func axpy4(a0, a1, a2, a3 float32, x, y0, y1, y2, y3 []float32) {
 
 // axpy4in computes y += a0·x0 + a1·x1 + a2·x2 + a3·x3: four streamed input
 // rows accumulate into one output row held hot.
+//
+//photon:hotpath
 func axpy4in(a0, a1, a2, a3 float32, x0, x1, x2, x3, y []float32) {
 	n := len(y)
 	x0 = x0[:n]
@@ -473,6 +513,8 @@ func axpy4in(a0, a1, a2, a3 float32, x0, x1, x2, x3, y []float32) {
 }
 
 // dot4 computes four dot products of x against y0..y3 in one pass over x.
+//
+//photon:hotpath
 func dot4(x, y0, y1, y2, y3 []float32) (s0, s1, s2, s3 float32) {
 	n := len(x)
 	y0 = y0[:n]
@@ -491,6 +533,8 @@ func dot4(x, y0, y1, y2, y3 []float32) (s0, s1, s2, s3 float32) {
 // axpy4p2 fuses two axpy4 steps: y0..y3 += a0..a3·x + b0..b3·z. Each loaded
 // and stored C element absorbs two FMAs, halving the dominant store traffic
 // of the sgemm inner loop.
+//
+//photon:hotpath
 func axpy4p2(a0, a1, a2, a3, b0, b1, b2, b3 float32, x, z, y0, y1, y2, y3 []float32) {
 	n := len(x)
 	z = z[:n]
@@ -510,6 +554,8 @@ func axpy4p2(a0, a1, a2, a3, b0, b1, b2, b3 float32, x, z, y0, y1, y2, y3 []floa
 // axpy4in2 fuses two axpy4in accumulations sharing the same four X rows:
 // y += a0..a3·x0..x3 and z += b0..b3·x0..x3. The X loads are paid once for
 // both output rows.
+//
+//photon:hotpath
 func axpy4in2(a0, a1, a2, a3, b0, b1, b2, b3 float32, x0, x1, x2, x3, y, z []float32) {
 	n := len(y)
 	x0 = x0[:n]
@@ -526,6 +572,8 @@ func axpy4in2(a0, a1, a2, a3, b0, b1, b2, b3 float32, x0, x1, x2, x3, y, z []flo
 
 // dot4x2 computes eight dot products — two A rows against four B rows — in
 // one fused pass, paying each B load once for two accumulator sets.
+//
+//photon:hotpath
 func dot4x2(x0, x1, y0, y1, y2, y3 []float32) (s00, s01, s02, s03, s10, s11, s12, s13 float32) {
 	n := len(x0)
 	x1 = x1[:n]

@@ -65,6 +65,7 @@ var groupFree = struct {
 	free []*group
 }{}
 
+//photon:allocok
 func getGroup(n int32) *group {
 	groupFree.Lock()
 	var g *group
@@ -80,6 +81,7 @@ func getGroup(n int32) *group {
 	return g
 }
 
+//photon:allocok
 func putGroup(g *group) {
 	groupFree.Lock()
 	groupFree.free = append(groupFree.free, g)
@@ -96,6 +98,8 @@ var (
 // pool is sized to the GOMAXPROCS observed at startup; dispatch still checks
 // the live GOMAXPROCS so a later GOMAXPROCS(1) (e.g. testing.AllocsPerRun)
 // degrades to inline execution.
+//
+//photon:allocok
 func ensurePool() {
 	poolOnce.Do(func() {
 		poolSize = runtime.GOMAXPROCS(0)
@@ -113,10 +117,13 @@ func ensurePool() {
 	})
 }
 
+//photon:hotpath
 func runTask(t *task) {
 	switch t.kind {
 	case kFn:
-		t.fn(t.lo, t.hi)
+		// Parallel's contract requires fn to be a persistent func value, so
+		// the indirect call itself allocates nothing.
+		t.fn(t.lo, t.hi) //photon:nolint hotpath-alloc -- persistent func value per Parallel's contract
 	case kMatMul:
 		bandMatMul(&t.c, &t.a, &t.b, t.lo, t.hi, false)
 	case kMatMulAccum:
@@ -153,6 +160,8 @@ const maxInt = math.MaxInt
 // of overflowing. Volume hints are products like rows·cols·cols which exceed
 // int64 for paper-scale shapes; the hint only gates the parallel/serial
 // decision so saturation is exactly the right semantics.
+//
+//photon:hotpath
 func satMul(a, b int) int {
 	if a == 0 || b == 0 {
 		return 0
@@ -167,6 +176,8 @@ func satMul(a, b int) int {
 // executing serially inline when the flop volume does not justify the
 // fan-out. The caller runs the first band itself so a dispatch never leaves
 // the calling core idle.
+//
+//photon:hotpath
 func dispatch(items, volumePerItem int, t task) {
 	if items <= 0 {
 		return
@@ -209,6 +220,8 @@ func dispatch(items, volumePerItem int, t task) {
 // Callers on the training hot path should pass a persistent func value (one
 // stored in a struct field at construction) — a fresh closure per call heap-
 // allocates its capture block and defeats the zero-allocation step guarantee.
+//
+//photon:hotpath
 func Parallel(items, volumePerItem int, fn func(lo, hi int)) {
 	dispatch(items, volumePerItem, task{kind: kFn, fn: fn})
 }

@@ -22,6 +22,8 @@ type Matrix struct {
 }
 
 // NewMatrix allocates a zeroed Rows x Cols matrix.
+//
+//photon:allocok
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: invalid matrix dims %dx%d", rows, cols))
@@ -31,6 +33,8 @@ func NewMatrix(rows, cols int) *Matrix {
 
 // FromSlice wraps an existing buffer as a matrix. The buffer must hold
 // exactly rows*cols elements.
+//
+//photon:allocok
 func FromSlice(rows, cols int, data []float32) *Matrix {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: buffer length %d does not match %dx%d", len(data), rows, cols))
@@ -39,17 +43,25 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 }
 
 // Row returns the i-th row as a sub-slice (no copy).
+//
+//photon:hotpath
 func (m *Matrix) Row(i int) []float32 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
 // At returns element (i, j).
+//
+//photon:hotpath
 func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
+//
+//photon:hotpath
 func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
 
 // Clone returns a deep copy of the matrix.
+//
+//photon:allocok
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)
 	copy(out.Data, m.Data)
@@ -57,6 +69,8 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Zero clears all elements in place.
+//
+//photon:hotpath
 func (m *Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -70,6 +84,8 @@ const parallelThreshold = 1 << 16
 
 // MatMul computes C = A·B where A is m×k, B is k×n, and C is m×n.
 // C must not alias A or B.
+//
+//photon:hotpath
 func MatMul(c, a, b *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
@@ -79,6 +95,8 @@ func MatMul(c, a, b *Matrix) {
 }
 
 // MatMulAccum computes C += A·B (same shapes as MatMul).
+//
+//photon:hotpath
 func MatMulAccum(c, a, b *Matrix) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("tensor: MatMulAccum shape mismatch")
@@ -88,6 +106,8 @@ func MatMulAccum(c, a, b *Matrix) {
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
 // This is the kernel used for weight gradients (dW = Xᵀ·dY).
+//
+//photon:hotpath
 func MatMulTransA(c, a, b *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: MatMulTransA shape mismatch")
@@ -99,6 +119,8 @@ func MatMulTransA(c, a, b *Matrix) {
 // MatMulTransAAccum computes C += Aᵀ·B (same shapes as MatMulTransA).
 // Parallelized over output rows (columns of A): each band owns its C rows so
 // no synchronization is needed.
+//
+//photon:hotpath
 func MatMulTransAAccum(c, a, b *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: MatMulTransAAccum shape mismatch")
@@ -109,6 +131,8 @@ func MatMulTransAAccum(c, a, b *Matrix) {
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
 // This is the kernel used for input gradients (dX = dY·Wᵀ) and attention
 // scores (Q·Kᵀ).
+//
+//photon:hotpath
 func MatMulTransB(c, a, b *Matrix) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
@@ -118,6 +142,8 @@ func MatMulTransB(c, a, b *Matrix) {
 }
 
 // axpy computes y += a*x for equal-length slices, 4x unrolled.
+//
+//photon:hotpath
 func axpy(a float32, x, y []float32) {
 	y = y[:len(x)]
 	i := 0
@@ -133,6 +159,8 @@ func axpy(a float32, x, y []float32) {
 }
 
 // Axpy computes y += a*x for equal-length slices (exported form).
+//
+//photon:hotpath
 func Axpy(a float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
@@ -145,6 +173,8 @@ func Axpy(a float32, x, y []float32) {
 
 // Dot returns the inner product of two equal-length vectors, accumulated in
 // four independent lanes for instruction-level parallelism.
+//
+//photon:hotpath
 func Dot(x, y []float32) float32 {
 	y = y[:len(x)]
 	var s0, s1, s2, s3 float32
@@ -163,6 +193,8 @@ func Dot(x, y []float32) float32 {
 }
 
 // Scale multiplies every element of x by a in place.
+//
+//photon:hotpath
 func Scale(a float32, x []float32) {
 	for i := range x {
 		x[i] *= a
@@ -170,6 +202,8 @@ func Scale(a float32, x []float32) {
 }
 
 // Add computes dst[i] += src[i].
+//
+//photon:hotpath
 func Add(dst, src []float32) {
 	if len(dst) != len(src) {
 		panic("tensor: Add length mismatch")
@@ -180,6 +214,8 @@ func Add(dst, src []float32) {
 }
 
 // Sub computes dst[i] -= src[i].
+//
+//photon:hotpath
 func Sub(dst, src []float32) {
 	if len(dst) != len(src) {
 		panic("tensor: Sub length mismatch")
@@ -190,6 +226,8 @@ func Sub(dst, src []float32) {
 }
 
 // Hadamard computes dst[i] *= src[i].
+//
+//photon:hotpath
 func Hadamard(dst, src []float32) {
 	if len(dst) != len(src) {
 		panic("tensor: Hadamard length mismatch")
@@ -200,6 +238,8 @@ func Hadamard(dst, src []float32) {
 }
 
 // Fill sets every element of x to v.
+//
+//photon:hotpath
 func Fill(x []float32, v float32) {
 	for i := range x {
 		x[i] = v
@@ -208,6 +248,8 @@ func Fill(x []float32, v float32) {
 
 // Norm2 returns the Euclidean norm of x, accumulated in float64 for
 // stability.
+//
+//photon:hotpath
 func Norm2(x []float32) float64 {
 	var s float64
 	for _, v := range x {
@@ -218,6 +260,8 @@ func Norm2(x []float32) float64 {
 
 // SoftmaxRow converts x to a probability distribution in place using the
 // numerically stable max-subtraction form.
+//
+//photon:hotpath
 func SoftmaxRow(x []float32) {
 	if len(x) == 0 {
 		return
@@ -241,6 +285,8 @@ func SoftmaxRow(x []float32) {
 }
 
 // LogSumExpRow returns log(Σ exp(x_i)) computed stably.
+//
+//photon:hotpath
 func LogSumExpRow(x []float32) float64 {
 	if len(x) == 0 {
 		return math.Inf(-1)
@@ -260,6 +306,8 @@ func LogSumExpRow(x []float32) float64 {
 
 // ArgMax returns the index of the largest element of x (first on ties), or
 // -1 for an empty slice.
+//
+//photon:hotpath
 func ArgMax(x []float32) int {
 	if len(x) == 0 {
 		return -1

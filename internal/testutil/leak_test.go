@@ -1,0 +1,78 @@
+package testutil
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeTB records Errorf calls and collects cleanups so the leak checker can
+// be exercised without failing the real test.
+type fakeTB struct {
+	mu       sync.Mutex
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errors = append(f.errors, format)
+}
+
+func (f *fakeTB) Cleanup(fn func()) {
+	f.cleanups = append(f.cleanups, fn)
+}
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// blockedWorker parks until released; its stack carries photon frames, so
+// the checker must see it as a leak while it lives.
+func blockedWorker(release <-chan struct{}) {
+	<-release
+}
+
+func TestLeakCheckerDetectsStrandedGoroutine(t *testing.T) {
+	var fake fakeTB
+	VerifyNoLeaks(&fake)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		blockedWorker(release)
+	}()
+	<-started
+
+	fake.runCleanups() // polls for the grace period, then reports
+	close(release)
+
+	if len(fake.errors) == 0 {
+		t.Fatal("leak checker did not report a deliberately stranded goroutine")
+	}
+	if !strings.Contains(fake.errors[0], "leaked goroutine") {
+		t.Fatalf("unexpected error format %q", fake.errors[0])
+	}
+}
+
+func TestLeakCheckerPassesWhenGoroutinesJoin(t *testing.T) {
+	var fake fakeTB
+	VerifyNoLeaks(&fake)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+
+	fake.runCleanups()
+	if len(fake.errors) != 0 {
+		t.Fatalf("leak checker reported %d false positives: %v", len(fake.errors), fake.errors)
+	}
+}
