@@ -71,6 +71,8 @@ func main() {
 		upCodec    = flag.String("up-codec", "", "relay: require the parent to announce exactly this codec (default: accept any)")
 		id         = flag.String("id", "", "relay identity presented to the parent (default: relay@<listen-addr>)")
 		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		walDir     = flag.String("wal", "", "write-ahead-log directory: journal round state and resume an interrupted run when restarted on the same directory (empty disables)")
+		registryAt = flag.String("registry", "", "content-addressed model registry directory: publish every committed round's checkpoint and move the latest tag (empty disables)")
 	)
 	flag.Parse()
 	resolveCodecFlag(codec, *compress)
@@ -106,6 +108,12 @@ func main() {
 		photon.WithRoundDeadline(*deadline),
 		photon.WithMinClients(*minClients),
 		photon.WithOverProvision(*over),
+	}
+	if *walDir != "" {
+		opts = append(opts, photon.WithWAL(*walDir))
+	}
+	if *registryAt != "" {
+		opts = append(opts, photon.WithRegistry(*registryAt))
 	}
 	if *parent != "" {
 		opts = append(opts,

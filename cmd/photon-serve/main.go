@@ -33,7 +33,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":9100", "listen address")
 		size      = flag.String("model", string(photon.SizeTiny), "model size preset")
-		ckptPath  = flag.String("ckpt", "", "checkpoint to serve (default: fresh random init from -seed)")
+		ckptPath  = flag.String("ckpt", "", "checkpoint to serve: a file path, or a registry ref (tag:<name> or a content hash) resolved against -registry (default: fresh random init from -seed)")
+		regDir    = flag.String("registry", "", "content-addressed model registry directory for resolving -ckpt refs")
 		seed      = flag.Int64("seed", 1, "init seed when no checkpoint is given")
 		maxBatch  = flag.Int("max-batch", 8, "max sequences decoded concurrently")
 		maxSeq    = flag.Int("max-seq", 0, "per-sequence KV-cache capacity in tokens (0 = 4x trained context)")
@@ -60,9 +61,28 @@ func main() {
 	}
 	m := nn.NewModel(cfg, rand.New(rand.NewSource(*seed)))
 	if *ckptPath != "" {
-		c, err := ckpt.Load(*ckptPath)
-		if err != nil {
-			log.Fatalf("load checkpoint: %v", err)
+		var c *ckpt.Checkpoint
+		switch {
+		case *regDir != "":
+			// With a registry, -ckpt is a ref: "tag:latest", a full
+			// content hash, or an unambiguous hash prefix. The blob is
+			// re-hashed on load, so a corrupted registry cannot serve.
+			reg, err := ckpt.OpenRegistry(*regDir)
+			if err != nil {
+				log.Fatalf("open registry: %v", err)
+			}
+			var man *ckpt.Manifest
+			if c, man, err = reg.Get(*ckptPath); err != nil {
+				log.Fatalf("resolve %q in registry: %v", *ckptPath, err)
+			}
+			log.Printf("registry %s -> %.12s (lineage %v)", *ckptPath, man.Hash, man.Lineage)
+		case ckpt.IsRegistryRef(*ckptPath):
+			log.Fatalf("-ckpt %q is a registry ref; pass -registry <dir> to resolve it", *ckptPath)
+		default:
+			var err error
+			if c, err = ckpt.Load(*ckptPath); err != nil {
+				log.Fatalf("load checkpoint: %v", err)
+			}
 		}
 		if err := m.Params().LoadFlat(c.Params); err != nil {
 			log.Fatalf("checkpoint does not fit %s: %v", *size, err)

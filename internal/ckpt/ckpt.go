@@ -1,17 +1,21 @@
-// Package ckpt implements Photon's checkpointing: the aggregator snapshots
+// Package ckpt implements Photon's durable state: the aggregator snapshots
 // the global model at every round boundary (Algorithm 1 line 11, "async
-// checkpointing"), and each LLM client keeps a local checkpoint for fast
-// recovery (line 26). Writes are atomic (temp file + rename) so a crash can
-// never leave a truncated checkpoint in place, and the async writer keeps
-// checkpointing off the training critical path with latest-wins semantics.
+// checkpointing"), each LLM client keeps a local checkpoint for fast
+// recovery (line 26), the control plane journals round state transitions to
+// a write-ahead log (wal.go) so a crashed aggregator can resume the round
+// in flight, and committed checkpoints can be published to a
+// content-addressed model registry (registry.go). Checkpoint writes are
+// atomic (temp file + rename + parent-dir fsync) so a crash can never leave
+// a truncated checkpoint in place, and the async writer keeps checkpointing
+// off the training critical path with latest-wins semantics.
 package ckpt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -33,33 +37,27 @@ const (
 	version = 1
 )
 
-// Save writes the checkpoint atomically: the bytes land in a temp file in
-// the same directory, are fsynced, and are renamed over path.
-func Save(path string, c *Checkpoint) (err error) {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("ckpt: create temp: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-
-	w := bufio.NewWriterSize(tmp, 1<<20)
-	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(w, crc)
-
-	writeU32 := func(v uint32) { binary.Write(mw, binary.LittleEndian, v) }
-	writeU64 := func(v uint64) { binary.Write(mw, binary.LittleEndian, v) }
-
+// encodeCheckpoint renders the checkpoint in its on-disk format: magic,
+// version, round/step, sorted meta, params, CRC-32 trailer over everything
+// between the header and the trailer. Save and the registry share this
+// encoding, so a registry blob's hash is the hash of the exact bytes Save
+// would have written.
+func encodeCheckpoint(c *Checkpoint) []byte {
+	var buf bytes.Buffer
+	buf.Grow(8 + 16 + 4 + 4 + 4*len(c.Params) + 4 + 24*len(c.Meta))
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], version)
-	if _, err = w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("ckpt: write header: %w", err)
+	buf.Write(hdr[:])
+
+	var scratch [8]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		buf.Write(scratch[:4])
+	}
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		buf.Write(scratch[:])
 	}
 	writeU64(uint64(c.Round))
 	writeU64(uint64(c.Step))
@@ -71,43 +69,22 @@ func Save(path string, c *Checkpoint) (err error) {
 	writeU32(uint32(len(keys)))
 	for _, k := range keys {
 		writeU32(uint32(len(k)))
-		mw.Write([]byte(k))
+		buf.WriteString(k)
 		writeU64(math.Float64bits(c.Meta[k]))
 	}
 	writeU32(uint32(len(c.Params)))
-	buf := make([]byte, 4)
 	for _, v := range c.Params {
-		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
-		if _, err = mw.Write(buf); err != nil {
-			return fmt.Errorf("ckpt: write params: %w", err)
-		}
+		writeU32(math.Float32bits(v))
 	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err = w.Write(sum[:]); err != nil {
-		return fmt.Errorf("ckpt: write checksum: %w", err)
-	}
-	if err = w.Flush(); err != nil {
-		return fmt.Errorf("ckpt: flush: %w", err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("ckpt: sync: %w", err)
-	}
-	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("ckpt: close: %w", err)
-	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("ckpt: rename: %w", err)
-	}
-	return nil
+	raw := buf.Bytes()
+	sum := crc32.ChecksumIEEE(raw[8:])
+	binary.LittleEndian.PutUint32(scratch[:4], sum)
+	buf.Write(scratch[:4])
+	return buf.Bytes()
 }
 
-// Load reads and verifies a checkpoint written by Save.
-func Load(path string) (*Checkpoint, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: read: %w", err)
-	}
+// decodeCheckpoint parses and verifies the on-disk format.
+func decodeCheckpoint(raw []byte) (*Checkpoint, error) {
 	if len(raw) < 8+16+4+4+4 {
 		return nil, fmt.Errorf("ckpt: file too short (%d bytes)", len(raw))
 	}
@@ -177,6 +154,75 @@ func Load(path string) (*Checkpoint, error) {
 	return c, nil
 }
 
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Without it a checkpoint (or a rotated WAL segment) written and
+// renamed moments before power loss can vanish: the data blocks hit disk,
+// but the rename lived only in the directory's in-memory metadata.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// writeFileAtomic writes data to path atomically and durably: temp file in
+// the same directory, write, fsync, rename over path, fsync the directory.
+func writeFileAtomic(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err = w.Write(data); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("ckpt: flush: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("ckpt: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically: the bytes land in a temp file in
+// the same directory, are fsynced, are renamed over path, and the parent
+// directory is fsynced so the rename itself survives power loss.
+func Save(path string, c *Checkpoint) error {
+	return writeFileAtomic(path, encodeCheckpoint(c))
+}
+
+// Load reads and verifies a checkpoint written by Save.
+func Load(path string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read: %w", err)
+	}
+	return decodeCheckpoint(raw)
+}
+
 // AsyncWriter checkpoints in a background goroutine with latest-wins
 // semantics: if training produces rounds faster than the disk can absorb,
 // intermediate snapshots are skipped rather than queued.
@@ -215,7 +261,9 @@ func (w *AsyncWriter) loop() {
 			}
 			if err := Save(w.path, c); err != nil {
 				w.mu.Lock()
-				w.lastErr = err
+				if w.lastErr == nil {
+					w.lastErr = err // first error wins: it names the root cause
+				}
 				w.mu.Unlock()
 			}
 		}
@@ -238,7 +286,16 @@ func (w *AsyncWriter) Submit(c *Checkpoint) {
 	}
 }
 
-// Close flushes the final pending checkpoint and returns the last write
+// Err reports the first background write error, without waiting for Close:
+// a run that checkpoints for hours should learn its disk is full on the
+// round it happened, not at shutdown.
+func (w *AsyncWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// Close flushes the final pending checkpoint and returns the first write
 // error, if any.
 func (w *AsyncWriter) Close() error {
 	w.mu.Lock()

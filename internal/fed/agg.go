@@ -255,6 +255,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 		return relayCodecs[g], nil
 	}
 	var writer *ckpt.AsyncWriter
+	var ckptErrSeen bool
 	if cfg.CheckpointPath != "" {
 		writer = ckpt.NewAsyncWriter(cfg.CheckpointPath)
 		defer writer.Close()
@@ -557,6 +558,10 @@ func Run(ctx context.Context, cfg RunConfig) (*Result, error) {
 				Meta:   map[string]float64{"ppl": rec.ValPPL, "loss": rec.TrainLoss},
 				Params: snapshot,
 			})
+			// Surface a failed write mid-run (once) instead of letting it
+			// hide until Close: the operator learns the run has no durable
+			// checkpoints while there is still time to fix the disk.
+			noteCheckpointErr(&ckptErrSeen, writer.Err())
 		}
 		if cfg.StopAtPPL > 0 && rec.ValPPL > 0 && rec.ValPPL <= cfg.StopAtPPL {
 			break

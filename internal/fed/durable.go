@@ -1,0 +1,359 @@
+package fed
+
+// Durable control plane: the journal wraps the ckpt write-ahead log with
+// fed-level record semantics, and the replay functions fold a recovered
+// record stream back into aggregator / relay state. The protocol per round:
+//
+//	round_open(round, epoch, cohort IDs)
+//	member_update(round, member, decoded vector)      — one per arrival
+//	outer_step(round, post-step global params)        — aggregation applied
+//	state_snapshot("outer", optimizer state)          — momentum buffers
+//	round_commit(round, epoch)                        — fsync barrier
+//
+// Everything before round_commit is cheap (buffered appends); the commit
+// record is the only fsync, so journaling adds one disk flush per round.
+// A crash between records leaves a prefix the WAL replays verbatim: the
+// resumed aggregator re-opens the in-flight round, keeps the journaled
+// member updates, and only re-asks members whose updates were lost.
+//
+// Relays journal a smaller protocol: the encoded upstream reply bytes
+// (member "up"), the upstream codec's error-feedback residual
+// (state_snapshot "codec"), and a commit per served round. Re-encoding an
+// update after a crash would double-apply the top-k residual, so the relay
+// journals the exact bytes it sent and replays them on redelivery.
+
+import (
+	"encoding/binary"
+	"log"
+	"strconv"
+
+	"photon/internal/ckpt"
+	"photon/internal/link"
+	"photon/internal/obsv"
+)
+
+// snapOuter is the Member key for outer-optimizer state snapshots.
+const snapOuter = "outer"
+
+// snapCodec is the Member key for upstream-codec residual snapshots.
+const snapCodec = "codec"
+
+// upstreamMember is the Member key for a relay's journaled encoded reply.
+const upstreamMember = "up"
+
+// journal provides nil-safe, typed appends over a ckpt.WAL. A nil *journal
+// is the "durability off" mode: every method is a no-op, so call sites need
+// no branching.
+type journal struct {
+	wal *ckpt.WAL
+}
+
+func newJournal(w *ckpt.WAL) *journal {
+	if w == nil {
+		return nil
+	}
+	return &journal{wal: w}
+}
+
+func (j *journal) enabled() bool { return j != nil && j.wal != nil }
+
+func (j *journal) close() {
+	if j.enabled() {
+		j.wal.Close()
+	}
+}
+
+// roundOpen journals the start of a round with its sampled cohort.
+func (j *journal) roundOpen(round int, epoch uint64, cohort []string) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecRoundOpen, Round: round, Epoch: epoch, IDs: cohort})
+}
+
+// memberUpdate journals one decoded client update as it arrives.
+func (j *journal) memberUpdate(round int, member string, vec []float32) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecMemberUpdate, Round: round, Member: member, Vec: vec})
+}
+
+// outerStep journals the post-step global parameters plus the outer
+// optimizer's state. Replay restores the params bit-for-bit instead of
+// re-running the order-sensitive float32 aggregation.
+func (j *journal) outerStep(round int, global []float32, outer OuterOpt) error {
+	if !j.enabled() {
+		return nil
+	}
+	if err := j.wal.Append(&ckpt.Record{Type: ckpt.RecOuterStep, Round: round, Vec: global}); err != nil {
+		return err
+	}
+	if st := snapshotOuter(outer); st != nil {
+		return j.wal.Append(&ckpt.Record{Type: ckpt.RecStateSnapshot, Round: round, Member: snapOuter, Vec: st})
+	}
+	return nil
+}
+
+// roundCommit seals a round; this is the journal's only fsync.
+func (j *journal) roundCommit(round int, epoch uint64) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecRoundCommit, Round: round, Epoch: epoch})
+}
+
+// codecSnapshot journals a stateful upstream codec's residual (relay side).
+func (j *journal) codecSnapshot(round int, state []float32) error {
+	if !j.enabled() || len(state) == 0 {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecStateSnapshot, Round: round, Member: snapCodec, Vec: state})
+}
+
+// upstreamReply journals the exact encoded bytes a relay sent upstream for
+// a round, so redelivery after a crash re-sends them without re-encoding
+// (which would double-apply an error-feedback codec's residual). cohort is
+// the update count folded into the reply, stashed in the Epoch field so
+// redelivery can restamp the CohortKey meta.
+func (j *journal) upstreamReply(round, cohort int, p link.EncodedPayload) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{
+		Type: ckpt.RecMemberUpdate, Round: round, Epoch: uint64(cohort),
+		Member: upstreamMember, Data: encodePayloadBytes(p),
+	})
+}
+
+// compact folds committed state into the base checkpoint and truncates the
+// log; carry holds any records for the still-open round.
+func (j *journal) compact(base *ckpt.Checkpoint, carry []ckpt.Record) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Compact(base, carry)
+}
+
+// openRound is a partially-completed round reconstructed from the WAL.
+type openRound struct {
+	round   int
+	epoch   uint64
+	cohort  []string             // journaled cohort member IDs
+	updates map[string][]float32 // journaled decoded updates by member
+	order   []string             // arrival order, for deterministic averaging
+	stepped bool                 // outer step already applied pre-crash
+
+	// Post-step state journaled for this round before the crash. It is
+	// kept on the open round — not folded into the resume state — because
+	// a crash can land between the outer_step record and its state
+	// snapshot: the params would be post-step but the momentum pre-step.
+	// The resume path only trusts the pair when it is complete (snapped,
+	// or the outer optimizer is stateless); otherwise it redoes the step
+	// from the journaled updates.
+	postGlobal []float32
+	postOuter  []float32
+	snapped    bool
+}
+
+// serverResume is the aggregator state recovered from a WAL replay.
+type serverResume struct {
+	committed int        // last committed round (0: none)
+	epoch     uint64     // membership epoch at last commit
+	global    []float32  // post-step params as of the newest outer_step / base
+	outer     []float32  // outer optimizer state as of the newest snapshot
+	open      *openRound // in-flight round, nil when cleanly committed
+}
+
+// replayServerWAL folds a recovery into aggregator resume state. The WAL
+// layer already guarantees Records is a valid prefix; replay is therefore
+// infallible — unknown or out-of-order records are skipped, never fatal.
+func replayServerWAL(rv *ckpt.Recovery) *serverResume {
+	res := &serverResume{}
+	if rv == nil {
+		return res
+	}
+	if rv.Base != nil {
+		res.committed = rv.Base.Round
+		res.global = rv.Base.Params
+	}
+	for _, rec := range rv.Records {
+		switch rec.Type {
+		case ckpt.RecRoundOpen:
+			res.open = &openRound{
+				round:   rec.Round,
+				epoch:   rec.Epoch,
+				cohort:  rec.IDs,
+				updates: make(map[string][]float32, len(rec.IDs)),
+			}
+		case ckpt.RecMemberUpdate:
+			if res.open != nil && rec.Round == res.open.round && rec.Member != upstreamMember {
+				if _, dup := res.open.updates[rec.Member]; !dup {
+					res.open.order = append(res.open.order, rec.Member)
+				}
+				res.open.updates[rec.Member] = rec.Vec
+			}
+		case ckpt.RecOuterStep:
+			if res.open != nil && res.open.round == rec.Round {
+				res.open.stepped = true
+				res.open.postGlobal = rec.Vec
+			} else {
+				res.global = rec.Vec
+			}
+		case ckpt.RecStateSnapshot:
+			if rec.Member != snapOuter {
+				break
+			}
+			if res.open != nil && res.open.round == rec.Round {
+				res.open.postOuter = rec.Vec
+				res.open.snapped = true
+			} else {
+				// A compacted log carries the committed outer state as a
+				// bare snapshot record with no surrounding round.
+				res.outer = rec.Vec
+			}
+		case ckpt.RecRoundCommit:
+			if rec.Round > res.committed {
+				res.committed = rec.Round
+				res.epoch = rec.Epoch
+			}
+			if res.open != nil && res.open.round <= rec.Round {
+				// The commit seals the open round: its post-step state is
+				// now the durable truth.
+				if res.open.stepped {
+					res.global = res.open.postGlobal
+					if res.open.snapped {
+						res.outer = res.open.postOuter
+					}
+				}
+				res.open = nil
+			}
+		}
+	}
+	// A round opened at or before the last commit is stale (possible only
+	// with a reordered or hand-edited log); drop it rather than replay it.
+	if res.open != nil && res.open.round <= res.committed {
+		res.open = nil
+	}
+	return res
+}
+
+// relayResume is the relay state recovered from a WAL replay.
+type relayResume struct {
+	committed int                 // last upstream round this relay completed
+	reply     link.EncodedPayload // encoded upstream reply for that round
+	replyOK   bool
+	cohort    int       // update count folded into that reply
+	codec     []float32 // upstream codec residual after that round
+}
+
+// replayRelayWAL folds a recovery into relay resume state.
+func replayRelayWAL(rv *ckpt.Recovery) *relayResume {
+	res := &relayResume{}
+	if rv == nil {
+		return res
+	}
+	var pendingReply link.EncodedPayload
+	var pendingOK bool
+	pendingRound, pendingCohort := 0, 0
+	var pendingCodec []float32
+	for _, rec := range rv.Records {
+		switch rec.Type {
+		case ckpt.RecMemberUpdate:
+			if rec.Member == upstreamMember {
+				if p, ok := decodePayloadBytes(rec.Data); ok {
+					pendingReply, pendingOK = p, true
+					pendingRound, pendingCohort = rec.Round, int(rec.Epoch)
+				}
+			}
+		case ckpt.RecStateSnapshot:
+			if rec.Member == snapCodec {
+				pendingCodec = rec.Vec
+			}
+		case ckpt.RecRoundCommit:
+			// Only committed replies are safe to redeliver: an uncommitted
+			// reply may never have left the socket, and its residual
+			// snapshot may be torn away by the same crash.
+			if rec.Round > res.committed {
+				res.committed = rec.Round
+			}
+			if pendingOK && pendingRound == rec.Round {
+				res.reply, res.replyOK = pendingReply, true
+				res.cohort = pendingCohort
+				res.codec = pendingCodec
+			}
+		}
+	}
+	return res
+}
+
+// encodePayloadBytes flattens an EncodedPayload for a WAL record's Data
+// field: u8 codec ID | u32 elems | codec bytes.
+func encodePayloadBytes(p link.EncodedPayload) []byte {
+	out := make([]byte, 5+len(p.Data))
+	out[0] = p.CodecID
+	binary.LittleEndian.PutUint32(out[1:5], uint32(p.Elems))
+	copy(out[5:], p.Data)
+	return out
+}
+
+// decodePayloadBytes reverses encodePayloadBytes.
+func decodePayloadBytes(b []byte) (link.EncodedPayload, bool) {
+	if len(b) < 5 {
+		return link.EncodedPayload{}, false
+	}
+	return link.EncodedPayload{
+		CodecID: b[0],
+		Elems:   int(binary.LittleEndian.Uint32(b[1:5])),
+		Data:    b[5:],
+	}, true
+}
+
+// membershipEpoch derives a monotonic (within one process run) membership
+// epoch from cumulative churn: every join, rejoin, leave, and eviction
+// advances it. It is journaled on round_open/round_commit records so a
+// replayed log tells membership eras apart.
+func (s *server) membershipEpoch() uint64 {
+	tot := s.reg.Totals()
+	return uint64(tot.Joins + tot.Rejoins + tot.Leaves + tot.Evictions)
+}
+
+// publishRegistry publishes a committed round's params into the
+// content-addressed registry and moves the "latest" tag. Registry failures
+// never abort training — the WAL still has the round — they are logged and
+// counted instead.
+func publishRegistry(reg *ckpt.Registry, round int, global []float32, lineage map[string]string) {
+	snap := make([]float32, len(global))
+	copy(snap, global)
+	full := make(map[string]string, len(lineage)+1)
+	for k, v := range lineage {
+		full[k] = v
+	}
+	full["round"] = strconv.Itoa(round)
+	hash, err := reg.Put(&ckpt.Checkpoint{Round: round, Params: snap}, full)
+	if err == nil {
+		err = reg.Tag("latest", hash)
+	}
+	if err != nil {
+		log.Printf("fed: registry publish for round %d failed: %v", round, err)
+		obsv.Default.Counter(
+			"photon_registry_errors_total",
+			"Model-registry publishes that failed after a round commit.",
+		).Inc()
+	}
+}
+
+// noteCheckpointErr surfaces an async checkpoint writer failure exactly
+// once per writer: a log line plus an obsv counter bump, after which the
+// run continues without durability rather than aborting training.
+func noteCheckpointErr(seen *bool, err error) {
+	if err == nil || *seen {
+		return
+	}
+	*seen = true
+	log.Printf("fed: async checkpoint write failed; run continues without checkpoint durability: %v", err)
+	obsv.Default.Counter(
+		"photon_ckpt_write_errors_total",
+		"Async checkpoint writes that failed and were surfaced to the run loop.",
+	).Inc()
+}

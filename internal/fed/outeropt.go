@@ -26,6 +26,46 @@ type OuterOpt interface {
 	Name() string
 }
 
+// OuterState is implemented by server optimizers that carry state across
+// rounds (momentum buffers). The durable control plane snapshots it into
+// the WAL after every outer step and restores it on resume, so a restarted
+// aggregator's optimizer continues from the exact pre-crash trajectory.
+// FedAvg is stateless and does not implement it.
+type OuterState interface {
+	// Snapshot returns a copy of the optimizer state (nil before the
+	// first step).
+	Snapshot() []float32
+	// Restore replaces the optimizer state with a copy of s; nil or empty
+	// resets to the fresh-optimizer state.
+	Restore(s []float32) error
+}
+
+// snapshotOuter copies an optimizer's state, nil for stateless ones.
+func snapshotOuter(o OuterOpt) []float32 {
+	if s, ok := o.(OuterState); ok {
+		return s.Snapshot()
+	}
+	return nil
+}
+
+// restoreOuter restores a snapshot taken by snapshotOuter; a no-op for
+// stateless optimizers.
+func restoreOuter(o OuterOpt, s []float32) error {
+	if so, ok := o.(OuterState); ok && len(s) > 0 {
+		return so.Restore(s)
+	}
+	return nil
+}
+
+// copyState is the shared Snapshot/Restore plumbing for the momentum
+// optimizers.
+func copyState(v []float32) []float32 {
+	if v == nil {
+		return nil
+	}
+	return append([]float32(nil), v...)
+}
+
 // FedAvg is federated averaging with server learning rate ηs: the paper's
 // default is ηs = 1, which makes the new global model exactly the mean of
 // the client models. Photon's headline recipe is FedAvg(1.0) combined with
@@ -75,6 +115,22 @@ func (f *FedMom) Step(global, delta []float32, _ int) {
 	}
 }
 
+// Snapshot implements OuterState: the velocity buffer.
+func (f *FedMom) Snapshot() []float32 { return copyState(f.v) }
+
+// Restore implements OuterState.
+func (f *FedMom) Restore(s []float32) error {
+	if len(s) == 0 {
+		f.v = nil
+		return nil
+	}
+	if f.v != nil && len(f.v) != len(s) {
+		return fmt.Errorf("fed: fedmom state size changed: %d vs snapshot %d", len(f.v), len(s))
+	}
+	f.v = copyState(s)
+	return nil
+}
+
 // DiLoCo is the outer optimizer of Douillard et al.: SGD with Nesterov
 // momentum over pseudo-gradients, the baseline Photon is compared against in
 // Table 3 and Figure 8 (recommended µ = 0.9; the only stable server learning
@@ -104,6 +160,22 @@ func (d *DiLoCo) Step(global, delta []float32, _ int) {
 		d.v[i] = mu*d.v[i] + g
 		global[i] -= lr * (g + mu*d.v[i])
 	}
+}
+
+// Snapshot implements OuterState: the Nesterov velocity buffer.
+func (d *DiLoCo) Snapshot() []float32 { return copyState(d.v) }
+
+// Restore implements OuterState.
+func (d *DiLoCo) Restore(s []float32) error {
+	if len(s) == 0 {
+		d.v = nil
+		return nil
+	}
+	if d.v != nil && len(d.v) != len(s) {
+		return fmt.Errorf("fed: diloco state size changed: %d vs snapshot %d", len(d.v), len(s))
+	}
+	d.v = copyState(s)
+	return nil
 }
 
 // MeanDelta computes the round pseudo-gradient Δt = mean_k(θt − θt_k) from

@@ -82,6 +82,7 @@ func RunResilientClient(ctx context.Context, dial func(context.Context) (*link.C
 		}
 		writer = ckpt.NewAsyncWriter(rc.CheckpointPath)
 		defer writer.Close()
+		var ckptErrSeen bool
 		onRound = append(onRound, func(r metrics.Round) {
 			writer.Submit(&ckpt.Checkpoint{
 				Round:  r.Round,
@@ -89,6 +90,10 @@ func RunResilientClient(ctx context.Context, dial func(context.Context) (*link.C
 				Meta:   map[string]float64{"loss": r.TrainLoss},
 				Params: client.Model.Params().Flatten(nil),
 			})
+			// Surface a failed write mid-run (once) rather than at Close:
+			// a client that cannot persist its warm-start state keeps
+			// training, but the operator should know crash recovery is off.
+			noteCheckpointErr(&ckptErrSeen, writer.Err())
 		})
 	}
 

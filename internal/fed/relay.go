@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"photon/internal/ckpt"
 	"photon/internal/link"
 	"photon/internal/metrics"
 	"photon/internal/nn"
@@ -72,6 +73,17 @@ type RelayConfig struct {
 
 	// OnRound observes this tier's round records (Tier 1, Depth 1).
 	OnRound func(metrics.Round)
+
+	// WALDir, when non-empty, journals each served round's encoded
+	// upstream reply and the upstream codec's error-feedback residual. A
+	// restarted relay (same ID, same directory) replays the log and can
+	// redeliver its last committed reply when a durably-resuming parent
+	// re-broadcasts an in-flight round, instead of retraining its cohort.
+	WALDir string
+
+	// Failpoint, when non-nil, arms crash-point injection in the relay's
+	// WAL appends. Test-only.
+	Failpoint *ckpt.Failpoint
 }
 
 func (c *RelayConfig) validate() error {
@@ -103,6 +115,20 @@ type relay struct {
 	sentPrev  int64     // cohort meter windows (tile the run, no gaps)
 	recvPrev  int64
 	lastRound int32 // highest parent round served, skipped on stale redelivery
+
+	// jrn journals served rounds when RelayConfig.WALDir is set (nil
+	// otherwise), and the cache* fields hold the last upstream reply —
+	// in-memory always, WAL-recovered across restarts — so a resuming
+	// parent's re-broadcast (ResumeKey) is answered from the cache instead
+	// of re-running a cohort exchange whose data streams already advanced.
+	jrn         *journal
+	cacheOK     bool
+	cacheRound  int32
+	cacheReply  link.EncodedPayload
+	cacheCohort int
+	// pendingCodec is a WAL-recovered upstream-codec residual, applied
+	// once the parent handshake instantiates the codec.
+	pendingCodec []float32
 }
 
 // RunRelay serves a relay aggregator until the parent ends the session:
@@ -149,6 +175,24 @@ func RunRelay(ctx context.Context, l *link.Listener, dial func(context.Context) 
 		hist:  &metrics.History{},
 	}
 	r.cfg.Parent.fill()
+
+	// Durable relay: replay the WAL before serving, recovering the last
+	// committed upstream reply and the codec residual that produced it.
+	if cfg.WALDir != "" {
+		wal, rv, werr := ckpt.OpenWAL(cfg.WALDir, cfg.Failpoint)
+		if werr != nil {
+			return nil, werr
+		}
+		r.jrn = newJournal(wal)
+		defer r.jrn.close()
+		if rec := replayRelayWAL(rv); rec.replyOK {
+			r.cacheOK = true
+			r.cacheRound = int32(rec.committed)
+			r.cacheReply = rec.reply
+			r.cacheCohort = rec.cohort
+			r.pendingCodec = rec.codec
+		}
+	}
 
 	stopLoops := srv.startLoops(ctx, l)
 	watchDone := make(chan struct{})
@@ -246,7 +290,13 @@ func (r *relay) serveParentConn(ctx context.Context, conn *link.Conn) error {
 			return err
 		}
 		r.upEnc, r.upEncName = codec, name
+		// A WAL-recovered residual belongs to this freshly created codec;
+		// a codec that survived in-process already carries its state.
+		if err := link.RestoreCodecState(r.upEnc, r.pendingCodec); err != nil {
+			return err
+		}
 	}
+	r.pendingCodec = nil
 	// Round numbering is per parent RUN, not global: a restarted parent
 	// starts over at round 1, so the stale-redelivery guard resets with
 	// each fresh connection. Within one connection the models channel's
@@ -331,7 +381,32 @@ func (r *relay) serveParentConn(ctx context.Context, conn *link.Conn) error {
 // run moves on.
 func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Message) error {
 	round := msg.Round
-	if round <= r.lastRound {
+	resumed := msg.Meta[link.ResumeKey] != 0
+	if resumed && r.cacheOK && round == r.cacheRound {
+		// A durably-resuming parent lost this round's reply; re-send the
+		// cached (possibly WAL-recovered) bytes verbatim. Re-encoding
+		// would double-apply an error-feedback codec's residual, and
+		// re-running the exchange would advance cohort data streams twice.
+		err := conn.Send(&link.Message{
+			Type:     link.MsgUpdate,
+			Round:    round,
+			ClientID: r.cfg.ID,
+			Meta: map[string]float64{
+				link.TraceKey:  msg.Meta[link.TraceKey],
+				link.CohortKey: float64(r.cacheCohort),
+			},
+			Payload: r.cacheReply,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fed: relay %s send: %w: %w", r.cfg.ID, ErrSessionLost, err)
+		}
+		r.lastRound = round
+		return nil
+	}
+	if round <= r.lastRound && !resumed {
 		return nil // stale redelivery after a reconnect
 	}
 	if r.want > 0 && msg.Payload.Elems != r.want {
@@ -382,7 +457,10 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 		}
 	}
 	exStart := time.Now()
-	updates, clientMetrics, wire, phases, interrupted, err := r.srv.exchangeRound(ctx, int(round), traceID, global, cohort)
+	// A resumed round with no usable cache re-runs the cohort exchange and
+	// propagates the resume flag downstream, so leaf clients that already
+	// trained this round answer from their own caches.
+	updates, clientMetrics, wire, phases, interrupted, err := r.srv.exchangeRound(ctx, int(round), traceID, global, cohort, resumed)
 	exchangeNs := time.Since(exStart).Nanoseconds()
 	wire.decNs += decNs
 	phases.pn.Add(obsv.PhaseDecode, decNs)
@@ -440,6 +518,13 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 	meta[link.PhaseTrainNsKey] = float64(exchangeNs)
 	meta[link.PhaseEncNsKey] = float64(upEncNs)
 	meta[link.PhaseDecNsKey] = float64(decNs)
+	// Cache before sending: the cohort exchange ran and the upstream
+	// codec's residual advanced, so if the parent crashes mid-send its
+	// resumed re-broadcast (ResumeKey) must get these exact bytes back —
+	// re-running the exchange or re-encoding would advance cohort streams
+	// and the error-feedback state twice for one round.
+	r.cacheOK, r.cacheRound, r.cacheCohort = true, round, len(updates)
+	r.cacheReply = encUpd
 	err = conn.Send(&link.Message{
 		Type:     link.MsgUpdate,
 		Round:    round,
@@ -452,6 +537,18 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 			return ctx.Err()
 		}
 		return fmt.Errorf("fed: relay %s send: %w: %w", r.cfg.ID, ErrSessionLost, err)
+	}
+	// Journal the reply (bytes, residual, commit) so the cache survives a
+	// relay restart. A journal error is fatal — an armed failpoint here
+	// models the relay crashing right after the record lands.
+	if err := r.jrn.upstreamReply(int(round), len(updates), encUpd); err != nil {
+		return err
+	}
+	if err := r.jrn.codecSnapshot(int(round), link.CodecState(r.upEnc)); err != nil {
+		return err
+	}
+	if err := r.jrn.roundCommit(int(round), 0); err != nil {
+		return err
 	}
 	r.record(int(round), updates, clientMetrics, wire, norm2(upward), traceID, phases, roundStart)
 	return nil

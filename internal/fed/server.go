@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"photon/internal/ckpt"
 	"photon/internal/cluster"
 	"photon/internal/data"
 	"photon/internal/link"
@@ -84,6 +85,24 @@ type ServerConfig struct {
 	// OnRound, when non-nil, is called synchronously with each round's
 	// record right after it is appended to the history.
 	OnRound func(metrics.Round)
+
+	// WALDir, when non-empty, journals every round-state transition to a
+	// write-ahead log in that directory. An aggregator restarted on the
+	// same directory (same -id) replays the log, restores the global
+	// params, outer-optimizer state, and any in-flight round, and resumes
+	// where the crash left off instead of starting over.
+	WALDir string
+
+	// RegistryDir, when non-empty, publishes each committed round's
+	// checkpoint into a content-addressed model registry rooted there and
+	// moves its "latest" tag. Registry failures never abort training.
+	RegistryDir string
+
+	// Failpoint, when non-nil, arms crash-point injection inside the WAL:
+	// the append whose site matches the armed site returns
+	// ckpt.ErrFailpoint after the record is on disk, and Serve exits
+	// abruptly (no MsgShutdown) as a real crash would. Test-only.
+	Failpoint *ckpt.Failpoint
 }
 
 // memberConn is the aggregator's handle on one connected member: the
@@ -115,6 +134,12 @@ type server struct {
 	// traffic (headers and heartbeats included) rather than element-count
 	// estimates.
 	meter *link.Meter
+
+	// jrn journals round-state transitions when the durable control plane
+	// is on (ServerConfig.WALDir); nil (all methods no-ops) otherwise.
+	// Only exchangeRound's single-threaded collect loop appends member
+	// updates, so the journal needs no locking of its own.
+	jrn *journal
 
 	mu    sync.Mutex
 	conns map[string]*memberConn
@@ -338,6 +363,26 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		return nil, err
 	}
 
+	// Durable control plane: open the registry and the WAL (replaying any
+	// prior journal) before accepting a single connection, so a restart
+	// that cannot recover fails fast instead of re-training from scratch.
+	var registry *ckpt.Registry
+	if cfg.RegistryDir != "" {
+		if registry, err = ckpt.OpenRegistry(cfg.RegistryDir); err != nil {
+			return nil, err
+		}
+	}
+	resume := &serverResume{}
+	if cfg.WALDir != "" {
+		wal, rv, werr := ckpt.OpenWAL(cfg.WALDir, cfg.Failpoint)
+		if werr != nil {
+			return nil, werr
+		}
+		s.jrn = newJournal(wal)
+		defer s.jrn.close()
+		resume = replayServerWAL(rv)
+	}
+
 	// The accept loop admits members for the entire run. Handshakes run in
 	// their own goroutines so a stray connection that never sends MsgJoin
 	// can neither hold a membership slot nor stall other joiners.
@@ -360,13 +405,17 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 
 	// Shutdown: stop admitting, then deliver MsgShutdown to every member
 	// still connected and give each a bounded grace period to read it
-	// before the connection is torn down.
+	// before the connection is torn down. An armed-failpoint exit flips
+	// graceful off: the members see a dropped connection — exactly what a
+	// real aggregator crash looks like — and resilient clients reconnect
+	// to the restarted process instead of shutting down cleanly.
+	graceful := true
 	defer func() {
 		stopLoops()
 		close(watchDone)
 		<-watcherExited
 		s.closeObservers()
-		s.shutdownMembers(true)
+		s.shutdownMembers(graceful)
 	}()
 
 	// Initial membership: wait (ctx-bounded) for the expected cohort.
@@ -382,7 +431,23 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	// perturbs the cohort-sampling draws (run determinism is seeded).
 	traceRng := rand.New(rand.NewSource(int64(uint64(cfg.Seed) ^ 0x9E3779B97F4A7C15)))
 	globalModel := nn.NewModel(cfg.ModelConfig, rng)
+	// The model init always draws from rng — even on resume — so the rng
+	// stream stays aligned with an uninterrupted run's cohort sampling;
+	// the recovered params then overwrite the fresh init in place.
 	global := globalModel.Params().Flatten(nil)
+	startRound := 1
+	if resume.global != nil || resume.committed > 0 || resume.open != nil {
+		if resume.global != nil {
+			if len(resume.global) != len(global) {
+				return nil, fmt.Errorf("fed: WAL params have %d elements, model has %d (config changed between runs?)", len(resume.global), len(global))
+			}
+			copy(global, resume.global)
+		}
+		if err := restoreOuter(cfg.Outer, resume.outer); err != nil {
+			return nil, err
+		}
+		startRound = resume.committed + 1
+	}
 	hist := &metrics.History{}
 	evalEvery := cfg.EvalEvery
 	if evalEvery <= 0 {
@@ -397,6 +462,23 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		}
 		return &Result{History: hist, Global: global, FinalModel: globalModel}, err
 	}
+	// fail routes a round-loop error through finish, downgrading the exit
+	// to abrupt when it is an armed crash point firing.
+	fail := func(round int, err error) (*Result, error) {
+		if errors.Is(err, ckpt.ErrFailpoint) {
+			graceful = false
+		}
+		return finish(fmt.Errorf("fed: round %d: %w", round, err))
+	}
+	// lineage stamps registry manifests with enough to reproduce the job.
+	lineage := map[string]string{
+		"job": fmt.Sprintf("seed=%d rounds=%d expect=%d cohort=%d codec=%s outer=%s params=%d",
+			cfg.Seed, cfg.Rounds, cfg.ExpectClients, k, s.codecName, cfg.Outer.Name(), len(global)),
+	}
+	// Fold the log into the base checkpoint every few commits so replay
+	// time stays bounded by the compaction window, not the run length.
+	const compactEvery = 8
+	commits := 0
 
 	// emptyRounds counts consecutive rounds that aggregated zero updates
 	// (every cohort member straggled past the deadline or failed). A few
@@ -416,7 +498,7 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	// relay straggled) does not mean the topology collapsed to flat.
 	depth := 1
 	var runErr error
-	for round := 1; round <= cfg.Rounds; round++ {
+	for round := startRound; round <= cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			runErr = err
 			break
@@ -435,18 +517,92 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			return finish(fmt.Errorf("fed: round %d: %w", round, err))
 		}
 
-		cohortInfos := s.reg.SampleCohort(rng, k, cfg.OverProvision)
-		cohort := make([]*memberConn, 0, len(cohortInfos))
-		for _, info := range cohortInfos {
-			if mc := s.get(info.ID); mc != nil {
-				cohort = append(cohort, mc)
-			}
+		// A WAL replay may hand this round back partially done: pre carries
+		// the journaled cohort and the updates that already arrived before
+		// the crash. Consume it exactly once.
+		var pre *openRound
+		if resume.open != nil && resume.open.round == round {
+			pre = resume.open
+			resume.open = nil
 		}
-		if len(cohort) == 0 {
-			// Sampled members vanished between the wait and the draw; retry
-			// the round against the refreshed membership.
-			round--
-			continue
+		epoch := s.membershipEpoch()
+
+		if pre != nil && pre.stepped {
+			// The crash hit after the outer step: the journaled post-step
+			// state is trusted only when it is complete — params plus the
+			// outer snapshot when the optimizer is stateful. A crash that
+			// landed between the two records left post-step params next to
+			// pre-step momentum; using them together would corrupt the
+			// trajectory, so the incomplete pair is discarded and the step
+			// is redone below from the journaled updates instead.
+			if snapshotOuter(cfg.Outer) == nil || pre.snapped {
+				if len(pre.postGlobal) != len(global) {
+					return fail(round, fmt.Errorf("journaled step has %d params, model has %d", len(pre.postGlobal), len(global)))
+				}
+				copy(global, pre.postGlobal)
+				if pre.snapped {
+					if err := restoreOuter(cfg.Outer, pre.postOuter); err != nil {
+						return fail(round, err)
+					}
+				}
+				if err := s.jrn.roundCommit(round, epoch); err != nil {
+					return fail(round, err)
+				}
+				commits++
+				if registry != nil {
+					publishRegistry(registry, round, global, lineage)
+				}
+				emptyRounds = 0
+				continue
+			}
+			pre.stepped = false
+		}
+
+		var cohort []*memberConn
+		var preUpdates [][]float32
+		var preMetrics []map[string]float64
+		if pre != nil {
+			// Re-open the journaled cohort: keep the updates that survived
+			// in the log, re-ask only the members whose updates were lost.
+			// Members that answered pre-crash are never re-trained — their
+			// data streams must not advance twice for one round.
+			for _, id := range pre.order {
+				preUpdates = append(preUpdates, pre.updates[id])
+				preMetrics = append(preMetrics, map[string]float64{})
+			}
+			for _, id := range pre.cohort {
+				if _, done := pre.updates[id]; done {
+					continue
+				}
+				if mc := s.get(id); mc != nil {
+					cohort = append(cohort, mc)
+				}
+			}
+			if len(cohort) == 0 && len(preUpdates) == 0 {
+				// Nothing journaled and nobody reconnected yet: retry the
+				// round as a fresh draw against the refreshed membership.
+				round--
+				continue
+			}
+		} else {
+			cohortInfos := s.reg.SampleCohort(rng, k, cfg.OverProvision)
+			cohort = make([]*memberConn, 0, len(cohortInfos))
+			ids := make([]string, 0, len(cohortInfos))
+			for _, info := range cohortInfos {
+				if mc := s.get(info.ID); mc != nil {
+					cohort = append(cohort, mc)
+					ids = append(ids, info.ID)
+				}
+			}
+			if len(cohort) == 0 {
+				// Sampled members vanished between the wait and the draw;
+				// retry the round against the refreshed membership.
+				round--
+				continue
+			}
+			if err := s.jrn.roundOpen(round, epoch, ids); err != nil {
+				return fail(round, err)
+			}
 		}
 
 		// Meta values ride the wire as float64, so trace IDs are confined
@@ -456,13 +612,19 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			traceID = 1
 		}
 		roundStart := time.Now()
-		updates, clientMetrics, wire, phases, interrupted, err := s.exchangeRound(ctx, round, traceID, global, cohort)
+		updates, clientMetrics, wire, phases, interrupted, err := s.exchangeRound(ctx, round, traceID, global, cohort, pre != nil)
 		if err != nil {
-			return finish(fmt.Errorf("fed: round %d: %w", round, err))
+			return fail(round, err)
 		}
 		if interrupted {
 			runErr = ctx.Err()
 			break
+		}
+		// Journaled pre-crash updates come first (their arrival order is
+		// the log order), freshly collected ones after.
+		if len(preUpdates) > 0 {
+			updates = append(preUpdates, updates...)
+			clientMetrics = append(preMetrics, clientMetrics...)
 		}
 		sentAfter, recvAfter := s.meter.Totals()
 		sentRound, recvRound := sentAfter-sentPrev, recvAfter-recvPrev
@@ -507,6 +669,11 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 				return nil, err
 			}
 			cfg.Outer.Step(global, delta, round)
+			// Journal the post-step params (bit-for-bit restore on replay,
+			// no re-aggregation) plus the optimizer's momentum state.
+			if err := s.jrn.outerStep(round, global, cfg.Outer); err != nil {
+				return fail(round, err)
+			}
 			phases.pn.Add(obsv.PhaseAggregate, aggSpan.End(traceID))
 			rec.UpdateNorm = norm2(delta)
 			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
@@ -530,6 +697,33 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 			cfg.OnRound(rec)
 		}
 		s.publishRound(rec)
+		if len(updates) > 0 {
+			// Seal the round (the journal's one fsync), publish the
+			// committed checkpoint, and periodically fold the log into the
+			// base checkpoint so replay time stays bounded.
+			if err := s.jrn.roundCommit(round, epoch); err != nil {
+				return fail(round, err)
+			}
+			commits++
+			if registry != nil {
+				publishRegistry(registry, round, global, lineage)
+			}
+			if commits%compactEvery == 0 {
+				snap := make([]float32, len(global))
+				copy(snap, global)
+				base := &ckpt.Checkpoint{Round: round, Meta: map[string]float64{"loss": rec.TrainLoss}, Params: snap}
+				// The base checkpoint holds params only, so the outer
+				// optimizer's momentum must be carried into the fresh
+				// log segment or a post-compaction resume would lose it.
+				var carry []ckpt.Record
+				if st := snapshotOuter(cfg.Outer); st != nil {
+					carry = append(carry, ckpt.Record{Type: ckpt.RecStateSnapshot, Round: round, Member: snapOuter, Vec: st})
+				}
+				if err := s.jrn.compact(base, carry); err != nil {
+					return fail(round, err)
+				}
+			}
+		}
 		if len(updates) == 0 {
 			if emptyRounds++; emptyRounds >= maxEmptyRounds {
 				return finish(fmt.Errorf("fed: no client updates for %d consecutive rounds", emptyRounds))
@@ -734,7 +928,7 @@ type roundPhases struct {
 // successful member's latency is split into broadcast (measured send),
 // member train/encode/decode (self-reported), server decode (measured per
 // member), and a wire residual.
-func (s *server) exchangeRound(ctx context.Context, round int, traceID uint64, global []float32, cohort []*memberConn) (updates [][]float32, clientMetrics []map[string]float64, wire roundWire, phases roundPhases, interrupted bool, err error) {
+func (s *server) exchangeRound(ctx context.Context, round int, traceID uint64, global []float32, cohort []*memberConn, resume bool) (updates [][]float32, clientMetrics []map[string]float64, wire roundWire, phases roundPhases, interrupted bool, err error) {
 	encSpan := s.tracer.Begin(obsv.PhaseEncode)
 	encModel, err := link.EncodeVector(s.modelEnc, global)
 	if err != nil {
@@ -763,11 +957,18 @@ func (s *server) exchangeRound(ctx context.Context, round int, traceID uint64, g
 			default:
 			}
 			start := time.Now()
+			meta := map[string]float64{link.TraceKey: float64(traceID)}
+			if resume {
+				// Redelivery of an in-flight round after a crash: a member
+				// that already trained it re-sends its cached update
+				// instead of advancing its data stream a second time.
+				meta[link.ResumeKey] = 1
+			}
 			sendSpan := s.tracer.Begin(obsv.PhaseBroadcast)
 			err := mc.conn.SendTimeout(&link.Message{
 				Type:    link.MsgModel,
 				Round:   int32(round),
-				Meta:    map[string]float64{link.TraceKey: float64(traceID)},
+				Meta:    meta,
 				Payload: encModel,
 			}, s.cfg.RoundDeadline)
 			sendNs := sendSpan.End(traceID)
@@ -857,6 +1058,11 @@ func (s *server) exchangeRound(ctx context.Context, round int, traceID uint64, g
 		case r := <-results:
 			responded[r.mc.id] = true
 			if r.update != nil {
+				// Journal the decoded update before counting it: a crash
+				// after this append re-collects nothing from this member.
+				if jerr := s.jrn.memberUpdate(round, r.mc.id, r.update); jerr != nil {
+					return nil, nil, wire, phases, false, jerr
+				}
 				updates = append(updates, r.update)
 				clientMetrics = append(clientMetrics, r.meta)
 				s.reg.ObserveRound(r.mc.id, r.latency, cluster.OutcomeOK)
@@ -1015,6 +1221,18 @@ type Session struct {
 
 	enc     link.Codec
 	encName string
+
+	// Last delivered update, kept for idempotent redelivery: when a
+	// WAL-resuming aggregator re-broadcasts an in-flight round (ResumeKey
+	// set) this client already trained, the cached encoded reply is
+	// re-sent verbatim instead of training the round again — the data
+	// stream and the codec's error-feedback state must not advance twice
+	// for one round. Like the codec, the cache lives on the Session so it
+	// survives reconnects.
+	cacheOK    bool
+	cacheRound int32
+	cacheReply link.EncodedPayload
+	cacheLoss  float64
 }
 
 // ServeConn runs one connection's worth of the session: handshake, then
@@ -1124,6 +1342,29 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 		case link.MsgShutdown:
 			return nil
 		case link.MsgModel:
+			// Idempotent redelivery: a resumed broadcast of a round this
+			// client already trained is answered from the cache — no
+			// decode, no training, no stream advance.
+			if msg.Meta[link.ResumeKey] != 0 && s.cacheOK && msg.Round == s.cacheRound {
+				meta := map[string]float64{"loss": s.cacheLoss}
+				if traceID := msg.Meta[link.TraceKey]; traceID != 0 {
+					meta[link.TraceKey] = traceID
+				}
+				err := conn.Send(&link.Message{
+					Type:     link.MsgUpdate,
+					Round:    msg.Round,
+					ClientID: client.ID,
+					Meta:     meta,
+					Payload:  s.cacheReply,
+				})
+				if err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					return fmt.Errorf("fed: client %s send: %w: %w", client.ID, ErrSessionLost, err)
+				}
+				continue
+			}
 			// Size-check before decoding so a corrupt or hostile element
 			// count can never drive a model-sized allocation past the
 			// local replica's actual parameter count.
@@ -1164,6 +1405,13 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 			if traceID != 0 {
 				res.Metrics[link.TraceKey] = float64(traceID)
 			}
+			// Cache before sending: the round is trained, so the stream and
+			// error-feedback state have advanced. If the aggregator crashes
+			// mid-send and this reply never lands, the resumed broadcast
+			// must hit the cache — retraining would advance the stream a
+			// second time for the same round.
+			s.cacheOK, s.cacheRound = true, msg.Round
+			s.cacheReply, s.cacheLoss = encUpd, res.Metrics["loss"]
 			err = conn.Send(&link.Message{
 				Type:     link.MsgUpdate,
 				Round:    msg.Round,

@@ -87,6 +87,38 @@ type Parameterized interface {
 	Configure(param string) error
 }
 
+// StatefulCodec is implemented by codecs whose encoder carries per-session
+// state worth persisting — the topk codec's error-feedback residual. The
+// durable control plane snapshots this state into its WAL so a restarted
+// relay's uplink resumes with the residual it crashed with: coordinates
+// dropped before the crash are still delivered in later rounds instead of
+// being silently lost.
+type StatefulCodec interface {
+	// StateSnapshot returns a copy of the encoder state (nil when the
+	// codec has not encoded yet).
+	StateSnapshot() []float32
+	// StateRestore replaces the encoder state with a copy of s. A nil or
+	// empty s resets to the fresh-codec state.
+	StateRestore(s []float32) error
+}
+
+// CodecState snapshots c's encoder state, or nil for stateless codecs.
+func CodecState(c Codec) []float32 {
+	if sc, ok := c.(StatefulCodec); ok {
+		return sc.StateSnapshot()
+	}
+	return nil
+}
+
+// RestoreCodecState restores a snapshot taken by CodecState; a no-op (and
+// nil error) for stateless codecs.
+func RestoreCodecState(c Codec, s []float32) error {
+	if sc, ok := c.(StatefulCodec); ok && len(s) > 0 {
+		return sc.StateRestore(s)
+	}
+	return nil
+}
+
 // updateOnly is implemented by codecs that are only meaningful for sparse
 // or residual-corrected update vectors, never for full model broadcasts.
 type updateOnly interface {
@@ -480,6 +512,28 @@ func (t *TopKCodec) Configure(param string) error {
 		return fmt.Errorf("keep fraction %q must be in (0,1]", param)
 	}
 	t.Keep = keep
+	return nil
+}
+
+// StateSnapshot implements StatefulCodec: a copy of the error-feedback
+// residual accumulated so far.
+func (t *TopKCodec) StateSnapshot() []float32 {
+	if t.residual == nil {
+		return nil
+	}
+	return append([]float32(nil), t.residual...)
+}
+
+// StateRestore implements StatefulCodec.
+func (t *TopKCodec) StateRestore(s []float32) error {
+	if len(s) == 0 {
+		t.residual = nil
+		return nil
+	}
+	if t.residual != nil && len(t.residual) != len(s) {
+		return fmt.Errorf("residual size changed: %d vs snapshot %d", len(t.residual), len(s))
+	}
+	t.residual = append([]float32(nil), s...)
 	return nil
 }
 

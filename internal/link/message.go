@@ -100,6 +100,16 @@ const CohortKey = "cohort"
 // IDs are confined to 52 bits — they survive the float round-trip exactly.
 const TraceKey = "trace_id"
 
+// ResumeKey is the Meta key a WAL-resuming aggregator stamps (value 1) on
+// the re-broadcast of a round that was in flight when it crashed. A member
+// that already trained that round recognizes the marker plus the matching
+// round number and re-sends its cached update instead of training again —
+// re-training would double-advance its data stream and, under a lossy
+// codec, re-apply the error-feedback residual. Fresh broadcasts never carry
+// the key, so a genuinely new run that happens to reuse a round number is
+// served normally.
+const ResumeKey = "resume"
+
 // Per-phase self-report keys members stamp on MsgUpdate Meta, letting the
 // aggregator split each member's round latency into local compute, codec
 // work, and wire residual.

@@ -1,0 +1,40 @@
+package testutil
+
+import (
+	"net"
+
+	"photon/internal/ckpt"
+)
+
+// FlakyConn wraps a net.Conn with a ckpt.Failpoint so tests can sever a
+// link at a chosen protocol moment instead of at a random scheduler point.
+// Arm the shared failpoint with site "conn:send" or "conn:recv"; the first
+// matching I/O call closes the connection and reports a failpoint error,
+// which the link layer surfaces as an ordinary connection loss. Wrap the
+// raw conn BEFORE handing it to link.NewConn so framed writes and reads
+// both pass through the hook.
+//
+// The zero failpoint pointer is legal (the wrapper is then transparent),
+// so a single test helper can build flaky and solid topologies alike.
+type FlakyConn struct {
+	net.Conn
+	Fail *ckpt.Failpoint
+}
+
+// Read implements net.Conn, severing the link when "conn:recv" is armed.
+func (f *FlakyConn) Read(p []byte) (int, error) {
+	if f.Fail.Fire("conn:recv") {
+		f.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return f.Conn.Read(p)
+}
+
+// Write implements net.Conn, severing the link when "conn:send" is armed.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	if f.Fail.Fire("conn:send") {
+		f.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return f.Conn.Write(p)
+}

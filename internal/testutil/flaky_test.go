@@ -1,0 +1,107 @@
+package testutil
+
+import (
+	"net"
+	"testing"
+
+	"photon/internal/ckpt"
+	"photon/internal/link"
+)
+
+// tcpPair returns the two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- accepted{c, err}
+	}()
+	dialed, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		dialed.Close()
+		t.Fatal(srv.err)
+	}
+	return dialed, srv.c
+}
+
+// TestFlakyConnSeversOnArmedSend arms "conn:send": the next framed write
+// must sever the link, and the peer must observe an ordinary connection
+// loss — exactly what a crashing process looks like on the wire.
+func TestFlakyConnSeversOnArmedSend(t *testing.T) {
+	raw, peerRaw := tcpPair(t)
+	fp := &ckpt.Failpoint{}
+	conn := link.NewConn(&FlakyConn{Conn: raw, Fail: fp})
+	peer := link.NewConn(peerRaw)
+	defer conn.Close()
+	defer peer.Close()
+
+	// Unarmed, the wrapper is transparent: a message passes through.
+	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "a"}); err != nil {
+		t.Fatalf("unarmed send: %v", err)
+	}
+	if msg, err := peer.Recv(); err != nil || msg.ClientID != "a" {
+		t.Fatalf("unarmed recv: %v %v", msg, err)
+	}
+
+	fp.Arm("conn:send")
+	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "b"}); err == nil {
+		t.Fatal("armed send succeeded; want a severed link")
+	}
+	if !fp.Fired() {
+		t.Fatal("failpoint never fired")
+	}
+	if _, err := peer.Recv(); err == nil {
+		t.Fatal("peer still readable after the link was severed")
+	}
+}
+
+// TestFlakyConnSeversOnArmedRecv arms "conn:recv" on the reading side.
+func TestFlakyConnSeversOnArmedRecv(t *testing.T) {
+	raw, peerRaw := tcpPair(t)
+	fp := &ckpt.Failpoint{}
+	conn := link.NewConn(&FlakyConn{Conn: raw, Fail: fp})
+	peer := link.NewConn(peerRaw)
+	defer conn.Close()
+	defer peer.Close()
+
+	if err := peer.Send(&link.Message{Type: link.MsgJoin, ClientID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	fp.Arm("conn:recv")
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("armed recv succeeded; want a severed link")
+	}
+	if !fp.Fired() {
+		t.Fatal("failpoint never fired")
+	}
+}
+
+// TestFlakyConnZeroFailpoint verifies the documented zero-pointer mode: a
+// nil failpoint makes the wrapper fully transparent in both directions.
+func TestFlakyConnZeroFailpoint(t *testing.T) {
+	raw, peerRaw := tcpPair(t)
+	conn := link.NewConn(&FlakyConn{Conn: raw})
+	peer := link.NewConn(peerRaw)
+	defer conn.Close()
+	defer peer.Close()
+
+	if err := conn.Send(&link.Message{Type: link.MsgJoin, ClientID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := peer.Recv(); err != nil || msg.ClientID != "x" {
+		t.Fatalf("recv through transparent wrapper: %v %v", msg, err)
+	}
+}

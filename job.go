@@ -335,6 +335,8 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 		Validation:        data.NewValidationSet(data.C4Like(cfg.VocabSize), 16, cfg.SeqLen, 987654),
 		EvalEvery:         c.evalEvery,
 		OnRound:           j.emit,
+		WALDir:            c.walDir,
+		RegistryDir:       c.registryDir,
 	})
 	if res == nil {
 		return nil, err
@@ -390,6 +392,7 @@ func (j *Job) runRelay(ctx context.Context) (*Result, error) {
 			Codec:       c.upstreamCodec,
 		},
 		OnRound: j.emit,
+		WALDir:  c.walDir,
 	})
 	if res == nil {
 		return nil, err

@@ -68,6 +68,9 @@ type jobConfig struct {
 	overProvision float64
 	reconnect     int
 	reconnectSet  bool
+
+	walDir      string
+	registryDir string
 }
 
 // JobOption configures a Job; build them with the With* constructors.
@@ -273,6 +276,21 @@ func WithOverProvision(f float64) JobOption { return func(c *jobConfig) { c.over
 func WithReconnect(attempts int) JobOption {
 	return func(c *jobConfig) { c.reconnect = attempts; c.reconnectSet = true }
 }
+
+// WithWAL journals the aggregator backend's round-state transitions to a
+// write-ahead log in dir. A job restarted on the same directory (and the
+// same identity) replays the log and resumes the run where the crash left
+// off — global parameters, outer-optimizer momentum, and any in-flight
+// round — instead of starting over. On a relay (WithParent) the log holds
+// the last upstream reply and codec residual for crash-safe redelivery.
+func WithWAL(dir string) JobOption { return func(c *jobConfig) { c.walDir = dir } }
+
+// WithRegistry publishes each committed round's checkpoint into a
+// content-addressed model registry rooted at dir (SHA-256 blob addresses,
+// lineage manifests, and a moving "latest" tag that photon-serve can load
+// via -ckpt tag:latest). Aggregator backend only; registry failures are
+// logged and counted, never fatal to training.
+func WithRegistry(dir string) JobOption { return func(c *jobConfig) { c.registryDir = dir } }
 
 // fill resolves zero values to per-backend defaults.
 func (c *jobConfig) fill() {
