@@ -60,6 +60,7 @@ func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
 func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
 
 // Ablations called out in DESIGN.md.
+func BenchmarkAblationAsync(b *testing.B)       { benchExperiment(b, "ablation-async") }
 func BenchmarkAblationOuterOpt(b *testing.B)    { benchExperiment(b, "ablation-outeropt") }
 func BenchmarkAblationRecipe(b *testing.B)      { benchExperiment(b, "ablation-recipe") }
 func BenchmarkAblationOptState(b *testing.B)    { benchExperiment(b, "ablation-optstate") }

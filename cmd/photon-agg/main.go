@@ -73,6 +73,9 @@ func main() {
 		metricsAt  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		walDir     = flag.String("wal", "", "write-ahead-log directory: journal round state and resume an interrupted run when restarted on the same directory (empty disables)")
 		registryAt = flag.String("registry", "", "content-addressed model registry directory: publish every committed round's checkpoint and move the latest tag (empty disables)")
+		async      = flag.Bool("async", false, "buffered asynchronous (FedBuff) aggregation: members train at their own pace and -rounds counts version commits")
+		asyncK     = flag.Int("async-k", 2, "async: updates buffered per version commit")
+		asyncAlpha = flag.Float64("async-alpha", 0.5, "async: staleness discount exponent; weight = 1/(1+staleness)^alpha")
 	)
 	flag.Parse()
 	resolveCodecFlag(codec, *compress)
@@ -109,6 +112,9 @@ func main() {
 		photon.WithMinClients(*minClients),
 		photon.WithOverProvision(*over),
 	}
+	if *async {
+		opts = append(opts, photon.WithAsync(*asyncK, *asyncAlpha))
+	}
 	if *walDir != "" {
 		opts = append(opts, photon.WithWAL(*walDir))
 	}
@@ -133,6 +139,9 @@ func main() {
 				ev.Round, ev.Clients, ev.TrainLoss, ev.Perplexity, float64(ev.CommBytes)/1e6)
 			if ev.Tier > 0 {
 				line = fmt.Sprintf("tier%d ", ev.Tier) + line
+			}
+			if ev.ModelVersion > 0 {
+				line += fmt.Sprintf(" ver=%d buf=%d stale=%.1f", ev.ModelVersion, ev.BufferFill, ev.MeanStaleness)
 			}
 			if ev.CompressionRatio > 0 {
 				line += fmt.Sprintf(" ratio=%.2f", ev.CompressionRatio)

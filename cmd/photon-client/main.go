@@ -89,8 +89,12 @@ func main() {
 		defer wg.Done()
 		for ev := range job.Events() {
 			health.Observe(ev.Round, ev.Clients)
-			fmt.Printf("round %2d: local loss=%.4f comm=%.2fMB\n",
+			line := fmt.Sprintf("round %2d: local loss=%.4f comm=%.2fMB",
 				ev.Round, ev.TrainLoss, float64(ev.CommBytes)/1e6)
+			if ev.ModelVersion > 0 {
+				line += fmt.Sprintf(" ver=%d", ev.ModelVersion)
+			}
+			fmt.Println(line)
 		}
 	}()
 

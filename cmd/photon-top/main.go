@@ -187,6 +187,9 @@ func stdoutIsTTY() bool {
 func plainLine(addr string, ev fed.ObserveEvent) string {
 	r := ev.Record
 	line := fmt.Sprintf("%s tier%d round %d: clients=%d loss=%.4f", addr, r.Tier, r.Round, r.Clients, r.TrainLoss)
+	if r.ModelVersion > 0 {
+		line += fmt.Sprintf(" ver=%d buf=%d stale=%.1f", r.ModelVersion, r.BufferFill, r.MeanStaleness)
+	}
 	if r.ValPPL > 0 {
 		line += fmt.Sprintf(" ppl=%.2f", r.ValPPL)
 	}
@@ -235,6 +238,9 @@ func renderFeed(sb *strings.Builder, f feed, now time.Time) {
 		f.addr, tierName, status, r.Round, f.rounds, now.Sub(f.lastAt).Seconds())
 
 	line := fmt.Sprintf("  clients=%d loss=%.4f", r.Clients, r.TrainLoss)
+	if r.ModelVersion > 0 {
+		line += fmt.Sprintf(" ver=%d buf=%d stale=%.1f", r.ModelVersion, r.BufferFill, r.MeanStaleness)
+	}
 	if r.ValPPL > 0 {
 		line += fmt.Sprintf(" ppl=%.2f", r.ValPPL)
 	}
@@ -265,6 +271,9 @@ func renderFeed(sb *strings.Builder, f feed, now time.Time) {
 	sb.WriteString("\x1b[K\n")
 
 	if len(f.ev.Members) > 0 {
+		// Async feeds (a committed model version present) carry per-member
+		// version lag; show it as a staleness column.
+		asyncFeed := r.ModelVersion > 0
 		fmt.Fprintf(sb, "  members:\x1b[K\n")
 		for _, m := range f.ev.Members {
 			marker := "\x1b[32m●\x1b[0m"
@@ -274,8 +283,12 @@ func renderFeed(sb *strings.Builder, f feed, now time.Time) {
 			case m.Health < 0.9:
 				marker = "\x1b[33m◐\x1b[0m"
 			}
-			fmt.Fprintf(sb, "    %s %-20s health=%.2f rtt=%6.1fms straggles=%d\x1b[K\n",
+			memberLine := fmt.Sprintf("    %s %-20s health=%.2f rtt=%6.1fms straggles=%d",
 				marker, m.ID, m.Health, m.RTTMs, m.Straggles)
+			if asyncFeed {
+				memberLine += fmt.Sprintf(" stale=%d", m.Staleness)
+			}
+			fmt.Fprintf(sb, "%s\x1b[K\n", memberLine)
 		}
 	}
 	sb.WriteString("\x1b[K\n")

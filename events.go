@@ -89,6 +89,20 @@ type RoundEvent struct {
 	// SlowestPhase is the phase that member spent the most time in
 	// ("broadcast", "train", "encode", "wire", "decode").
 	SlowestPhase string
+
+	// ModelVersion is the committed global model version under asynchronous
+	// aggregation (WithAsync): the aggregator backend reports the version
+	// this event's commit produced, the client backend the version its
+	// round trained on. 0 under synchronous aggregation.
+	ModelVersion int
+	// BufferFill is the number of updates folded into this commit's
+	// staleness-weighted buffer (asynchronous aggregation only).
+	BufferFill int
+	// MeanStaleness is the mean staleness, in model versions, of the
+	// updates folded into this commit: 0 means every update trained on the
+	// freshest model; larger values mean stragglers contributed late (and
+	// were down-weighted accordingly).
+	MeanStaleness float64
 }
 
 // PhaseBreakdown is a round's per-phase wall time in milliseconds, split
@@ -138,5 +152,8 @@ func eventFromRound(r metrics.Round) RoundEvent {
 		Phases:            PhaseBreakdown(r.Phases),
 		SlowestID:         r.SlowestID,
 		SlowestPhase:      r.SlowestPhase,
+		ModelVersion:      r.ModelVersion,
+		BufferFill:        r.BufferFill,
+		MeanStaleness:     r.MeanStaleness,
 	}
 }

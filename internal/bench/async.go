@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"photon/internal/data"
+	"photon/internal/fed"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/nn"
+	"photon/internal/opt"
+)
+
+// delayStream wraps a data stream with a fixed per-batch sleep, modeling a
+// member whose accelerator is slower than the rest of the fleet without
+// changing how many tokens it consumes.
+type delayStream struct {
+	inner data.Stream
+	delay time.Duration
+}
+
+func (d *delayStream) NextBatch(batchSize, seqLen int) nn.Batch {
+	time.Sleep(d.delay)
+	return d.inner.NextBatch(batchSize, seqLen)
+}
+
+// asyncModeResult is one mode's measurement from runAsyncAblationMode.
+type asyncModeResult struct {
+	hist *metrics.History
+	wall time.Duration
+}
+
+// runAsyncAblationMode runs a real 2-client TCP-loopback federation — one
+// client delayed per batch to model a hardware straggler — in either
+// synchronous FedAvg or asynchronous FedBuff mode. The token budget is
+// matched across modes: sync aggregates rounds x 2 updates of tau steps,
+// async folds one update per version over 2 x rounds versions, so both
+// consume the same number of trained updates (the async fleet sources most
+// of them from the fast member, which is the FedBuff regime).
+func runAsyncAblationMode(ctx context.Context, cfg nn.Config, async bool, rounds, tau int, delay time.Duration, seed int64) (asyncModeResult, error) {
+	part, err := data.IIDPartition(data.C4Like(cfg.VocabSize), 2, seed)
+	if err != nil {
+		return asyncModeResult{}, err
+	}
+	l, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		return asyncModeResult{}, err
+	}
+	defer l.Close()
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		var stream data.Stream = part.ClientStreams[i]
+		if i == 1 {
+			stream = &delayStream{inner: stream, delay: delay}
+		}
+		client := fed.NewClient(part.SourceNames[i], cfg, stream,
+			opt.NewAdamW(cfg.Beta1, cfg.Beta2, 0.01))
+		go func() {
+			conn, err := link.Dial(l.Addr())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = fed.ServeClient(cctx, conn, client, proxySpec(tau, proxyLR))
+		}()
+	}
+	scfg := fed.ServerConfig{
+		ModelConfig:   cfg,
+		Seed:          seed,
+		Rounds:        rounds,
+		ExpectClients: 2,
+		MinClients:    2,
+		RoundDeadline: 60 * time.Second,
+		Outer:         photonOuter(),
+		Validation:    validation(cfg),
+		EvalEvery:     rounds,
+	}
+	if async {
+		scfg.Async = &fed.AsyncConfig{K: 1, Alpha: 0.5}
+		scfg.Rounds = 2 * rounds // K=1: match sync's rounds x 2 updates
+		// The async floor only gates starvation detection; one live member
+		// keeps the run going while the straggler catches up.
+		scfg.MinClients = 1
+	}
+	start := time.Now()
+	res, err := fed.Serve(ctx, l, scfg)
+	if err != nil {
+		return asyncModeResult{}, err
+	}
+	return asyncModeResult{hist: res.History, wall: time.Since(start)}, nil
+}
+
+// AblationAsync is the convergence A/B behind the asynchronous aggregation
+// mode: FedBuff (K=1, alpha=0.5) versus barrier-synchronized FedAvg on the
+// same straggling fleet at a matched token budget, reporting final
+// perplexity next to wall time, commit rate, and the staleness the async
+// buffer absorbed.
+func AblationAsync(ctx context.Context, w io.Writer, scale Scale) error {
+	rounds, tau := 16, 8
+	delay := 20 * time.Millisecond
+	if scale == Quick {
+		rounds, tau = 6, 4
+		delay = 10 * time.Millisecond
+	}
+	cfg := proxyCfg()
+	fprintf(w, "Ablation: async FedBuff vs sync FedAvg (N=2, one delayed member, τ=%d, %d updates each)\n", tau, 2*rounds)
+	headers := []string{"Mode", "FinalPPL", "Wall(s)", "Commits/s", "MeanStale"}
+	var rows [][]string
+	for _, async := range []bool{false, true} {
+		res, err := runAsyncAblationMode(ctx, cfg, async, rounds, tau, delay, 67)
+		if err != nil {
+			return err
+		}
+		var staleSum float64
+		for _, r := range res.hist.Rounds {
+			staleSum += r.MeanStaleness
+		}
+		label := "sync FedAvg"
+		if async {
+			label = "async FedBuff(K=1,α=0.5)"
+		}
+		n := float64(res.hist.Len())
+		rows = append(rows, []string{label, f2(res.hist.FinalPPL()),
+			f2(res.wall.Seconds()), f2(n / res.wall.Seconds()), f2(staleSum / n)})
+	}
+	fprintf(w, "%s", metrics.Table(headers, rows))
+	return nil
+}

@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{"fig8", "Figure 8: DiLoCo server LR sweep", Figure8},
 		{"fig9", "Figure 9: topology wall time (τ=64)", Figure9},
 		{"fig10", "Figure 10: topology wall time (τ=128)", Figure10},
+		{"ablation-async", "Ablation: async FedBuff vs sync FedAvg on a straggling fleet", AblationAsync},
 		{"ablation-outeropt", "Ablation: outer optimizer", AblationOuterOpt},
 		{"ablation-recipe", "Ablation: small-batch high-LR recipe", AblationRecipe},
 		{"ablation-optstate", "Ablation: stateless vs stateful ClientOpt", AblationOptState},

@@ -35,6 +35,16 @@ const (
 	// the server optimizer's momentum, "codec" for a lossy uplink codec's
 	// error-feedback residual. Member carries the name.
 	RecStateSnapshot
+	// RecBufferFold records one update folded into an async aggregator's
+	// staleness-weighted buffer: Round carries the dispatch task ID, Epoch
+	// the model version the member trained on, Member the member ID, and
+	// Vec the decoded update. Replay re-folds the pending (uncommitted)
+	// buffer so an async aggregator resumes mid-buffer.
+	RecBufferFold
+	// RecVersionCommit seals one async model-version commit (the async
+	// counterpart of RecRoundCommit, and an fsync point like it): Round
+	// carries the new global model version, Epoch the membership epoch.
+	RecVersionCommit
 )
 
 // String names the record type for failpoint sites and logs.
@@ -50,6 +60,10 @@ func (t RecordType) String() string {
 		return "round_commit"
 	case RecStateSnapshot:
 		return "state_snapshot"
+	case RecBufferFold:
+		return "buffer_fold"
+	case RecVersionCommit:
+		return "version_commit"
 	default:
 		return fmt.Sprintf("record(%d)", uint8(t))
 	}
@@ -339,7 +353,7 @@ func (w *WAL) Append(rec *Record) error {
 	if err := w.w.Flush(); err != nil {
 		return fmt.Errorf("ckpt: wal flush: %w", err)
 	}
-	if rec.Type == RecRoundCommit {
+	if rec.Type == RecRoundCommit || rec.Type == RecVersionCommit {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("ckpt: wal sync: %w", err)
 		}

@@ -396,6 +396,20 @@ func (r *Registry) Get(id string) (Info, bool) {
 	return r.infoLocked(m), true
 }
 
+// Admissible reports whether id is alive with a health score at or above
+// floor. The async aggregator gates buffer admission on it: health scoring
+// feeds not just cohort sampling but also whether an arriving update is
+// folded at all, so a member that has been repeatedly failing cannot keep
+// steering the global model while its score recovers. floor <= 0 admits
+// every alive member.
+func (r *Registry) Admissible(id string, floor float64) bool {
+	info, ok := r.Get(id)
+	if !ok || info.State != StateAlive {
+		return false
+	}
+	return floor <= 0 || info.Health >= floor
+}
+
 // SampleCohort draws a round cohort of up to ceil(k·(1+overProvision))
 // alive members, health-weighted and without replacement (Efraimidis–
 // Spirakis exponential keys), so chronically slow or flaky members are

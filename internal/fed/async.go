@@ -1,0 +1,630 @@
+package fed
+
+// asyncAggregator is the FedBuff-style asynchronous implementation of the
+// Aggregator seam. The synchronous loop's collect window is a round
+// deadline; here it is a buffer count: one dispatcher goroutine ("pump")
+// per connected member keeps a continuously-versioned model task in flight,
+// every reply is folded into a staleness-weighted buffer the moment it
+// arrives, and every K folds the outer optimizer commits a new global model
+// version. A straggler never gates the commit cadence — its update simply
+// lands in a later buffer with weight 1/(1+staleness)^α.
+//
+// Concurrency discipline: pumps own the per-member send/receive I/O; the
+// run loop is the only goroutine that touches the buffer, the journal, and
+// the outer optimizer (arrivals serialize through one channel — the same
+// single-appender rule the sync collect loop gives the WAL). The short
+// mu-guarded section shared with the pumps covers the version counter, the
+// per-version encoded-broadcast cache, and the commit wait channel.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/ckpt"
+	"photon/internal/cluster"
+	"photon/internal/link"
+	"photon/internal/metrics"
+	"photon/internal/obsv"
+)
+
+// DefaultAsyncMinHealth is the admission floor the photon Job layer applies
+// in async mode: members whose cluster health score fell below it keep
+// receiving models (and can recover), but their updates are not folded.
+const DefaultAsyncMinHealth = 0.1
+
+// AsyncConfig tunes FedBuff-style asynchronous buffered aggregation
+// (ServerConfig.Async).
+type AsyncConfig struct {
+	// K is the buffer size: a new global model version commits every K
+	// folded updates (default 2). K must not exceed the number of members
+	// expected to keep contributing, or commits stall waiting for a buffer
+	// that can never fill.
+	K int
+
+	// Alpha is the staleness-weighting exponent: an update trained on a
+	// model s versions behind the current one folds with weight
+	// 1/(1+s)^Alpha. 0 weights all updates equally; larger values
+	// down-weight stale updates harder. Negative selects the default 0.5.
+	Alpha float64
+
+	// MinHealth gates admission on the cluster health score (the same
+	// score cohort sampling weights by in sync mode): updates from alive
+	// members whose score is below the floor are dropped instead of
+	// folded. 0 disables the gate.
+	MinHealth float64
+}
+
+// norm returns the config with defaults applied.
+func (c *AsyncConfig) norm() AsyncConfig {
+	out := *c
+	if out.K < 1 {
+		out.K = 2
+	}
+	if out.Alpha < 0 {
+		out.Alpha = 0.5
+	}
+	if out.MinHealth < 0 {
+		out.MinHealth = 0
+	}
+	return out
+}
+
+// Task-ID leases: dispatch task IDs must stay unique across process lives
+// (a member's data-stream position derives from them), so the run loop
+// journals an upper bound ahead of the counter and tops it up — one fsync
+// per leaseBlock dispatches at worst — whenever fewer than leaseLow IDs
+// remain.
+const (
+	leaseLow   = 1 << 12
+	leaseBlock = 1 << 16
+)
+
+// asyncArrival is one decoded member reply handed from a pump to the run
+// loop.
+type asyncArrival struct {
+	mc      *memberConn
+	task    int                // dispatch task ID the reply answers
+	version int                // global model version the update trained on
+	update  []float32          // decoded pseudo-gradient
+	meta    map[string]float64 // member-reported metrics (loss, phases)
+	latency time.Duration      // dispatch-to-reply wall time
+}
+
+type asyncAggregator struct {
+	*aggState
+	resume *asyncResume
+
+	kBuf      int
+	alpha     float64
+	minHealth float64
+
+	arrivals chan asyncArrival
+	fatal    chan error    // pump-detected run-fatal errors (broken codec)
+	stop     chan struct{} // closed when the run loop exits
+
+	// taskCtr mints globally unique dispatch task IDs — the MsgModel round
+	// numbers async members see. leasedThrough is the journaled bound the
+	// counter may run up to (run-loop-owned; see taskLease).
+	taskCtr       atomic.Int64
+	leasedThrough int
+
+	pumpMu sync.Mutex
+	pumps  map[*memberConn]struct{}
+	pumpWg sync.WaitGroup
+
+	// Pump-shared state. version is the committed global model version;
+	// verWait is closed and replaced at every commit, waking pumps whose
+	// member already trained the current version. The encoded broadcast is
+	// cached per version so a thousand pumps cost one encode.
+	mu          sync.Mutex
+	version     int
+	verWait     chan struct{}
+	encVersion  int
+	encModel    link.EncodedPayload
+	lastTrained map[string]int // newest version each member has answered
+	traceID     uint64         // trace ID stamped on the filling buffer's dispatches
+
+	// Buffer state, run-loop-only.
+	buf         []float32
+	bufWeight   float64
+	bufCount    int
+	bufStale    float64
+	bufMetrics  []map[string]float64
+	lastContrib map[string]int // newest trained version folded per member
+	foldNs      int64
+	pn          obsv.PhaseNanos
+	depth       int
+	commits     int
+	lastCommit  time.Time
+	sentPrev    int64
+	recvPrev    int64
+
+	// Cached instruments, so the fold path does one registry lookup per
+	// run instead of one per update.
+	cFolds    *obsv.Counter
+	cRejected *obsv.Counter
+	gFill     *obsv.Gauge
+	gStale    *obsv.Gauge
+	gVersion  *obsv.Gauge
+}
+
+func newAsyncAggregator(st *aggState, resume *asyncResume) *asyncAggregator {
+	cfg := st.cfg.Async.norm()
+	a := &asyncAggregator{
+		aggState:    st,
+		resume:      resume,
+		kBuf:        cfg.K,
+		alpha:       cfg.Alpha,
+		minHealth:   cfg.MinHealth,
+		arrivals:    make(chan asyncArrival, st.cfg.ExpectClients+1),
+		fatal:       make(chan error, 1),
+		stop:        make(chan struct{}),
+		pumps:       make(map[*memberConn]struct{}),
+		verWait:     make(chan struct{}),
+		encVersion:  -1,
+		lastTrained: make(map[string]int),
+		buf:         make([]float32, len(st.global)),
+		lastContrib: make(map[string]int),
+		depth:       1,
+		cFolds: obsv.Default.Counter("photon_async_folds_total",
+			"Updates folded into the async staleness-weighted buffer."),
+		cRejected: obsv.Default.Counter("photon_async_rejected_total",
+			"Async updates dropped by admission (duplicate or below the health floor)."),
+		gFill: obsv.Default.Gauge("photon_async_buffer_fill",
+			"Updates currently folded into the async buffer (commits at K)."),
+		gStale: obsv.Default.Gauge("photon_async_staleness",
+			"Staleness in versions of the most recently folded update."),
+		gVersion: obsv.Default.Gauge("photon_async_model_version",
+			"Committed global model version."),
+	}
+	a.version = resume.committed
+	a.taskCtr.Store(int64(resume.maxTask))
+	a.leasedThrough = resume.maxTask
+	a.traceID = st.mintTrace()
+	return a
+}
+
+func (a *asyncAggregator) Mode() string { return "async" }
+
+func (a *asyncAggregator) run(ctx context.Context) (*Result, error) {
+	// Pumps must be gone before Serve's shutdown path touches the member
+	// connections (and before the leak checker looks).
+	defer func() {
+		close(a.stop)
+		a.pumpWg.Wait()
+	}()
+	grace := a.cfg.RoundDeadline
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	a.lastCommit = time.Now()
+	a.sentPrev, a.recvPrev = a.s.meter.Totals()
+
+	// Resume: re-fold the journaled pending buffer in log order — without
+	// re-journaling, the records are already durable. The weights replay
+	// exactly (the global version is constant while a buffer fills), so a
+	// full buffer re-commits to bit-identical params.
+	for _, pf := range a.resume.pending {
+		if len(pf.vec) != len(a.global) {
+			return a.fail(a.version+1, fmt.Errorf("journaled fold has %d params, model has %d (config changed between runs?)", len(pf.vec), len(a.global)))
+		}
+		stale := a.version - pf.trainedVersion
+		if stale < 0 {
+			stale = 0
+		}
+		a.fold(pf.member, pf.trainedVersion, stale, pf.vec, map[string]float64{})
+		a.noteTrained(pf.member, pf.trainedVersion)
+	}
+	if a.bufCount >= a.kBuf {
+		if err := a.commit(); err != nil {
+			return a.fail(a.version+1, err)
+		}
+	}
+	if err := a.ensureLease(); err != nil {
+		return a.fail(a.version+1, err)
+	}
+	a.startPumps()
+
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	var belowSince time.Time
+	for a.version < a.cfg.Rounds {
+		select {
+		case <-ctx.Done():
+			return a.finish(ctx.Err())
+		case err := <-a.fatal:
+			return a.fail(a.version+1, err)
+		case ar := <-a.arrivals:
+			if err := a.admit(ar); err != nil {
+				return a.fail(a.version+1, err)
+			}
+			if a.bufCount >= a.kBuf {
+				if err := a.commit(); err != nil {
+					return a.fail(a.version+1, err)
+				}
+				if err := a.ensureLease(); err != nil {
+					return a.fail(a.version+1, err)
+				}
+			}
+		case <-tick.C:
+			// The ticker adopts pumps for members that joined after the
+			// last scan and watches the membership floor: persistent
+			// starvation below MinClients ends the run with the partial
+			// result, mirroring the sync loop's rejoin grace.
+			a.startPumps()
+			if err := a.ensureLease(); err != nil {
+				return a.fail(a.version+1, err)
+			}
+			if a.s.reg.AliveCount() >= a.minClients {
+				belowSince = time.Time{}
+			} else if belowSince.IsZero() {
+				belowSince = time.Now()
+			} else if time.Since(belowSince) > grace {
+				if alive := a.s.reg.AliveCount(); alive == 0 {
+					return a.finish(fmt.Errorf("fed: version %d: all clients lost", a.version+1))
+				} else {
+					return a.finish(fmt.Errorf("fed: version %d: %d alive members, need %d", a.version+1, alive, a.minClients))
+				}
+			}
+		}
+	}
+	return a.finish(nil)
+}
+
+// admit applies admission control to one arrival and folds it: duplicates
+// (a cached redelivery whose original did land) and members below the
+// health floor are dropped; everything else is journaled, then folded.
+func (a *asyncAggregator) admit(ar asyncArrival) error {
+	if prev, ok := a.lastContrib[ar.mc.id]; ok && ar.version <= prev {
+		a.cRejected.Inc()
+		return nil
+	}
+	if !a.s.reg.Admissible(ar.mc.id, a.minHealth) {
+		a.cRejected.Inc()
+		return nil
+	}
+	stale := a.version - ar.version
+	if stale < 0 {
+		stale = 0
+	}
+	// Journal before folding: a crash after this append replays the fold,
+	// a crash before it folds nothing — either way no double-count.
+	if err := a.s.jrn.bufferFold(ar.task, ar.mc.id, uint64(ar.version), ar.update); err != nil {
+		return err
+	}
+	a.fold(ar.mc.id, ar.version, stale, ar.update, ar.meta)
+	a.s.reg.ObserveRound(ar.mc.id, ar.latency, cluster.OutcomeOK)
+	return nil
+}
+
+// fold accumulates one update into the staleness-weighted buffer.
+func (a *asyncAggregator) fold(member string, version, stale int, vec []float32, meta map[string]float64) {
+	w := 1 / math.Pow(1+float64(stale), a.alpha)
+	span := a.s.tracer.Begin(obsv.PhaseAggregate)
+	foldUpdate(a.buf, vec, float32(w))
+	a.foldNs += span.End(a.traceID)
+	a.bufWeight += w
+	a.bufCount++
+	a.bufStale += float64(stale)
+	a.bufMetrics = append(a.bufMetrics, meta)
+	a.lastContrib[member] = version
+	if _, ok := meta[link.CohortKey]; ok {
+		a.depth = 2
+	}
+	a.cFolds.Inc()
+	a.gFill.Set(float64(a.bufCount))
+	a.gStale.Set(float64(stale))
+}
+
+// foldUpdate accumulates one staleness-weighted update into the buffer:
+// buf[i] += w·u[i]. Every update the fleet produces passes through this
+// loop exactly once — it is the async core's innermost hot path.
+//
+//photon:hotpath
+func foldUpdate(buf, u []float32, w float32) {
+	for i, v := range u {
+		buf[i] += w * v
+	}
+}
+
+// commit seals the buffer into a new global model version: weighted mean,
+// outer step, journal, eval, record, fsync, publish — the same order the
+// sync loop emits in, so crash points land between the same record pairs.
+func (a *asyncAggregator) commit() error {
+	newVersion := a.version + 1
+	epoch := a.s.membershipEpoch()
+	span := a.s.tracer.Begin(obsv.PhaseAggregate)
+	// The buffer holds Σ wᵢ·uᵢ; scale by 1/Σwᵢ in place for the weighted
+	// mean pseudo-gradient.
+	inv := float32(1 / a.bufWeight)
+	for i := range a.buf {
+		a.buf[i] *= inv
+	}
+	delta := a.buf
+	// The optimizer mutates global in place while pumps may be encoding
+	// it, so the step shares the mu section that also publishes the new
+	// version, invalidates the broadcast cache, and wakes waiting pumps.
+	a.mu.Lock()
+	a.cfg.Outer.Step(a.global, delta, newVersion)
+	a.version = newVersion
+	a.encVersion = -1
+	close(a.verWait)
+	a.verWait = make(chan struct{})
+	traceID := a.traceID
+	a.traceID = a.mintTrace()
+	a.mu.Unlock()
+	a.pn.Add(obsv.PhaseAggregate, a.foldNs+span.End(traceID))
+	if err := a.s.jrn.outerStep(newVersion, a.global, a.cfg.Outer); err != nil {
+		return err
+	}
+	sentAfter, recvAfter := a.s.meter.Totals()
+	sentRound, recvRound := sentAfter-a.sentPrev, recvAfter-a.recvPrev
+	a.sentPrev, a.recvPrev = sentAfter, recvAfter
+	churn := a.s.reg.RoundDelta()
+	rec := metrics.Round{
+		Round:             newVersion,
+		Clients:           a.bufCount,
+		Depth:             a.depth,
+		WireSentBytes:     sentRound,
+		WireRecvBytes:     recvRound,
+		CommBytes:         sentRound + recvRound,
+		Joins:             churn.Joins + churn.Rejoins,
+		Evictions:         churn.Evictions,
+		Stragglers:        churn.Stragglers,
+		HeartbeatRTTMs:    churn.HeartbeatRTTMs,
+		HeartbeatRTTP99Ms: churn.HeartbeatRTTP99Ms,
+		TraceID:           traceID,
+		ModelVersion:      newVersion,
+		BufferFill:        a.bufCount,
+		MeanStaleness:     a.bufStale / float64(a.bufCount),
+	}
+	rec.UpdateNorm = norm2(delta)
+	rec.TrainLoss = metrics.AggMetrics(a.bufMetrics)["loss"]
+	if a.cfg.Validation != nil && (newVersion%a.evalEvery == 0 || newVersion == a.cfg.Rounds) {
+		evalSpan := a.s.tracer.Begin(obsv.PhaseEval)
+		if err := a.globalModel.Params().LoadFlat(a.global); err != nil {
+			return err
+		}
+		rec.ValPPL = a.cfg.Validation.Evaluate(a.globalModel)
+		a.pn.Add(obsv.PhaseEval, evalSpan.End(traceID))
+	}
+	rec.WallMs = float64(time.Since(a.lastCommit).Nanoseconds()) / 1e6
+	a.lastCommit = time.Now()
+	rec.Phases = a.pn.Breakdown()
+	a.hist.Append(rec)
+	if a.cfg.OnRound != nil {
+		a.cfg.OnRound(rec)
+	}
+	a.s.publishRound(rec, a.staleSnapshot())
+	// Seal the version (the journal's one fsync per commit), publish the
+	// checkpoint, and periodically fold the log into the base checkpoint.
+	if err := a.s.jrn.versionCommit(newVersion, epoch); err != nil {
+		return err
+	}
+	a.commits++
+	if a.registry != nil {
+		publishRegistry(a.registry, newVersion, a.global, a.lineage)
+	}
+	if a.commits%compactEvery == 0 {
+		snap := make([]float32, len(a.global))
+		copy(snap, a.global)
+		base := &ckpt.Checkpoint{Round: newVersion, Meta: map[string]float64{"loss": rec.TrainLoss}, Params: snap}
+		var carry []ckpt.Record
+		if st := snapshotOuter(a.cfg.Outer); st != nil {
+			carry = append(carry, ckpt.Record{Type: ckpt.RecStateSnapshot, Round: newVersion, Member: snapOuter, Vec: st})
+		}
+		// The task-ID lease must survive compaction, or a restart could
+		// re-mint IDs that were in flight at the crash.
+		carry = append(carry, ckpt.Record{Type: ckpt.RecRoundOpen, Round: a.leasedThrough, Member: asyncLeaseMember})
+		if err := a.s.jrn.compact(base, carry); err != nil {
+			return err
+		}
+	}
+	a.gVersion.Set(float64(newVersion))
+	a.gFill.Set(0)
+	// Reset the buffer for the next window. The commit consumed the slice
+	// in place, so zero it rather than reallocate.
+	for i := range a.buf {
+		a.buf[i] = 0
+	}
+	a.bufWeight, a.bufStale = 0, 0
+	a.bufCount = 0
+	a.bufMetrics = a.bufMetrics[:0]
+	a.foldNs = 0
+	a.pn = obsv.PhaseNanos{}
+	return nil
+}
+
+// ensureLease tops up the durable task-ID lease when the counter gets
+// within leaseLow of the journaled bound.
+func (a *asyncAggregator) ensureLease() error {
+	if a.leasedThrough-int(a.taskCtr.Load()) > leaseLow {
+		return nil
+	}
+	next := int(a.taskCtr.Load()) + leaseBlock
+	if err := a.s.jrn.taskLease(next); err != nil {
+		return err
+	}
+	a.leasedThrough = next
+	return nil
+}
+
+// startPumps adopts a dispatcher goroutine for every connected member that
+// does not have one yet. Pumps are keyed by connection, so a rejoining
+// member's fresh connection gets a fresh pump while the dead one's drains
+// away.
+func (a *asyncAggregator) startPumps() {
+	for _, mc := range a.s.snapshot() {
+		a.pumpMu.Lock()
+		_, have := a.pumps[mc]
+		if !have {
+			a.pumps[mc] = struct{}{}
+		}
+		a.pumpMu.Unlock()
+		if !have {
+			a.pumpWg.Add(1)
+			go a.pump(mc)
+		}
+	}
+}
+
+// noteTrained records the newest model version a member has answered; its
+// pump will not re-dispatch until a newer version commits.
+func (a *asyncAggregator) noteTrained(id string, version int) {
+	a.mu.Lock()
+	if version > a.lastTrained[id] || a.lastTrained[id] == 0 {
+		a.lastTrained[id] = version
+	}
+	a.mu.Unlock()
+}
+
+// staleSnapshot captures per-member version lag (current version minus the
+// newest version the member has answered) for the observability feed.
+func (a *asyncAggregator) staleSnapshot() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.lastTrained))
+	for id, v := range a.lastTrained {
+		s := a.version - v
+		if s < 0 {
+			s = 0
+		}
+		out[id] = s
+	}
+	return out
+}
+
+// modelFor returns the broadcast for one member: the current version, its
+// (cached) encoded payload, and the trace ID to stamp. ok=false with a
+// non-nil wait channel means the member has already trained the current
+// version and its pump must wait for the next commit.
+func (a *asyncAggregator) modelFor(id string) (ver int, enc link.EncodedPayload, traceID uint64, wait chan struct{}, ok bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if lt, seen := a.lastTrained[id]; seen && lt >= a.version {
+		return 0, link.EncodedPayload{}, 0, a.verWait, false, nil
+	}
+	if a.encVersion != a.version {
+		span := a.s.tracer.Begin(obsv.PhaseEncode)
+		e, eerr := link.EncodeVector(a.s.modelEnc, a.global)
+		span.End(a.traceID)
+		if eerr != nil {
+			return 0, link.EncodedPayload{}, 0, nil, false, eerr
+		}
+		a.encModel, a.encVersion = e, a.version
+	}
+	return a.version, a.encModel, a.traceID, nil, true, nil
+}
+
+// pump is one member's dispatcher: whenever the member has not yet trained
+// the current global version, send it a versioned model task and hand the
+// reply to the run loop; otherwise sleep until the next commit. It exits
+// when the member's connection dies or the run ends.
+func (a *asyncAggregator) pump(mc *memberConn) {
+	defer a.pumpWg.Done()
+	for {
+		ver, enc, traceID, wait, ok, err := a.modelFor(mc.id)
+		if err != nil {
+			// A broken broadcast codec is deterministic and run-fatal,
+			// exactly as in the sync loop.
+			select {
+			case a.fatal <- err:
+			default:
+			}
+			return
+		}
+		if !ok {
+			select {
+			case <-wait:
+				continue
+			case <-mc.dead:
+				return
+			case <-a.stop:
+				return
+			}
+		}
+		if !a.dispatch(mc, ver, enc, traceID) {
+			return
+		}
+	}
+}
+
+// dispatch sends one versioned model task and waits for its reply,
+// delivering it to the run loop. It returns false when the pump should
+// exit (member lost or run over).
+func (a *asyncAggregator) dispatch(mc *memberConn, ver int, enc link.EncodedPayload, traceID uint64) bool {
+	task := int(a.taskCtr.Add(1))
+	// Drain a stale reply from a superseded dispatch.
+	select {
+	case <-mc.updates:
+	default:
+	}
+	meta := map[string]float64{
+		link.TraceKey:   float64(traceID),
+		link.VersionKey: float64(ver),
+		// Every async dispatch tolerates redelivery: a member that already
+		// trained this exact version (its reply was lost to a crash or a
+		// dropped connection) answers from its cache instead of advancing
+		// its data stream a second time.
+		link.ResumeKey: 1,
+	}
+	sendTO := a.cfg.RoundDeadline
+	if sendTO <= 0 {
+		sendTO = 30 * time.Second
+	}
+	start := time.Now()
+	span := a.s.tracer.Begin(obsv.PhaseBroadcast)
+	err := mc.conn.SendTimeout(&link.Message{
+		Type:    link.MsgModel,
+		Round:   int32(task),
+		Meta:    meta,
+		Payload: enc,
+	}, sendTO)
+	span.End(traceID)
+	if err != nil {
+		a.s.drop(mc, "model send failed")
+		mc.conn.Close()
+		return false
+	}
+	for {
+		select {
+		case msg := <-mc.updates:
+			if msg.Round != int32(task) {
+				continue // late reply to a superseded dispatch
+			}
+			// Size-check the declared element count before any codec
+			// allocates for it, exactly as the sync collect path does.
+			if msg.Payload.Elems != len(a.global) {
+				a.s.drop(mc, "update size mismatch")
+				mc.conn.Close()
+				return false
+			}
+			decSpan := a.s.tracer.Begin(obsv.PhaseDecode)
+			vec, derr := link.DecodePayload(a.s.codec, msg.Payload)
+			decSpan.End(traceID)
+			if derr != nil || len(vec) != len(a.global) {
+				a.s.drop(mc, "update decode failed")
+				mc.conn.Close()
+				return false
+			}
+			trained := ver
+			if v, okv := msg.Meta[link.VersionKey]; okv {
+				trained = int(v)
+			}
+			a.noteTrained(mc.id, trained)
+			select {
+			case a.arrivals <- asyncArrival{mc: mc, task: task, version: trained, update: vec, meta: msg.Meta, latency: time.Since(start)}:
+			case <-a.stop:
+			}
+			return true
+		case <-mc.dead:
+			return false
+		case <-a.stop:
+			return false
+		}
+	}
+}

@@ -21,6 +21,22 @@ package fed
 // (state_snapshot "codec"), and a commit per served round. Re-encoding an
 // update after a crash would double-apply the top-k residual, so the relay
 // journals the exact bytes it sent and replays them on redelivery.
+//
+// An async (FedBuff-mode) aggregator journals its own protocol per version:
+//
+//	round_open(max leased task, member "lease")       — task-ID lease
+//	buffer_fold(task, trained version, member, vec)   — one per folded update
+//	outer_step(version, post-step global params)      — buffer committed
+//	state_snapshot("outer", optimizer state)          — momentum buffers
+//	version_commit(version, epoch)                    — fsync barrier
+//
+// The fold records between two version commits are the pending buffer; a
+// crash mid-buffer replays them and the resumed aggregator re-folds without
+// re-asking the members. Post-step state is only trusted once its
+// version_commit sealed it — otherwise the step is redone from the journaled
+// folds, which is bit-exact (same updates, same order, same weights). The
+// lease records ensure a restarted aggregator never reuses a dispatch task
+// ID that may have trained a member before the crash.
 
 import (
 	"encoding/binary"
@@ -40,6 +56,10 @@ const snapCodec = "codec"
 
 // upstreamMember is the Member key for a relay's journaled encoded reply.
 const upstreamMember = "up"
+
+// asyncLeaseMember is the Member key marking a round_open record as an async
+// task-ID lease rather than a sync cohort open (sync opens never set Member).
+const asyncLeaseMember = "lease"
 
 // journal provides nil-safe, typed appends over a ckpt.WAL. A nil *journal
 // is the "durability off" mode: every method is a no-op, so call sites need
@@ -126,6 +146,41 @@ func (j *journal) upstreamReply(round, cohort int, p link.EncodedPayload) error 
 	})
 }
 
+// bufferFold journals one update folded into the async staleness-weighted
+// buffer: the dispatch task ID, the model version the member trained on, and
+// the decoded vector. Appended before the in-memory fold, so a crash after
+// the append loses nothing and a crash before it folds nothing.
+func (j *journal) bufferFold(task int, member string, trainedVersion uint64, vec []float32) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecBufferFold, Round: task, Epoch: trainedVersion, Member: member, Vec: vec})
+}
+
+// versionCommit seals one async model-version commit; like roundCommit it is
+// the journal's fsync barrier.
+func (j *journal) versionCommit(version int, epoch uint64) error {
+	if !j.enabled() {
+		return nil
+	}
+	return j.wal.Append(&ckpt.Record{Type: ckpt.RecVersionCommit, Round: version, Epoch: epoch})
+}
+
+// taskLease journals (and fsyncs) a dispatch task-ID lease: every ID up to
+// and including leasedThrough may be handed out by this process life. A
+// restarted aggregator resumes its counter past the lease, so a task ID that
+// was in flight at the crash — and may have advanced a member's data stream
+// — is never minted a second time.
+func (j *journal) taskLease(leasedThrough int) error {
+	if !j.enabled() {
+		return nil
+	}
+	if err := j.wal.Append(&ckpt.Record{Type: ckpt.RecRoundOpen, Round: leasedThrough, Member: asyncLeaseMember}); err != nil {
+		return err
+	}
+	return j.wal.Sync()
+}
+
 // compact folds committed state into the base checkpoint and truncates the
 // log; carry holds any records for the still-open round.
 func (j *journal) compact(base *ckpt.Checkpoint, carry []ckpt.Record) error {
@@ -180,6 +235,12 @@ func replayServerWAL(rv *ckpt.Recovery) *serverResume {
 	for _, rec := range rv.Records {
 		switch rec.Type {
 		case ckpt.RecRoundOpen:
+			if rec.Member != "" {
+				// An async task-ID lease (member "lease"), not a cohort
+				// open; a sync replay over an async log must not invent an
+				// in-flight round from it.
+				break
+			}
 			res.open = &openRound{
 				round:   rec.Round,
 				epoch:   rec.Epoch,
@@ -234,6 +295,87 @@ func replayServerWAL(rv *ckpt.Recovery) *serverResume {
 	// with a reordered or hand-edited log); drop it rather than replay it.
 	if res.open != nil && res.open.round <= res.committed {
 		res.open = nil
+	}
+	return res
+}
+
+// pendingFold is one journaled-but-uncommitted async buffer fold.
+type pendingFold struct {
+	task           int       // dispatch task ID the update answered
+	member         string    // member that produced it
+	trainedVersion int       // global model version it was trained on
+	vec            []float32 // decoded update
+}
+
+// asyncResume is the async-aggregator state recovered from a WAL replay.
+type asyncResume struct {
+	committed int           // last committed model version (0: none)
+	epoch     uint64        // membership epoch at last commit
+	global    []float32     // params as of the newest *sealed* commit / base
+	outer     []float32     // outer state as of the newest sealed snapshot
+	pending   []pendingFold // folds journaled after the last commit, in order
+	maxTask   int           // highest task ID leased or observed in the log
+}
+
+// replayAsyncWAL folds a recovery into async resume state. Post-step state
+// (outer_step + its snapshot) is only adopted once a version_commit seals
+// it; an unsealed step is discarded and redone from the pending folds, which
+// reproduces it bit-for-bit — same updates, same order, same staleness
+// weights (the global version is constant while a buffer fills, so replayed
+// staleness equals the original).
+func replayAsyncWAL(rv *ckpt.Recovery) *asyncResume {
+	res := &asyncResume{}
+	if rv == nil {
+		return res
+	}
+	if rv.Base != nil {
+		res.committed = rv.Base.Round
+		res.global = rv.Base.Params
+	}
+	var pendingGlobal, pendingOuter []float32
+	for _, rec := range rv.Records {
+		switch rec.Type {
+		case ckpt.RecRoundOpen:
+			if rec.Member == asyncLeaseMember && rec.Round > res.maxTask {
+				res.maxTask = rec.Round
+			}
+		case ckpt.RecBufferFold:
+			res.pending = append(res.pending, pendingFold{
+				task:           rec.Round,
+				member:         rec.Member,
+				trainedVersion: int(rec.Epoch),
+				vec:            rec.Vec,
+			})
+			if rec.Round > res.maxTask {
+				res.maxTask = rec.Round
+			}
+		case ckpt.RecOuterStep:
+			pendingGlobal = rec.Vec
+		case ckpt.RecStateSnapshot:
+			if rec.Member != snapOuter {
+				break
+			}
+			if pendingGlobal != nil {
+				pendingOuter = rec.Vec
+			} else {
+				// A compacted log carries the committed outer state as a
+				// bare snapshot with no preceding step record.
+				res.outer = rec.Vec
+			}
+		case ckpt.RecVersionCommit:
+			if rec.Round > res.committed {
+				res.committed = rec.Round
+				res.epoch = rec.Epoch
+			}
+			if pendingGlobal != nil {
+				res.global = pendingGlobal
+				if pendingOuter != nil {
+					res.outer = pendingOuter
+				}
+			}
+			pendingGlobal, pendingOuter = nil, nil
+			res.pending = res.pending[:0]
+		}
 	}
 	return res
 }

@@ -35,11 +35,15 @@ const (
 	obsRTTKey        = "o_rtt_ms"
 	obsRTTP99Key     = "o_rtt_p99_ms"
 	obsTraceKey      = "o_trace_id"
-	obsPhasePrefix   = "o_ph_ms."  // + phase name → milliseconds
-	obsMemberPrefix  = "o_m."      // + id + member-field suffix
-	obsMemberHealth  = ".health"   // (0,1] health score
-	obsMemberRTT     = ".rtt_ms"   // heartbeat RTT EWMA
-	obsMemberStrag   = ".straggle" // straggle count
+	obsVersionKey    = "o_version"   // async: committed global model version
+	obsBufFillKey    = "o_buf_fill"  // async: updates folded into this commit
+	obsStalenessKey  = "o_staleness" // async: mean staleness of the commit's buffer
+	obsPhasePrefix   = "o_ph_ms."    // + phase name → milliseconds
+	obsMemberPrefix  = "o_m."        // + id + member-field suffix
+	obsMemberHealth  = ".health"     // (0,1] health score
+	obsMemberRTT     = ".rtt_ms"     // heartbeat RTT EWMA
+	obsMemberStrag   = ".straggle"   // straggle count
+	obsMemberStale   = ".stale"      // async: member's version lag, in versions
 	obsMemberCap     = 64
 )
 
@@ -57,12 +61,17 @@ type MemberHealth struct {
 	Health    float64
 	RTTMs     float64
 	Straggles int
+	// Staleness is the member's version lag in async mode: how many
+	// versions behind the committed global model its newest answered
+	// dispatch was. Always 0 under synchronous aggregation.
+	Staleness int
 }
 
 // observeMessage renders a round record (and the alive membership) as a
 // Meta-only MsgMetrics frame. SlowestID rides in the frame's one string
-// field, ClientID.
-func observeMessage(rec metrics.Round, alive []cluster.Info) *link.Message {
+// field, ClientID. stale, non-nil only under async aggregation, carries
+// each member's version lag.
+func observeMessage(rec metrics.Round, alive []cluster.Info, stale map[string]int) *link.Message {
 	meta := map[string]float64{
 		obsRoundKey:      float64(rec.Round),
 		obsLossKey:       rec.TrainLoss,
@@ -83,6 +92,11 @@ func observeMessage(rec metrics.Round, alive []cluster.Info) *link.Message {
 		obsRTTP99Key:     rec.HeartbeatRTTP99Ms,
 		obsTraceKey:      float64(rec.TraceID),
 	}
+	if rec.ModelVersion > 0 {
+		meta[obsVersionKey] = float64(rec.ModelVersion)
+		meta[obsBufFillKey] = float64(rec.BufferFill)
+		meta[obsStalenessKey] = rec.MeanStaleness
+	}
 	b := rec.Phases
 	for phase, ms := range map[string]float64{
 		"broadcast": b.BroadcastMs, "train": b.TrainMs, "encode": b.EncodeMs,
@@ -98,6 +112,9 @@ func observeMessage(rec metrics.Round, alive []cluster.Info) *link.Message {
 		meta[obsMemberPrefix+m.ID+obsMemberHealth] = m.Health
 		meta[obsMemberPrefix+m.ID+obsMemberRTT] = float64(m.HeartbeatRTT.Nanoseconds()) / 1e6
 		meta[obsMemberPrefix+m.ID+obsMemberStrag] = float64(m.Straggles)
+		if s, ok := stale[m.ID]; ok {
+			meta[obsMemberPrefix+m.ID+obsMemberStale] = float64(s)
+		}
 	}
 	return &link.Message{
 		Type:     link.MsgMetrics,
@@ -129,6 +146,9 @@ func parseObserve(msg *link.Message) ObserveEvent {
 		HeartbeatRTTMs:    m[obsRTTKey],
 		HeartbeatRTTP99Ms: m[obsRTTP99Key],
 		TraceID:           uint64(m[obsTraceKey]),
+		ModelVersion:      int(m[obsVersionKey]),
+		BufferFill:        int(m[obsBufFillKey]),
+		MeanStaleness:     m[obsStalenessKey],
 		SlowestID:         msg.ClientID,
 	}}
 	ev.Record.CommBytes = ev.Record.WireSentBytes + ev.Record.WireRecvBytes
@@ -161,6 +181,8 @@ func parseObserve(msg *link.Message) ObserveEvent {
 			get(strings.TrimSuffix(rest, obsMemberRTT)).RTTMs = v
 		case strings.HasSuffix(rest, obsMemberStrag):
 			get(strings.TrimSuffix(rest, obsMemberStrag)).Straggles = int(v)
+		case strings.HasSuffix(rest, obsMemberStale):
+			get(strings.TrimSuffix(rest, obsMemberStale)).Staleness = int(v)
 		}
 	}
 	for _, mh := range members {

@@ -30,6 +30,9 @@ func TestObserveMessageRoundTrip(t *testing.T) {
 		HeartbeatRTTMs:    0.5,
 		HeartbeatRTTP99Ms: 4.5,
 		TraceID:           (1 << 52) - 17,
+		ModelVersion:      9,
+		BufferFill:        3,
+		MeanStaleness:     0.5,
 		SlowestID:         "relay-west",
 		Phases: obsv.Breakdown{
 			BroadcastMs: 1, TrainMs: 300, EncodeMs: 2, WireMs: 10,
@@ -40,7 +43,7 @@ func TestObserveMessageRoundTrip(t *testing.T) {
 		{ID: "a", Health: 1, HeartbeatRTT: 2 * time.Millisecond, Straggles: 0},
 		{ID: "b", Health: 0.5, HeartbeatRTT: 7 * time.Millisecond, Straggles: 3},
 	}
-	ev := parseObserve(observeMessage(rec, alive))
+	ev := parseObserve(observeMessage(rec, alive, map[string]int{"b": 2}))
 	got := ev.Record
 	// SimSeconds/UpdateNorm/SlowestPhase don't ride the observe frame.
 	if got != rec {
@@ -55,6 +58,9 @@ func TestObserveMessageRoundTrip(t *testing.T) {
 	if ev.Members[1].ID != "b" || ev.Members[1].Straggles != 3 || ev.Members[1].RTTMs != 7 {
 		t.Fatalf("member b = %+v", ev.Members[1])
 	}
+	if ev.Members[0].Staleness != 0 || ev.Members[1].Staleness != 2 {
+		t.Fatalf("staleness: a=%d b=%d, want 0 and 2", ev.Members[0].Staleness, ev.Members[1].Staleness)
+	}
 }
 
 func TestObserveMessageCapsMembers(t *testing.T) {
@@ -62,7 +68,7 @@ func TestObserveMessageCapsMembers(t *testing.T) {
 	for i := range alive {
 		alive[i] = cluster.Info{ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Health: 1}
 	}
-	ev := parseObserve(observeMessage(metrics.Round{Round: 1}, alive))
+	ev := parseObserve(observeMessage(metrics.Round{Round: 1}, alive, nil))
 	if len(ev.Members) != obsMemberCap {
 		t.Fatalf("got %d members, want cap %d", len(ev.Members), obsMemberCap)
 	}

@@ -126,6 +126,15 @@ type relay struct {
 	cacheRound  int32
 	cacheReply  link.EncodedPayload
 	cacheCohort int
+	// Version stamp of the cached reply, for async parents: an async
+	// aggregator redelivers a model *version* under a fresh round (task)
+	// number, so the cache also matches on the version. In-memory only —
+	// a WAL-recovered cache redelivers by round match as before.
+	cacheHasVer  bool
+	cacheVersion float64
+	// lastVer is the newest global model version seen from an async parent
+	// (0 under a sync parent), stamped on this tier's round records.
+	lastVer int
 	// pendingCodec is a WAL-recovered upstream-codec residual, applied
 	// once the parent handshake instantiates the codec.
 	pendingCodec []float32
@@ -382,20 +391,26 @@ func (r *relay) serveParentConn(ctx context.Context, conn *link.Conn) error {
 func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Message) error {
 	round := msg.Round
 	resumed := msg.Meta[link.ResumeKey] != 0
-	if resumed && r.cacheOK && round == r.cacheRound {
+	ver, hasVer := msg.Meta[link.VersionKey]
+	if resumed && r.cacheOK &&
+		(round == r.cacheRound || (hasVer && r.cacheHasVer && ver == r.cacheVersion)) {
 		// A durably-resuming parent lost this round's reply; re-send the
 		// cached (possibly WAL-recovered) bytes verbatim. Re-encoding
 		// would double-apply an error-feedback codec's residual, and
 		// re-running the exchange would advance cohort data streams twice.
+		meta := map[string]float64{
+			link.TraceKey:  msg.Meta[link.TraceKey],
+			link.CohortKey: float64(r.cacheCohort),
+		}
+		if r.cacheHasVer {
+			meta[link.VersionKey] = r.cacheVersion
+		}
 		err := conn.Send(&link.Message{
 			Type:     link.MsgUpdate,
 			Round:    round,
 			ClientID: r.cfg.ID,
-			Meta: map[string]float64{
-				link.TraceKey:  msg.Meta[link.TraceKey],
-				link.CohortKey: float64(r.cacheCohort),
-			},
-			Payload: r.cacheReply,
+			Meta:     meta,
+			Payload:  r.cacheReply,
 		})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -518,6 +533,12 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 	meta[link.PhaseTrainNsKey] = float64(exchangeNs)
 	meta[link.PhaseEncNsKey] = float64(upEncNs)
 	meta[link.PhaseDecNsKey] = float64(decNs)
+	if hasVer {
+		// Echo the trained version upstream so an async parent can weight
+		// this pseudo-gradient by its staleness — two-tier async composes.
+		meta[link.VersionKey] = ver
+		r.lastVer = int(ver)
+	}
 	// Cache before sending: the cohort exchange ran and the upstream
 	// codec's residual advanced, so if the parent crashes mid-send its
 	// resumed re-broadcast (ResumeKey) must get these exact bytes back —
@@ -525,6 +546,7 @@ func (r *relay) serveRound(ctx context.Context, conn *link.Conn, msg *link.Messa
 	// and the error-feedback state twice for one round.
 	r.cacheOK, r.cacheRound, r.cacheCohort = true, round, len(updates)
 	r.cacheReply = encUpd
+	r.cacheHasVer, r.cacheVersion = hasVer, ver
 	err = conn.Send(&link.Message{
 		Type:     link.MsgUpdate,
 		Round:    round,
@@ -582,6 +604,7 @@ func (r *relay) record(round int, updates [][]float32, clientMetrics []map[strin
 		HeartbeatRTTMs:    churn.HeartbeatRTTMs,
 		HeartbeatRTTP99Ms: churn.HeartbeatRTTP99Ms,
 		TraceID:           traceID,
+		ModelVersion:      r.lastVer,
 		WallMs:            float64(time.Since(start).Nanoseconds()) / 1e6,
 		Phases:            phases.pn.Breakdown(),
 		SlowestID:         phases.slowestID,
@@ -599,5 +622,5 @@ func (r *relay) record(round int, updates [][]float32, clientMetrics []map[strin
 	if r.cfg.OnRound != nil {
 		r.cfg.OnRound(rec)
 	}
-	r.srv.publishRound(rec)
+	r.srv.publishRound(rec, nil)
 }

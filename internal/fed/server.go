@@ -103,6 +103,17 @@ type ServerConfig struct {
 	// ckpt.ErrFailpoint after the record is on disk, and Serve exits
 	// abruptly (no MsgShutdown) as a real crash would. Test-only.
 	Failpoint *ckpt.Failpoint
+
+	// Async, when non-nil, swaps the deadline-based synchronous round loop
+	// for FedBuff-style asynchronous buffered aggregation: the server
+	// broadcasts continuously-versioned models, folds updates into a
+	// staleness-weighted buffer as they arrive, and commits a new global
+	// model version every AsyncConfig.K folds — stragglers contribute late
+	// instead of being dropped at a deadline. Rounds then counts version
+	// commits, and ClientsPerRound/OverProvision/RoundDeadline lose their
+	// cohort meaning (RoundDeadline still bounds sends and the no-progress
+	// grace). Nil keeps the synchronous mode bit-for-bit unchanged.
+	Async *AsyncConfig
 }
 
 // memberConn is the aggregator's handle on one connected member: the
@@ -232,8 +243,10 @@ func (s *server) closeObservers() {
 
 // publishRound fans one round record out to every attached observer as a
 // codec-free Meta-only frame. Sends are bounded and best-effort: a stuck
-// observer is detached, never allowed to stall the round loop.
-func (s *server) publishRound(rec metrics.Round) {
+// observer is detached, never allowed to stall the round loop. stale, when
+// non-nil, carries per-member staleness in versions (async mode only; the
+// synchronous loop passes nil).
+func (s *server) publishRound(rec metrics.Round, stale map[string]int) {
 	s.obsMu.Lock()
 	n := len(s.observers)
 	conns := make([]*link.Conn, 0, n)
@@ -244,7 +257,7 @@ func (s *server) publishRound(rec metrics.Round) {
 	if n == 0 {
 		return
 	}
-	msg := observeMessage(rec, s.reg.Alive())
+	msg := observeMessage(rec, s.reg.Alive(), stale)
 	for _, c := range conns {
 		if err := c.SendTimeout(msg, time.Second); err != nil {
 			s.removeObserver(c)
@@ -373,6 +386,7 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		}
 	}
 	resume := &serverResume{}
+	aResume := &asyncResume{}
 	if cfg.WALDir != "" {
 		wal, rv, werr := ckpt.OpenWAL(cfg.WALDir, cfg.Failpoint)
 		if werr != nil {
@@ -380,7 +394,13 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		}
 		s.jrn = newJournal(wal)
 		defer s.jrn.close()
-		resume = replayServerWAL(rv)
+		// The two modes journal different record sequences, so each replays
+		// its own: a WAL written in one mode does not resume the other.
+		if cfg.Async != nil {
+			aResume = replayAsyncWAL(rv)
+		} else {
+			resume = replayServerWAL(rv)
+		}
 	}
 
 	// The accept loop admits members for the entire run. Handshakes run in
@@ -435,8 +455,17 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 	// stream stays aligned with an uninterrupted run's cohort sampling;
 	// the recovered params then overwrite the fresh init in place.
 	global := globalModel.Params().Flatten(nil)
-	startRound := 1
-	if resume.global != nil || resume.committed > 0 || resume.open != nil {
+	if cfg.Async != nil {
+		if aResume.global != nil {
+			if len(aResume.global) != len(global) {
+				return nil, fmt.Errorf("fed: WAL params have %d elements, model has %d (config changed between runs?)", len(aResume.global), len(global))
+			}
+			copy(global, aResume.global)
+		}
+		if err := restoreOuter(cfg.Outer, aResume.outer); err != nil {
+			return nil, err
+		}
+	} else if resume.global != nil || resume.committed > 0 || resume.open != nil {
 		if resume.global != nil {
 			if len(resume.global) != len(global) {
 				return nil, fmt.Errorf("fed: WAL params have %d elements, model has %d (config changed between runs?)", len(resume.global), len(global))
@@ -446,7 +475,6 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		if err := restoreOuter(cfg.Outer, resume.outer); err != nil {
 			return nil, err
 		}
-		startRound = resume.committed + 1
 	}
 	hist := &metrics.History{}
 	evalEvery := cfg.EvalEvery
@@ -475,265 +503,30 @@ func Serve(ctx context.Context, l *link.Listener, cfg ServerConfig) (*Result, er
 		"job": fmt.Sprintf("seed=%d rounds=%d expect=%d cohort=%d codec=%s outer=%s params=%d",
 			cfg.Seed, cfg.Rounds, cfg.ExpectClients, k, s.codecName, cfg.Outer.Name(), len(global)),
 	}
-	// Fold the log into the base checkpoint every few commits so replay
-	// time stays bounded by the compaction window, not the run length.
-	const compactEvery = 8
-	commits := 0
-
-	// emptyRounds counts consecutive rounds that aggregated zero updates
-	// (every cohort member straggled past the deadline or failed). A few
-	// in a row mean the run is burning rounds without training — better to
-	// stop with the partial result than to silently "complete".
-	const maxEmptyRounds = 3
-	emptyRounds := 0
-
-	// Wire-accounting windows tile the run with no gaps: each round's
-	// window starts where the previous one ended, so traffic between
-	// exchanges (heartbeats during aggregation and evaluation, rejoin
-	// waits) is attributed to the next recorded round rather than lost,
-	// and the per-round sums add up to the meter's cumulative totals.
-	sentPrev, recvPrev := s.meter.Totals()
-	// depth is the aggregation depth stamped on round records: 1 until a
-	// relay identifies itself, then sticky at 2 — an empty round (every
-	// relay straggled) does not mean the topology collapsed to flat.
-	depth := 1
-	var runErr error
-	for round := startRound; round <= cfg.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			runErr = err
-			break
-		}
-		// Membership floor: give evicted members a grace window to rejoin
-		// before declaring the run dead.
-		rejoinGrace := cfg.RoundDeadline
-		if rejoinGrace <= 0 {
-			rejoinGrace = 10 * time.Second
-		}
-		if err := s.waitAlive(ctx, minClients, rejoinGrace); err != nil {
-			if ctx.Err() != nil {
-				runErr = ctx.Err()
-				break
-			}
-			return finish(fmt.Errorf("fed: round %d: %w", round, err))
-		}
-
-		// A WAL replay may hand this round back partially done: pre carries
-		// the journaled cohort and the updates that already arrived before
-		// the crash. Consume it exactly once.
-		var pre *openRound
-		if resume.open != nil && resume.open.round == round {
-			pre = resume.open
-			resume.open = nil
-		}
-		epoch := s.membershipEpoch()
-
-		if pre != nil && pre.stepped {
-			// The crash hit after the outer step: the journaled post-step
-			// state is trusted only when it is complete — params plus the
-			// outer snapshot when the optimizer is stateful. A crash that
-			// landed between the two records left post-step params next to
-			// pre-step momentum; using them together would corrupt the
-			// trajectory, so the incomplete pair is discarded and the step
-			// is redone below from the journaled updates instead.
-			if snapshotOuter(cfg.Outer) == nil || pre.snapped {
-				if len(pre.postGlobal) != len(global) {
-					return fail(round, fmt.Errorf("journaled step has %d params, model has %d", len(pre.postGlobal), len(global)))
-				}
-				copy(global, pre.postGlobal)
-				if pre.snapped {
-					if err := restoreOuter(cfg.Outer, pre.postOuter); err != nil {
-						return fail(round, err)
-					}
-				}
-				if err := s.jrn.roundCommit(round, epoch); err != nil {
-					return fail(round, err)
-				}
-				commits++
-				if registry != nil {
-					publishRegistry(registry, round, global, lineage)
-				}
-				emptyRounds = 0
-				continue
-			}
-			pre.stepped = false
-		}
-
-		var cohort []*memberConn
-		var preUpdates [][]float32
-		var preMetrics []map[string]float64
-		if pre != nil {
-			// Re-open the journaled cohort: keep the updates that survived
-			// in the log, re-ask only the members whose updates were lost.
-			// Members that answered pre-crash are never re-trained — their
-			// data streams must not advance twice for one round.
-			for _, id := range pre.order {
-				preUpdates = append(preUpdates, pre.updates[id])
-				preMetrics = append(preMetrics, map[string]float64{})
-			}
-			for _, id := range pre.cohort {
-				if _, done := pre.updates[id]; done {
-					continue
-				}
-				if mc := s.get(id); mc != nil {
-					cohort = append(cohort, mc)
-				}
-			}
-			if len(cohort) == 0 && len(preUpdates) == 0 {
-				// Nothing journaled and nobody reconnected yet: retry the
-				// round as a fresh draw against the refreshed membership.
-				round--
-				continue
-			}
-		} else {
-			cohortInfos := s.reg.SampleCohort(rng, k, cfg.OverProvision)
-			cohort = make([]*memberConn, 0, len(cohortInfos))
-			ids := make([]string, 0, len(cohortInfos))
-			for _, info := range cohortInfos {
-				if mc := s.get(info.ID); mc != nil {
-					cohort = append(cohort, mc)
-					ids = append(ids, info.ID)
-				}
-			}
-			if len(cohort) == 0 {
-				// Sampled members vanished between the wait and the draw;
-				// retry the round against the refreshed membership.
-				round--
-				continue
-			}
-			if err := s.jrn.roundOpen(round, epoch, ids); err != nil {
-				return fail(round, err)
-			}
-		}
-
-		// Meta values ride the wire as float64, so trace IDs are confined
-		// to 52 bits — they survive the float round-trip exactly.
-		traceID := traceRng.Uint64() & (1<<52 - 1)
-		if traceID == 0 {
-			traceID = 1
-		}
-		roundStart := time.Now()
-		updates, clientMetrics, wire, phases, interrupted, err := s.exchangeRound(ctx, round, traceID, global, cohort, pre != nil)
-		if err != nil {
-			return fail(round, err)
-		}
-		if interrupted {
-			runErr = ctx.Err()
-			break
-		}
-		// Journaled pre-crash updates come first (their arrival order is
-		// the log order), freshly collected ones after.
-		if len(preUpdates) > 0 {
-			updates = append(preUpdates, updates...)
-			clientMetrics = append(preMetrics, clientMetrics...)
-		}
-		sentAfter, recvAfter := s.meter.Totals()
-		sentRound, recvRound := sentAfter-sentPrev, recvAfter-recvPrev
-		sentPrev, recvPrev = sentAfter, recvAfter
-
-		// Depth 2 once any member identifies itself as an aggregation
-		// tier (a relay stamps CohortKey on its upstream updates).
-		for _, m := range clientMetrics {
-			if _, ok := m[link.CohortKey]; ok {
-				depth = 2
-				break
-			}
-		}
-
-		churn := s.reg.RoundDelta()
-		rec := metrics.Round{
-			Round:   round,
-			Clients: len(updates),
-			Depth:   depth,
-			// Real wire traffic measured over the round's window, frame
-			// headers and heartbeats included — not an element-count
-			// estimate.
-			WireSentBytes:     sentRound,
-			WireRecvBytes:     recvRound,
-			CommBytes:         sentRound + recvRound,
-			EncodeMs:          float64(wire.encNs) / 1e6,
-			DecodeMs:          float64(wire.decNs) / 1e6,
-			Joins:             churn.Joins + churn.Rejoins,
-			Evictions:         churn.Evictions,
-			Stragglers:        churn.Stragglers,
-			HeartbeatRTTMs:    churn.HeartbeatRTTMs,
-			HeartbeatRTTP99Ms: churn.HeartbeatRTTP99Ms,
-			TraceID:           traceID,
-		}
-		if wire.denseBytes > 0 {
-			rec.CompressionRatio = float64(wire.payloadBytes) / float64(wire.denseBytes)
-		}
-		if len(updates) > 0 {
-			aggSpan := s.tracer.Begin(obsv.PhaseAggregate)
-			delta, err := MeanDelta(updates)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Outer.Step(global, delta, round)
-			// Journal the post-step params (bit-for-bit restore on replay,
-			// no re-aggregation) plus the optimizer's momentum state.
-			if err := s.jrn.outerStep(round, global, cfg.Outer); err != nil {
-				return fail(round, err)
-			}
-			phases.pn.Add(obsv.PhaseAggregate, aggSpan.End(traceID))
-			rec.UpdateNorm = norm2(delta)
-			rec.TrainLoss = metrics.AggMetrics(clientMetrics)["loss"]
-		}
-		if cfg.Validation != nil && (round%evalEvery == 0 || round == cfg.Rounds) {
-			evalSpan := s.tracer.Begin(obsv.PhaseEval)
-			if err := globalModel.Params().LoadFlat(global); err != nil {
-				return nil, err
-			}
-			rec.ValPPL = cfg.Validation.Evaluate(globalModel)
-			phases.pn.Add(obsv.PhaseEval, evalSpan.End(traceID))
-		}
-		rec.WallMs = float64(time.Since(roundStart).Nanoseconds()) / 1e6
-		rec.Phases = phases.pn.Breakdown()
-		rec.SlowestID = phases.slowestID
-		if phases.slowestID != "" {
-			rec.SlowestPhase = phases.slowestPhase.String()
-		}
-		hist.Append(rec)
-		if cfg.OnRound != nil {
-			cfg.OnRound(rec)
-		}
-		s.publishRound(rec)
-		if len(updates) > 0 {
-			// Seal the round (the journal's one fsync), publish the
-			// committed checkpoint, and periodically fold the log into the
-			// base checkpoint so replay time stays bounded.
-			if err := s.jrn.roundCommit(round, epoch); err != nil {
-				return fail(round, err)
-			}
-			commits++
-			if registry != nil {
-				publishRegistry(registry, round, global, lineage)
-			}
-			if commits%compactEvery == 0 {
-				snap := make([]float32, len(global))
-				copy(snap, global)
-				base := &ckpt.Checkpoint{Round: round, Meta: map[string]float64{"loss": rec.TrainLoss}, Params: snap}
-				// The base checkpoint holds params only, so the outer
-				// optimizer's momentum must be carried into the fresh
-				// log segment or a post-compaction resume would lose it.
-				var carry []ckpt.Record
-				if st := snapshotOuter(cfg.Outer); st != nil {
-					carry = append(carry, ckpt.Record{Type: ckpt.RecStateSnapshot, Round: round, Member: snapOuter, Vec: st})
-				}
-				if err := s.jrn.compact(base, carry); err != nil {
-					return fail(round, err)
-				}
-			}
-		}
-		if len(updates) == 0 {
-			if emptyRounds++; emptyRounds >= maxEmptyRounds {
-				return finish(fmt.Errorf("fed: no client updates for %d consecutive rounds", emptyRounds))
-			}
-		} else {
-			emptyRounds = 0
-		}
+	st := &aggState{
+		s:           s,
+		cfg:         cfg,
+		k:           k,
+		minClients:  minClients,
+		evalEvery:   evalEvery,
+		rng:         rng,
+		traceRng:    traceRng,
+		globalModel: globalModel,
+		global:      global,
+		hist:        hist,
+		registry:    registry,
+		lineage:     lineage,
+		finish:      finish,
+		fail:        fail,
 	}
-
-	return finish(runErr)
+	var core Aggregator
+	if cfg.Async != nil {
+		core = newAsyncAggregator(st, aResume)
+	} else {
+		core = &syncAggregator{aggState: st, resume: resume}
+	}
+	lineage["mode"] = core.Mode()
+	return core.run(ctx)
 }
 
 // acceptLoop admits connections until ctx is cancelled, handing each off to
@@ -1233,6 +1026,11 @@ type Session struct {
 	cacheRound int32
 	cacheReply link.EncodedPayload
 	cacheLoss  float64
+	// Async aggregators key redelivery by model version rather than round
+	// number (async dispatch task IDs are unique per send, so a resumed
+	// dispatch of the same version arrives under a fresh round number).
+	cacheHasVer  bool
+	cacheVersion float64
 }
 
 // ServeConn runs one connection's worth of the session: handshake, then
@@ -1344,11 +1142,19 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 		case link.MsgModel:
 			// Idempotent redelivery: a resumed broadcast of a round this
 			// client already trained is answered from the cache — no
-			// decode, no training, no stream advance.
-			if msg.Meta[link.ResumeKey] != 0 && s.cacheOK && msg.Round == s.cacheRound {
+			// decode, no training, no stream advance. Sync aggregators
+			// re-broadcast under the same round number; async ones dispatch
+			// the same model *version* under a fresh task ID, so the cache
+			// also matches on the version stamp.
+			ver, hasVer := msg.Meta[link.VersionKey]
+			if msg.Meta[link.ResumeKey] != 0 && s.cacheOK &&
+				(msg.Round == s.cacheRound || (hasVer && s.cacheHasVer && ver == s.cacheVersion)) {
 				meta := map[string]float64{"loss": s.cacheLoss}
 				if traceID := msg.Meta[link.TraceKey]; traceID != 0 {
 					meta[link.TraceKey] = traceID
+				}
+				if s.cacheHasVer {
+					meta[link.VersionKey] = s.cacheVersion
 				}
 				err := conn.Send(&link.Message{
 					Type:     link.MsgUpdate,
@@ -1405,6 +1211,11 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 			if traceID != 0 {
 				res.Metrics[link.TraceKey] = float64(traceID)
 			}
+			if hasVer {
+				// Echo the trained model version so an async aggregator can
+				// compute this update's staleness when it finally folds.
+				res.Metrics[link.VersionKey] = ver
+			}
 			// Cache before sending: the round is trained, so the stream and
 			// error-feedback state have advanced. If the aggregator crashes
 			// mid-send and this reply never lands, the resumed broadcast
@@ -1412,6 +1223,7 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 			// second time for the same round.
 			s.cacheOK, s.cacheRound = true, msg.Round
 			s.cacheReply, s.cacheLoss = encUpd, res.Metrics["loss"]
+			s.cacheHasVer, s.cacheVersion = hasVer, ver
 			err = conn.Send(&link.Message{
 				Type:     link.MsgUpdate,
 				Round:    msg.Round,
@@ -1443,6 +1255,9 @@ func (s *Session) ServeConn(ctx context.Context, conn *link.Conn, onRound ...fun
 				rec.CompressionRatio = float64(msg.Payload.WireBytes()+encUpd.WireBytes()) / float64(dense)
 			}
 			rec.TraceID = traceID
+			if hasVer {
+				rec.ModelVersion = int(ver)
+			}
 			rec.WallMs = float64(time.Since(decStart).Nanoseconds()) / 1e6
 			var pn obsv.PhaseNanos
 			pn.Add(obsv.PhaseDecode, decNs)

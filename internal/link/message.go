@@ -110,6 +110,16 @@ const TraceKey = "trace_id"
 // served normally.
 const ResumeKey = "resume"
 
+// VersionKey is the Meta key carrying a global-model version stamp. An
+// async (FedBuff-mode) aggregator stamps the current model version on every
+// MsgModel broadcast; the member echoes it on its MsgUpdate, so the
+// aggregator can compute the update's staleness (current version minus
+// trained version) and down-weight late arrivals instead of dropping them.
+// Relays propagate the stamp upstream on their pseudo-gradients so two-tier
+// async composes. Meta values are float64, so versions — like trace IDs —
+// are confined to 52 bits and survive the float round-trip exactly.
+const VersionKey = "model_version"
+
 // Per-phase self-report keys members stamp on MsgUpdate Meta, letting the
 // aggregator split each member's round latency into local compute, codec
 // work, and wire residual.

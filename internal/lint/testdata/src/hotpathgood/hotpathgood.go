@@ -92,3 +92,14 @@ func suppressed(s []int, v int) []int {
 func hotCallsHot(w *widget) {
 	methodCall(w)
 }
+
+// foldWeighted mirrors the async aggregation buffer fold (buf += w*u over
+// preallocated slices): a pure range loop with a multiply-add is the shape
+// hotpath bodies should take, and it must stay report-free.
+//
+//photon:hotpath
+func foldWeighted(buf, u []float32, w float32) {
+	for i := range u {
+		buf[i] += w * u[i]
+	}
+}

@@ -64,6 +64,16 @@ type Round struct {
 	Phases       obsv.Breakdown
 	SlowestID    string
 	SlowestPhase string
+
+	// Asynchronous (FedBuff-mode) aggregation. ModelVersion is the global
+	// model version after this record's commit (0 when the aggregator runs
+	// the synchronous round loop). BufferFill is the number of updates
+	// folded into the commit's staleness-weighted buffer, and MeanStaleness
+	// their mean staleness in versions (0 = every update trained on the
+	// freshest model).
+	ModelVersion  int
+	BufferFill    int
+	MeanStaleness float64
 }
 
 // History is an append-only sequence of round records.

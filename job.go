@@ -139,6 +139,11 @@ func (j *Job) scrape(r metrics.Round) {
 	if r.WallMs > 0 {
 		reg.Histogram("photon_round_seconds", "Round wall time.", nil).Observe(r.WallMs / 1e3)
 	}
+	if r.ModelVersion > 0 {
+		reg.Gauge("photon_model_version", "Committed global model version (async aggregation).").Set(float64(r.ModelVersion))
+		reg.Gauge("photon_buffer_fill", "Updates folded into the latest async commit.").Set(float64(r.BufferFill))
+		reg.Gauge("photon_update_staleness", "Mean staleness (versions) of the latest commit's updates.").Set(r.MeanStaleness)
+	}
 }
 
 // newResult converts an internal run result to the public form.
@@ -162,6 +167,9 @@ func newResult(model *nn.Model, hist *metrics.History) *Result {
 				Phases:            PhaseBreakdown(r.Phases),
 				SlowestID:         r.SlowestID,
 				SlowestPhase:      r.SlowestPhase,
+				ModelVersion:      r.ModelVersion,
+				BufferFill:        r.BufferFill,
+				MeanStaleness:     r.MeanStaleness,
 			})
 			out.Joins += r.Joins
 			out.Evictions += r.Evictions
@@ -320,6 +328,10 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 	defer l.Close()
 	j.addr.Store(l.Addr())
 
+	var async *fed.AsyncConfig
+	if c.asyncSet {
+		async = &fed.AsyncConfig{K: c.asyncK, Alpha: c.asyncAlpha, MinHealth: fed.DefaultAsyncMinHealth}
+	}
 	res, err := fed.Serve(ctx, l, fed.ServerConfig{
 		ModelConfig:       cfg,
 		Seed:              c.seed,
@@ -337,6 +349,7 @@ func (j *Job) runAggregator(ctx context.Context) (*Result, error) {
 		OnRound:           j.emit,
 		WALDir:            c.walDir,
 		RegistryDir:       c.registryDir,
+		Async:             async,
 	})
 	if res == nil {
 		return nil, err

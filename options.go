@@ -71,6 +71,10 @@ type jobConfig struct {
 
 	walDir      string
 	registryDir string
+
+	asyncSet   bool
+	asyncK     int
+	asyncAlpha float64
 }
 
 // JobOption configures a Job; build them with the With* constructors.
@@ -284,6 +288,25 @@ func WithReconnect(attempts int) JobOption {
 // round — instead of starting over. On a relay (WithParent) the log holds
 // the last upstream reply and codec residual for crash-safe redelivery.
 func WithWAL(dir string) JobOption { return func(c *jobConfig) { c.walDir = dir } }
+
+// WithAsync switches the aggregator backend from synchronous rounds to
+// buffered asynchronous (FedBuff-style) aggregation. The aggregator
+// broadcasts a continuously-versioned global model: every member trains
+// at its own pace, and each returned update is folded into a buffer with
+// weight 1/(1+staleness)^alpha, where staleness is how many versions the
+// global model advanced while the member trained. After k folds the
+// buffered aggregate is committed through the server optimizer and the
+// version advances — fast members no longer wait on stragglers, they just
+// out-contribute them. WithRounds counts version commits; WithRoundDeadline
+// bounds each dispatch instead of a collective round. k < 1 defaults to 2
+// and a negative alpha to 0.5; alpha 0 disables staleness discounting.
+// Synchronous-only knobs (WithClientsPerRound, WithOverProvision) are
+// ignored, and relay trees (WithParent) compose: relays forward
+// version-stamped pseudo-gradients upstream, making the tree two-tier
+// async.
+func WithAsync(k int, alpha float64) JobOption {
+	return func(c *jobConfig) { c.asyncSet = true; c.asyncK = k; c.asyncAlpha = alpha }
+}
 
 // WithRegistry publishes each committed round's checkpoint into a
 // content-addressed model registry rooted at dir (SHA-256 blob addresses,

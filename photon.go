@@ -207,6 +207,13 @@ type RoundStat struct {
 	Phases       PhaseBreakdown
 	SlowestID    string
 	SlowestPhase string
+
+	// Asynchronous-aggregation telemetry (WithAsync; zero under sync):
+	// the committed global model version, the number of updates folded
+	// into the commit's buffer, and their mean staleness in versions.
+	ModelVersion  int
+	BufferFill    int
+	MeanStaleness float64
 }
 
 // Result is a finished (or, under cancellation, partial) pre-training run.
